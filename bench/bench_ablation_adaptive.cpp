@@ -1,0 +1,132 @@
+// Ablation: the paper's closing open challenge — "It is an open challenge
+// to design a defense against a powerful adaptive attack."
+//
+// This bench quantifies the gap: each defended model is attacked TWICE —
+//  * static: the original grey-box advex (crafted against the undefended
+//    substitute, as in Table VI), and
+//  * adaptive: fresh white-box JSMA crafted directly against the defended
+//    model itself.
+// A defense that survives the static attack but collapses under the
+// adaptive one (the usual outcome, cf. Carlini & Wagner 2017) has not
+// solved the problem — it has moved the blind spot. Also evaluates the
+// ensemble the paper suggests (adversarial training + dim. reduction).
+//
+//   ./bench_ablation_adaptive [tiny|fast|full]
+#include <iostream>
+#include <memory>
+
+#include "attack/jsma.hpp"
+#include "bench_common.hpp"
+#include "core/greybox.hpp"
+#include "core/substitute.hpp"
+#include "defense/adversarial_training.hpp"
+#include "defense/classifier.hpp"
+#include "defense/dim_reduction.hpp"
+#include "defense/ensemble.hpp"
+#include "eval/report.hpp"
+#include "features/transform.hpp"
+
+using namespace mev;
+
+int main(int argc, char** argv) {
+  auto env = bench::make_environment(bench::parse_scale(argc, argv));
+
+  // Static grey-box advex pool (Table VI recipe).
+  std::cerr << "# substitute + static advex (theta=0.1, gamma=0.02)...\n";
+  const data::CountDataset attacker_data = bench::attacker_dataset(env);
+  auto sub = core::train_substitute_exact_features(
+      attacker_data, env.config, env.detector().pipeline());
+  const auto& attacker_transform =
+      dynamic_cast<const features::CountTransform&>(
+          sub.pipeline.transform());
+  const auto map = core::make_greybox_count_map(
+      attacker_transform, env.detector().pipeline(), env.malware_counts);
+  attack::JsmaConfig static_cfg;
+  static_cfg.theta = 0.1f;
+  static_cfg.gamma = 0.02f;
+  static_cfg.early_stop = false;
+  const auto static_crafted = attack::Jsma(static_cfg).craft(
+      *sub.network, map.to_craft_space(env.malware_features));
+  const math::Matrix static_advex = map.to_target_space(static_crafted.adversarial);
+
+  // Defenses under test: adversarial training, dim reduction, their
+  // ensemble (the paper's suggestion), and the undefended baseline.
+  std::cerr << "# adversarial training...\n";
+  math::Rng clean_rng(env.config.seed + 9100);
+  const auto clean_pool = env.generator.generate_dataset(
+      static_advex.rows(), 0, clean_rng);
+  const math::Matrix clean_pool_features =
+      env.detector().features_of_counts(clean_pool.counts);
+  const auto adv_set = defense::build_adversarial_training_set(
+      env.trained.train_features, env.bundle.train.labels, static_advex,
+      &clean_pool_features);
+  defense::AdversarialTrainingConfig at_cfg{env.config.target_architecture(),
+                                            env.config.target_training()};
+  auto adv_net = defense::adversarial_training(adv_set, at_cfg);
+  auto adv_clf =
+      std::make_shared<defense::NetworkClassifier>(adv_net, "AdvTraining");
+
+  std::cerr << "# dimensionality reduction (k=19)...\n";
+  nn::LabeledData train_data{env.trained.train_features,
+                             env.bundle.train.labels};
+  defense::DimReductionConfig dr_cfg;
+  dr_cfg.k = 19;
+  dr_cfg.training = env.config.target_training();
+  std::shared_ptr<defense::Classifier> dim_clf =
+      std::shared_ptr<defense::DimReductionClassifier>(
+          train_dim_reduction_defense(train_data, dr_cfg));
+
+  auto baseline_clf = std::make_shared<defense::NetworkClassifier>(
+      env.detector().network_ptr(), "No Defense");
+  auto ensemble = std::make_shared<defense::EnsembleClassifier>(
+      std::vector<std::shared_ptr<defense::Classifier>>{adv_clf, dim_clf},
+      defense::VotePolicy::kAnyMalware);
+
+  // Adaptive attack: white-box JSMA against each network-backed defense.
+  // (The ensemble and dim-reduction have no single differentiable network
+  // in input space; they are attacked with the adv-trained model's
+  // gradients — the strongest available surrogate.)
+  attack::JsmaConfig adaptive_cfg;
+  adaptive_cfg.theta = 0.1f;
+  adaptive_cfg.gamma = 0.05f;  // a stronger adaptive budget
+  adaptive_cfg.early_stop = false;
+  const attack::Jsma adaptive(adaptive_cfg);
+
+  struct Row {
+    std::string name;
+    double clean_tnr, static_tpr, adaptive_tpr;
+  };
+  std::vector<Row> rows;
+  const auto eval_defense = [&](defense::Classifier& clf,
+                                nn::Network& gradient_source) {
+    std::cerr << "# adaptive attack vs " << clf.name() << "...\n";
+    const auto adaptive_crafted =
+        adaptive.craft(gradient_source, env.malware_features);
+    Row row;
+    row.name = clf.name();
+    row.clean_tnr =
+        1.0 - eval::detection_rate(clf.classify(env.clean_features));
+    row.static_tpr = eval::detection_rate(clf.classify(static_advex));
+    row.adaptive_tpr =
+        eval::detection_rate(clf.classify(adaptive_crafted.adversarial));
+    rows.push_back(row);
+  };
+
+  eval_defense(*baseline_clf, env.target_network());
+  eval_defense(*adv_clf, adv_clf->network());
+  eval_defense(*dim_clf, adv_clf->network());
+  eval_defense(*ensemble, adv_clf->network());
+
+  eval::Table t("Adaptive-attack ablation (static = Table VI advex; "
+                "adaptive = white-box JSMA vs the defense)");
+  t.header({"defense", "clean TNR", "static advex TPR",
+            "adaptive advex TPR"});
+  for (const auto& r : rows)
+    t.row({r.name, eval::Table::fmt(r.clean_tnr),
+           eval::Table::fmt(r.static_tpr), eval::Table::fmt(r.adaptive_tpr)});
+  std::cout << t.render();
+  std::cout << "\nReading: a large static->adaptive drop means the defense "
+               "moved the blind spot\nrather than closing it — the paper's "
+               "open challenge.\n";
+  return 0;
+}

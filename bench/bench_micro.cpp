@@ -1,0 +1,150 @@
+// Google-benchmark microbenchmarks for the library's hot paths: matmul,
+// network forward/backward, JSMA crafting throughput, feature transforms,
+// PCA fitting and synthetic-corpus generation — plus the add-only vs
+// unconstrained-JSMA ablation cost (DESIGN.md §5).
+#include <benchmark/benchmark.h>
+
+#include "attack/jsma.hpp"
+#include "data/api_vocab.hpp"
+#include "data/synthetic.hpp"
+#include "features/transform.hpp"
+#include "math/matrix.hpp"
+#include "math/pca.hpp"
+#include "math/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+
+using namespace mev;
+
+namespace {
+
+math::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  math::Rng rng(seed);
+  math::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.uniform());
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const math::Matrix a = random_matrix(n, n, 1);
+  const math::Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_NetworkForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 192, 240, 208, 2};
+  cfg.seed = 3;
+  nn::Network net = nn::make_mlp(cfg);
+  const math::Matrix x = random_matrix(batch, 491, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+}
+BENCHMARK(BM_NetworkForward)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_NetworkTrainStep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 192, 240, 208, 2};
+  cfg.seed = 3;
+  nn::Network net = nn::make_mlp(cfg);
+  const math::Matrix x = random_matrix(batch, 491, 4);
+  std::vector<int> labels(batch);
+  for (std::size_t i = 0; i < batch; ++i) labels[i] = i % 2;
+  for (auto _ : state) {
+    net.zero_grad();
+    const math::Matrix logits = net.forward(x, true);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    benchmark::DoNotOptimize(net.backward(loss.grad_logits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+}
+BENCHMARK(BM_NetworkTrainStep)->Arg(64)->Arg(256);
+
+void BM_JsmaCraft(benchmark::State& state) {
+  const bool allow_repeat = state.range(0) != 0;
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 64, 32, 2};
+  cfg.seed = 5;
+  nn::Network net = nn::make_mlp(cfg);
+  const math::Matrix x = random_matrix(32, 491, 6);
+  attack::JsmaConfig jcfg;
+  jcfg.theta = 0.1f;
+  jcfg.gamma = 0.025f;
+  jcfg.allow_repeat = allow_repeat;  // ablation: repeat-allowed JSMA
+  const attack::Jsma jsma(jcfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jsma.craft(net, x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_JsmaCraft)->Arg(0)->Arg(1);
+
+void BM_CountTransform(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(7);
+  math::Matrix counts(rows, 491);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    counts.data()[i] = static_cast<float>(rng.poisson(2.0));
+  features::CountTransform t;
+  t.fit(counts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.apply(counts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rows);
+}
+BENCHMARK(BM_CountTransform)->Arg(256)->Arg(1024);
+
+void BM_PcaFit(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const math::Matrix x = random_matrix(512, 491, 8);
+  for (auto _ : state) {
+    math::Pca pca;
+    pca.fit(x, k);
+    benchmark::DoNotOptimize(pca.components());
+  }
+}
+BENCHMARK(BM_PcaFit)->Arg(8)->Arg(19);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const data::GenerativeModel gen(data::ApiVocab::instance(),
+                                  data::GenerativeConfig{});
+  math::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate_dataset(n / 2, n / 2, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(128)->Arg(512);
+
+void BM_LogRoundTrip(benchmark::State& state) {
+  const data::GenerativeModel gen(data::ApiVocab::instance(),
+                                  data::GenerativeConfig{});
+  math::Rng rng(10);
+  const data::ApiLog log = gen.generate_log(1, "bench.exe", rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::log_from_string(data::log_to_string(log)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(log.calls.size()));
+}
+BENCHMARK(BM_LogRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

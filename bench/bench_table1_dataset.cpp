@@ -1,0 +1,80 @@
+// Reproduces Table I (the dataset), Table II (log excerpt) and Table III
+// (API feature excerpt).
+//
+//   ./bench_table1_dataset [tiny|fast|full]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/api_log.hpp"
+#include "eval/report.hpp"
+
+using namespace mev;
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_scale(argc, argv);
+  const auto& vocab = data::ApiVocab::instance();
+
+  // ---- Table I -----------------------------------------------------------
+  const auto spec = config.dataset_spec();
+  const auto paper = data::DatasetSpec::paper();
+  eval::Table t1("TABLE I: THE DATASET (paper vs this run)");
+  t1.header({"Dataset", "paper samples", "this run"});
+  t1.row({"Training Set",
+          std::to_string(paper.train_total()) + " (" +
+              std::to_string(paper.train_clean) + " clean / " +
+              std::to_string(paper.train_malware) + " malware)",
+          std::to_string(spec.train_total()) + " (" +
+              std::to_string(spec.train_clean) + " clean / " +
+              std::to_string(spec.train_malware) + " malware)"});
+  t1.row({"Validation Set",
+          std::to_string(paper.val_total()) + " (" +
+              std::to_string(paper.val_clean) + " / " +
+              std::to_string(paper.val_malware) + ")",
+          std::to_string(spec.val_total()) + " (" +
+              std::to_string(spec.val_clean) + " / " +
+              std::to_string(spec.val_malware) + ")"});
+  t1.row({"Test Set",
+          std::to_string(paper.test_total()) + " (" +
+              std::to_string(paper.test_clean) + " / " +
+              std::to_string(paper.test_malware) + ")",
+          std::to_string(spec.test_total()) + " (" +
+              std::to_string(spec.test_clean) + " / " +
+              std::to_string(spec.test_malware) + ")"});
+  std::cout << t1.render() << "\n";
+
+  // Verify the generated bundle matches the spec exactly.
+  data::GenerativeModel generator(vocab, data::GenerativeConfig{});
+  math::Rng rng(config.seed);
+  const auto bundle = generator.generate_bundle(spec, rng);
+  std::cout << "generated: train=" << bundle.train.size() << " ("
+            << bundle.train.count_label(data::kCleanLabel) << " clean / "
+            << bundle.train.count_label(data::kMalwareLabel)
+            << " malware), val=" << bundle.validation.size()
+            << ", test=" << bundle.test.size() << "\n\n";
+
+  // ---- Table II ----------------------------------------------------------
+  std::cout << "TABLE II: EXCERPT OF A LOG FILE (synthetic)\n"
+            << "-------------------------------------------\n";
+  const data::ApiLog log =
+      generator.generate_log(data::kMalwareLabel, "sample_0001.exe", rng);
+  const std::size_t shown = std::min<std::size_t>(log.calls.size(), 10);
+  for (std::size_t i = 0; i < shown; ++i)
+    std::cout << data::format_api_call(log.calls[i]) << "\n";
+  std::cout << "... (" << log.calls.size() << " calls total)\n\n";
+
+  // ---- Table III ---------------------------------------------------------
+  std::cout << "TABLE III: EXCERPT OF THE API FEATURES (indices 475..484)\n"
+            << "----------------------------------------------------------\n";
+  for (std::size_t i = 475; i <= 484 && i < vocab.size(); ++i)
+    std::cout << i << " " << vocab.name(i) << "\n";
+  std::cout << "\nvocabulary size: " << vocab.size()
+            << " (paper: 491 API features)\n";
+
+  // The names the paper prints must all be present.
+  std::cout << "paper-named APIs present: ";
+  bool all = true;
+  for (const auto name : data::paper_api_names())
+    all = all && vocab.contains(name);
+  std::cout << (all ? "yes (all)" : "MISSING SOME") << "\n";
+  return all ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Defense pipeline: attack the detector, harden it with adversarial
+// training (§II-C.1), and show the attack's detection rate recovering.
+//
+//   ./defense_pipeline [tiny|fast|full]
+#include <iostream>
+
+#include "attack/jsma.hpp"
+#include "core/detector.hpp"
+#include "core/experiment_config.hpp"
+#include "data/api_vocab.hpp"
+#include "data/synthetic.hpp"
+#include "defense/adversarial_training.hpp"
+#include "defense/classifier.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+
+using namespace mev;
+
+namespace {
+
+double detection_on(defense::Classifier& clf, const math::Matrix& features) {
+  const auto preds = clf.classify(features);
+  return eval::detection_rate(preds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config =
+      core::ExperimentConfig::from_name(argc > 1 ? argv[1] : "tiny");
+  const auto& vocab = data::ApiVocab::instance();
+  const data::GenerativeModel generator(vocab, data::GenerativeConfig{});
+  math::Rng rng(config.seed);
+
+  std::cout << "[1/4] training the undefended detector...\n";
+  const data::DatasetBundle bundle =
+      generator.generate_bundle(config.dataset_spec(), rng);
+  auto trained = core::train_detector(bundle, config.target_architecture(),
+                                      config.target_training(), vocab);
+  core::MalwareDetector& detector = *trained.detector;
+
+  // Malware test features to attack.
+  const auto malware_rows = bundle.test.indices_of(data::kMalwareLabel);
+  std::vector<std::size_t> rows(
+      malware_rows.begin(),
+      malware_rows.begin() +
+          std::min(malware_rows.size(), config.attack_sample_cap()));
+  const math::Matrix malware_x = trained.test_features.gather_rows(rows);
+
+  std::cout << "[2/4] crafting JSMA adversarial examples (theta=0.1, "
+               "gamma=0.02)...\n";
+  attack::JsmaConfig jsma_cfg;
+  jsma_cfg.theta = 0.1f;
+  jsma_cfg.gamma = 0.02f;  // the paper's adversarial-training operating point
+  const attack::Jsma jsma(jsma_cfg);
+  const attack::AttackResult crafted = jsma.craft(detector.network(), malware_x);
+
+  defense::NetworkClassifier undefended(detector.network_ptr(), "no-defense");
+  const double det_before = detection_on(undefended, crafted.adversarial);
+
+  std::cout << "[3/4] adversarial training (Table V augmentation)...\n";
+  // Fresh clean samples re-balance the augmented set, as in the paper.
+  const data::CountDataset clean_pool = generator.generate_dataset(
+      crafted.adversarial.rows(), 0, rng);
+  const math::Matrix clean_pool_features =
+      detector.features_of_counts(clean_pool.counts);
+  const auto training_set = defense::build_adversarial_training_set(
+      trained.train_features, bundle.train.labels, crafted.adversarial,
+      &clean_pool_features);
+  defense::AdversarialTrainingConfig at_cfg{config.target_architecture(),
+                                            config.target_training()};
+  auto hardened_net = defense::adversarial_training(training_set, at_cfg);
+  defense::NetworkClassifier hardened(hardened_net, "adv-training");
+
+  std::cout << "[4/4] re-evaluating...\n";
+  eval::Table table("Adversarial training: before vs after");
+  table.header({"metric", "no defense", "adv training"});
+  table.row({"detection rate on advex", eval::Table::fmt(det_before),
+             eval::Table::fmt(detection_on(hardened, crafted.adversarial))});
+  table.row({"detection rate on malware",
+             eval::Table::fmt(detection_on(undefended, malware_x)),
+             eval::Table::fmt(detection_on(hardened, malware_x))});
+  // Clean pass rate (1 - false positives) on clean test rows.
+  const auto clean_rows = bundle.test.indices_of(data::kCleanLabel);
+  const math::Matrix clean_x = trained.test_features.gather_rows(clean_rows);
+  table.row({"TNR on clean",
+             eval::Table::fmt(1.0 - detection_on(undefended, clean_x)),
+             eval::Table::fmt(1.0 - detection_on(hardened, clean_x))});
+  std::cout << table.render();
+  std::cout << "augmented training set: " << training_set.stats.total()
+            << " rows (" << training_set.stats.adversarial
+            << " adversarial, " << training_set.stats.duplicates_removed
+            << " duplicates removed)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "attack/attack.hpp"
+
+namespace mev::attack {
+
+double AttackResult::success_rate() const noexcept {
+  if (evaded.empty()) return 0.0;
+  std::size_t n = 0;
+  for (bool e : evaded)
+    if (e) ++n;
+  return static_cast<double>(n) / static_cast<double>(evaded.size());
+}
+
+double AttackResult::mean_features_changed() const noexcept {
+  if (features_changed.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t f : features_changed) s += static_cast<double>(f);
+  return s / static_cast<double>(features_changed.size());
+}
+
+double AttackResult::mean_l2() const noexcept {
+  if (l2_perturbation.empty()) return 0.0;
+  double s = 0.0;
+  for (double d : l2_perturbation) s += d;
+  return s / static_cast<double>(l2_perturbation.size());
+}
+
+}  // namespace mev::attack

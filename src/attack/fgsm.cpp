@@ -1,0 +1,47 @@
+#include "attack/fgsm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "math/linalg.hpp"
+
+namespace mev::attack {
+
+FgsmAddOnly::FgsmAddOnly(FgsmConfig config) : config_(config) {
+  if (config_.theta < 0.0f)
+    throw std::invalid_argument("FgsmAddOnly: theta must be non-negative");
+}
+
+AttackResult FgsmAddOnly::craft(nn::Network& model,
+                                const math::Matrix& x) const {
+  const std::size_t n = x.rows(), m = x.cols();
+  AttackResult result;
+  result.adversarial = x;
+  result.evaded.assign(n, false);
+  result.features_changed.assign(n, 0);
+  result.l2_perturbation.assign(n, 0.0);
+  if (n == 0) return result;
+
+  const math::Matrix grad =
+      model.input_gradient(x, config_.target_class);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t changed = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (grad(i, j) <= 0.0f) continue;  // add-only, toward target class
+      float& value = result.adversarial(i, j);
+      if (value >= 1.0f) continue;
+      value = std::min(1.0f, value + config_.theta);
+      ++changed;
+    }
+    result.features_changed[i] = changed;
+    result.l2_perturbation[i] =
+        math::l2_distance(x.row(i), result.adversarial.row(i));
+  }
+
+  const auto preds = model.predict(result.adversarial);
+  for (std::size_t i = 0; i < n; ++i)
+    result.evaded[i] = preds[i] == config_.target_class;
+  return result;
+}
+
+}  // namespace mev::attack

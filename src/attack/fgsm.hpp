@@ -1,0 +1,34 @@
+// Add-only FGSM (Goodfellow et al. 2015), provided as an extension/ablation:
+// a single gradient-sign step toward the target class, restricted to the
+// non-decreasing direction so malware functionality is preserved.
+//
+//   X' = clamp(X + theta * 1[dF_target/dX > 0], 0, 1)
+//
+// Unlike JSMA it perturbs every admissible feature at once, so it trades
+// perturbation sparsity for speed — the comparison against JSMA is an
+// ablation DESIGN.md §5 calls out.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace mev::attack {
+
+struct FgsmConfig {
+  float theta = 0.1f;
+  int target_class = 0;
+};
+
+class FgsmAddOnly final : public EvasionAttack {
+ public:
+  explicit FgsmAddOnly(FgsmConfig config);
+
+  AttackResult craft(nn::Network& model, const math::Matrix& x) const override;
+  std::string name() const override { return "fgsm-add-only"; }
+
+  const FgsmConfig& config() const noexcept { return config_; }
+
+ private:
+  FgsmConfig config_;
+};
+
+}  // namespace mev::attack

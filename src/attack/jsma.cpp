@@ -1,0 +1,144 @@
+#include "attack/jsma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linalg.hpp"
+
+namespace mev::attack {
+
+Jsma::Jsma(JsmaConfig config) : config_(config) {
+  if (config_.theta < 0.0f)
+    throw std::invalid_argument("Jsma: theta must be non-negative");
+  if (config_.gamma < 0.0f || config_.gamma > 1.0f)
+    throw std::invalid_argument("Jsma: gamma must be in [0, 1]");
+}
+
+std::size_t Jsma::feature_budget(std::size_t num_features) const noexcept {
+  return static_cast<std::size_t>(
+      std::lround(static_cast<double>(config_.gamma) *
+                  static_cast<double>(num_features)));
+}
+
+math::Matrix Jsma::saliency_map(const std::vector<math::Matrix>& grads,
+                                int target_class) {
+  if (grads.empty()) throw std::invalid_argument("saliency_map: no gradients");
+  const auto t = static_cast<std::size_t>(target_class);
+  if (t >= grads.size())
+    throw std::invalid_argument("saliency_map: target class out of range");
+  const std::size_t rows = grads[0].rows(), cols = grads[0].cols();
+  math::Matrix saliency(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const float target_grad = grads[t](i, j);
+      float other = 0.0f;
+      for (std::size_t c = 0; c < grads.size(); ++c)
+        if (c != t) other += grads[c](i, j);
+      // Admissible iff increasing X_j raises the target class and lowers
+      // the others.
+      saliency(i, j) =
+          (target_grad < 0.0f || other > 0.0f) ? 0.0f
+                                               : target_grad * std::abs(other);
+    }
+  }
+  return saliency;
+}
+
+AttackResult Jsma::craft(nn::Network& model, const math::Matrix& x) const {
+  const std::size_t n = x.rows(), m = x.cols();
+  AttackResult result;
+  result.adversarial = x;
+  result.evaded.assign(n, false);
+  result.features_changed.assign(n, 0);
+  result.l2_perturbation.assign(n, 0.0);
+  const std::size_t budget = feature_budget(m);
+  if (n == 0 || budget == 0 || config_.theta == 0.0f) {
+    // Zero-strength attack: evaded iff already misclassified.
+    if (n > 0) {
+      const auto preds = model.predict(x);
+      for (std::size_t i = 0; i < n; ++i)
+        result.evaded[i] = preds[i] == config_.target_class;
+    }
+    return result;
+  }
+
+  // Per-sample bookkeeping.
+  std::vector<std::vector<bool>> perturbed(n, std::vector<bool>(m, false));
+  std::vector<bool> active(n, true);
+  if (config_.early_stop) {
+    const auto preds = model.predict(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (preds[i] == config_.target_class) {
+        result.evaded[i] = true;
+        active[i] = false;
+      }
+    }
+  }
+
+  for (std::size_t iter = 0; iter < budget; ++iter) {
+    // Gather the still-active rows into one batch for a single
+    // forward/backward sweep.
+    std::vector<std::size_t> active_rows;
+    for (std::size_t i = 0; i < n; ++i)
+      if (active[i]) active_rows.push_back(i);
+    if (active_rows.empty()) break;
+
+    const math::Matrix batch = result.adversarial.gather_rows(active_rows);
+    const auto grads = model.input_gradients_all(batch);
+    const math::Matrix saliency = saliency_map(grads, config_.target_class);
+
+    for (std::size_t bi = 0; bi < active_rows.size(); ++bi) {
+      const std::size_t i = active_rows[bi];
+      // Pick the admissible feature with the maximum saliency. Add-only:
+      // a feature already at 1 cannot be increased further.
+      float best = 0.0f;
+      std::size_t best_j = m;  // sentinel: none admissible
+      for (std::size_t j = 0; j < m; ++j) {
+        if (!config_.allow_repeat && perturbed[i][j]) continue;
+        if (result.adversarial(i, j) >= 1.0f) continue;
+        const float s = saliency(bi, j);
+        if (s > best) {
+          best = s;
+          best_j = j;
+        }
+      }
+      if (best_j == m) {
+        active[i] = false;  // saliency map exhausted
+        continue;
+      }
+      float& value = result.adversarial(i, best_j);
+      value = std::min(1.0f, value + config_.theta);
+      if (!perturbed[i][best_j]) {
+        perturbed[i][best_j] = true;
+        ++result.features_changed[i];
+      }
+    }
+
+    if (config_.early_stop) {
+      std::vector<std::size_t> check_rows;
+      for (std::size_t i = 0; i < n; ++i)
+        if (active[i]) check_rows.push_back(i);
+      if (check_rows.empty()) break;
+      const auto preds =
+          model.predict(result.adversarial.gather_rows(check_rows));
+      for (std::size_t bi = 0; bi < check_rows.size(); ++bi) {
+        if (preds[bi] == config_.target_class) {
+          result.evaded[check_rows[bi]] = true;
+          active[check_rows[bi]] = false;
+        }
+      }
+    }
+  }
+
+  // Final verdicts and perturbation sizes.
+  const auto final_preds = model.predict(result.adversarial);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.evaded[i] = final_preds[i] == config_.target_class;
+    result.l2_perturbation[i] =
+        math::l2_distance(x.row(i), result.adversarial.row(i));
+  }
+  return result;
+}
+
+}  // namespace mev::attack

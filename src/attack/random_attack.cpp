@@ -1,0 +1,59 @@
+#include "attack/random_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "math/linalg.hpp"
+#include "math/rng.hpp"
+
+namespace mev::attack {
+
+RandomAddition::RandomAddition(RandomAdditionConfig config) : config_(config) {
+  if (config_.theta < 0.0f)
+    throw std::invalid_argument("RandomAddition: theta must be non-negative");
+  if (config_.gamma < 0.0f || config_.gamma > 1.0f)
+    throw std::invalid_argument("RandomAddition: gamma must be in [0, 1]");
+}
+
+AttackResult RandomAddition::craft(nn::Network& model,
+                                   const math::Matrix& x) const {
+  const std::size_t n = x.rows(), m = x.cols();
+  const auto budget = static_cast<std::size_t>(
+      std::lround(static_cast<double>(config_.gamma) *
+                  static_cast<double>(m)));
+  AttackResult result;
+  result.adversarial = x;
+  result.evaded.assign(n, false);
+  result.features_changed.assign(n, 0);
+  result.l2_perturbation.assign(n, 0.0);
+
+  math::Rng rng(config_.seed);
+  std::vector<std::size_t> all_features(m);
+  for (std::size_t j = 0; j < m; ++j) all_features[j] = j;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    rng.shuffle(all_features);
+    std::size_t used = 0;
+    for (std::size_t j : all_features) {
+      if (used >= budget) break;
+      float& value = result.adversarial(i, j);
+      if (value >= 1.0f) continue;  // add-only: saturated features skip
+      value = std::min(1.0f, value + config_.theta);
+      ++used;
+    }
+    result.features_changed[i] = used;
+    result.l2_perturbation[i] =
+        math::l2_distance(x.row(i), result.adversarial.row(i));
+  }
+
+  if (n > 0) {
+    const auto preds = model.predict(result.adversarial);
+    for (std::size_t i = 0; i < n; ++i)
+      result.evaded[i] = preds[i] == config_.target_class;
+  }
+  return result;
+}
+
+}  // namespace mev::attack

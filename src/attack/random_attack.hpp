@@ -1,0 +1,34 @@
+// Random-addition baseline: perturbs the same feature budget as JSMA but
+// picks the features uniformly at random. The paper uses this control to
+// show "randomly adding features does not decrease the detection rates"
+// (§III-A) — i.e. JSMA's gradient guidance, not the perturbation mass,
+// causes the evasion.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/attack.hpp"
+
+namespace mev::attack {
+
+struct RandomAdditionConfig {
+  float theta = 0.1f;
+  float gamma = 0.025f;
+  int target_class = 0;
+  std::uint64_t seed = 99;
+};
+
+class RandomAddition final : public EvasionAttack {
+ public:
+  explicit RandomAddition(RandomAdditionConfig config);
+
+  AttackResult craft(nn::Network& model, const math::Matrix& x) const override;
+  std::string name() const override { return "random-addition"; }
+
+  const RandomAdditionConfig& config() const noexcept { return config_; }
+
+ private:
+  RandomAdditionConfig config_;
+};
+
+}  // namespace mev::attack

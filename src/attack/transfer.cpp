@@ -1,0 +1,25 @@
+#include "attack/transfer.hpp"
+
+#include "data/dataset.hpp"
+
+namespace mev::attack {
+
+TransferResult evaluate_transfer(nn::Network& target_model,
+                                 const AttackResult& crafted) {
+  TransferResult result;
+  result.total = crafted.size();
+  result.craft_success_rate = crafted.success_rate();
+  if (result.total == 0) return result;
+
+  const auto preds = target_model.predict(crafted.adversarial);
+  std::size_t detected = 0;
+  for (int p : preds)
+    if (p == data::kMalwareLabel) ++detected;
+  result.target_detection_rate =
+      static_cast<double>(detected) / static_cast<double>(result.total);
+  result.transfer_rate = 1.0 - result.target_detection_rate;
+  result.evaded_count = result.total - detected;
+  return result;
+}
+
+}  // namespace mev::attack

@@ -1,0 +1,22 @@
+// Transferability evaluation (§II-B.2): adversarial examples crafted on
+// one model are deployed against another. Transfer rate = fraction of
+// crafted examples that the TARGET model classifies as clean.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace mev::attack {
+
+struct TransferResult {
+  double craft_success_rate = 0.0;   // evasion rate on the craft model
+  double target_detection_rate = 0.0;  // detection rate on the target model
+  double transfer_rate = 0.0;        // 1 - target_detection_rate
+  std::size_t evaded_count = 0;      // #examples evading the target
+  std::size_t total = 0;
+};
+
+/// Evaluates crafted examples against a (different) target model.
+TransferResult evaluate_transfer(nn::Network& target_model,
+                                 const AttackResult& crafted);
+
+}  // namespace mev::attack

@@ -1,0 +1,99 @@
+#include "core/blackbox.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mev::core {
+
+std::vector<int> DetectorOracle::label_counts(const math::Matrix& counts) {
+  record_queries(counts.rows());
+  const auto verdicts = detector_->scan_counts(counts);
+  std::vector<int> labels(verdicts.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i)
+    labels[i] = verdicts[i].predicted_class;
+  return labels;
+}
+
+math::Matrix realize_counts(const features::CountTransform& transform,
+                            const math::Matrix& features) {
+  math::Matrix counts(features.rows(), features.cols());
+  for (std::size_t r = 0; r < features.rows(); ++r)
+    for (std::size_t c = 0; c < features.cols(); ++c)
+      counts(r, c) = static_cast<float>(
+          transform.counts_for_feature_value(c, features(r, c)));
+  return counts;
+}
+
+BlackBoxResult run_blackbox_framework(CountOracle& oracle,
+                                      const math::Matrix& seed_counts,
+                                      const BlackBoxConfig& config) {
+  if (seed_counts.rows() == 0)
+    throw std::invalid_argument("run_blackbox_framework: empty seed set");
+  if (config.substitute_architecture.dims.empty() ||
+      config.substitute_architecture.dims.front() != seed_counts.cols())
+    throw std::invalid_argument(
+        "run_blackbox_framework: substitute input dim mismatch");
+
+  BlackBoxResult result;
+  result.attacker_transform.fit(seed_counts);
+
+  math::Matrix counts = seed_counts;  // the attacker's growing sample set
+  result.substitute = std::make_shared<nn::Network>(
+      nn::make_mlp(config.substitute_architecture));
+
+  for (std::size_t round = 0; round <= config.augmentation_rounds; ++round) {
+    // 1. Oracle labels for the current sample set.
+    const std::vector<int> labels = oracle.label_counts(counts);
+    const math::Matrix features = result.attacker_transform.apply(counts);
+
+    // 2. (Re)train the substitute from scratch on the labelled set; a fresh
+    //    model per round avoids inheriting a bad early fit.
+    *result.substitute =
+        nn::make_mlp(config.substitute_architecture);
+    nn::LabeledData train_data{features, labels};
+    nn::train(*result.substitute, train_data, config.training_per_round);
+
+    BlackBoxRoundStats stats;
+    stats.dataset_rows = counts.rows();
+    stats.oracle_queries = oracle.queries();
+    stats.oracle_agreement =
+        nn::accuracy(*result.substitute, features, labels);
+    result.rounds.push_back(stats);
+
+    if (round == config.augmentation_rounds) break;
+    if (counts.rows() * 2 > config.max_dataset_rows) break;
+
+    // 3. Jacobian-based augmentation: push each point along the sign of
+    //    the substitute's gradient for its ORACLE label, realize to
+    //    integer counts, and append.
+    math::Matrix augmented = counts;
+    for (int cls : {data::kCleanLabel, data::kMalwareLabel}) {
+      std::vector<std::size_t> rows_of_cls;
+      for (std::size_t i = 0; i < labels.size(); ++i)
+        if (labels[i] == cls) rows_of_cls.push_back(i);
+      if (rows_of_cls.empty()) continue;
+      const math::Matrix subset = features.gather_rows(rows_of_cls);
+      const math::Matrix grad =
+          result.substitute->input_gradient(subset, cls);
+      math::Matrix moved = subset;
+      for (std::size_t i = 0; i < moved.rows(); ++i)
+        for (std::size_t j = 0; j < moved.cols(); ++j) {
+          const float g = grad(i, j);
+          const float step =
+              g > 0.0f ? config.lambda : (g < 0.0f ? -config.lambda : 0.0f);
+          moved(i, j) = std::clamp(moved(i, j) + step, 0.0f, 1.0f);
+        }
+      const math::Matrix new_counts =
+          realize_counts(result.attacker_transform, moved);
+      for (std::size_t i = 0; i < new_counts.rows(); ++i)
+        augmented.append_row(new_counts.row(i));
+    }
+    counts = std::move(augmented);
+  }
+
+  result.total_queries = oracle.queries();
+  return result;
+}
+
+}  // namespace mev::core

@@ -1,0 +1,92 @@
+// Black-box attack framework (paper Fig. 2, proposed as future work; built
+// here following Papernot et al. 2017's practical black-box attack):
+//
+//   1. the attacker holds a small SEED set of its own samples (counts);
+//   2. the TARGET detector is reachable only as a label oracle;
+//   3. the attacker trains a substitute on oracle labels, then grows its
+//      dataset by Jacobian-based augmentation: for each sample x, add
+//      x' = clamp(x + lambda * sign(dF_y(x)/dx)) — points pushed toward
+//      the substitute's decision boundary, where oracle labels are most
+//      informative;
+//   4. after the final round, JSMA on the substitute yields adversarial
+//      examples that transfer to the target.
+//
+// Every feature-space point is REALIZED back into an integer API-count
+// vector before querying the oracle (the attacker can only submit actual
+// samples), via the attacker transform's inverse.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "data/dataset.hpp"
+#include "features/pipeline.hpp"
+#include "features/transform.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+
+namespace mev::core {
+
+/// A label-only view of the target system.
+class CountOracle {
+ public:
+  virtual ~CountOracle() = default;
+
+  /// Labels raw count rows (0 clean / 1 malware). Each call counts
+  /// row-count queries.
+  virtual std::vector<int> label_counts(const math::Matrix& counts) = 0;
+
+  std::size_t queries() const noexcept { return queries_; }
+
+ protected:
+  void record_queries(std::size_t n) noexcept { queries_ += n; }
+
+ private:
+  std::size_t queries_ = 0;
+};
+
+/// Wraps a MalwareDetector as the oracle.
+class DetectorOracle final : public CountOracle {
+ public:
+  explicit DetectorOracle(MalwareDetector& detector) : detector_(&detector) {}
+  std::vector<int> label_counts(const math::Matrix& counts) override;
+
+ private:
+  MalwareDetector* detector_;
+};
+
+struct BlackBoxConfig {
+  std::size_t augmentation_rounds = 4;
+  float lambda = 0.1f;                 // augmentation step size
+  nn::MlpConfig substitute_architecture;  // input dim must match vocab size
+  nn::TrainConfig training_per_round;
+  /// Stop augmenting when the dataset reaches this many rows.
+  std::size_t max_dataset_rows = 8192;
+};
+
+struct BlackBoxRoundStats {
+  std::size_t dataset_rows = 0;
+  std::size_t oracle_queries = 0;   // cumulative
+  double oracle_agreement = 0.0;    // substitute vs oracle on this round's set
+};
+
+struct BlackBoxResult {
+  std::shared_ptr<nn::Network> substitute;
+  features::CountTransform attacker_transform;  // fit on the seed counts
+  std::vector<BlackBoxRoundStats> rounds;
+  std::size_t total_queries = 0;
+};
+
+/// Inverts the attacker's count transform feature-wise, producing the
+/// smallest integer count vector whose features dominate `features`.
+math::Matrix realize_counts(const features::CountTransform& transform,
+                            const math::Matrix& features);
+
+/// Runs the Fig. 2 loop. `seed_counts` are the attacker's own samples
+/// (labels unknown to the attacker; the oracle provides them).
+BlackBoxResult run_blackbox_framework(CountOracle& oracle,
+                                      const math::Matrix& seed_counts,
+                                      const BlackBoxConfig& config);
+
+}  // namespace mev::core

@@ -1,0 +1,108 @@
+#include "core/greybox.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mev::core {
+
+math::Matrix additions_from_count_perturbation(
+    const features::CountTransform& attacker_transform,
+    const math::Matrix& original_features, const math::Matrix& adversarial) {
+  if (!original_features.same_shape(adversarial))
+    throw std::invalid_argument(
+        "additions_from_count_perturbation: shape mismatch");
+  math::Matrix additions(original_features.rows(), original_features.cols());
+  for (std::size_t r = 0; r < original_features.rows(); ++r) {
+    for (std::size_t c = 0; c < original_features.cols(); ++c) {
+      const float delta = adversarial(r, c) - original_features(r, c);
+      if (delta <= 0.0f) continue;  // add-only
+      const auto before =
+          attacker_transform.counts_for_feature_value(c, original_features(r, c));
+      const auto after =
+          attacker_transform.counts_for_feature_value(c, adversarial(r, c));
+      additions(r, c) =
+          static_cast<float>(after > before ? after - before : 1);
+    }
+  }
+  return additions;
+}
+
+math::Matrix additions_from_binary_perturbation(
+    const math::Matrix& original_features, const math::Matrix& adversarial) {
+  if (!original_features.same_shape(adversarial))
+    throw std::invalid_argument(
+        "additions_from_binary_perturbation: shape mismatch");
+  math::Matrix additions(original_features.rows(), original_features.cols());
+  for (std::size_t r = 0; r < original_features.rows(); ++r)
+    for (std::size_t c = 0; c < original_features.cols(); ++c)
+      // Any increase on an absent API means "call it once".
+      if (adversarial(r, c) > original_features(r, c) &&
+          original_features(r, c) < 0.5f)
+        additions(r, c) = 1.0f;
+  return additions;
+}
+
+namespace {
+
+/// Shared deploy step: counts + additions -> target features.
+math::Matrix deploy_counts(const features::FeaturePipeline& target_pipeline,
+                           const math::Matrix& counts,
+                           const math::Matrix& additions) {
+  math::Matrix final_counts = counts;
+  final_counts += additions;
+  return target_pipeline.features_from_counts(final_counts);
+}
+
+}  // namespace
+
+FeatureSpaceMap make_greybox_count_map(
+    features::CountTransform attacker_transform,
+    features::FeaturePipeline target_pipeline, math::Matrix malware_counts) {
+  auto transform = std::make_shared<features::CountTransform>(
+      std::move(attacker_transform));
+  auto pipeline =
+      std::make_shared<features::FeaturePipeline>(std::move(target_pipeline));
+  auto counts = std::make_shared<math::Matrix>(std::move(malware_counts));
+  auto craft_features =
+      std::make_shared<math::Matrix>(transform->apply(*counts));
+
+  FeatureSpaceMap map;
+  // The sweep hands us target-space features; the attacker crafts from its
+  // own view of the same raw samples, so ignore the input and return the
+  // captured attacker-space features.
+  map.to_craft_space = [craft_features](const math::Matrix&) {
+    return *craft_features;
+  };
+  map.to_target_space = [transform, pipeline, counts,
+                         craft_features](const math::Matrix& adversarial) {
+    const math::Matrix additions = additions_from_count_perturbation(
+        *transform, *craft_features, adversarial);
+    return deploy_counts(*pipeline, *counts, additions);
+  };
+  return map;
+}
+
+FeatureSpaceMap make_greybox_binary_map(features::FeaturePipeline target_pipeline,
+                                        math::Matrix malware_counts) {
+  auto pipeline =
+      std::make_shared<features::FeaturePipeline>(std::move(target_pipeline));
+  auto counts = std::make_shared<math::Matrix>(std::move(malware_counts));
+  const features::BinaryTransform binary(counts->cols());
+  auto craft_features =
+      std::make_shared<math::Matrix>(binary.apply(*counts));
+
+  FeatureSpaceMap map;
+  map.to_craft_space = [craft_features](const math::Matrix&) {
+    return *craft_features;
+  };
+  map.to_target_space = [pipeline, counts,
+                         craft_features](const math::Matrix& adversarial) {
+    const math::Matrix additions =
+        additions_from_binary_perturbation(*craft_features, adversarial);
+    return deploy_counts(*pipeline, *counts, additions);
+  };
+  return map;
+}
+
+}  // namespace mev::core

@@ -1,0 +1,43 @@
+// Grey-box deployment maps (§III-B): the attacker crafts perturbations in
+// ITS OWN feature space (its transform, fit on its own data), then must
+// realize them as actual API-call additions before the target sees them.
+//
+// Realization: compare the attacker-space adversarial row with the
+// attacker-space original, convert the increase back to "add API j k
+// times" (integers, add-only), apply those additions to the original raw
+// counts, and re-extract features with the TARGET pipeline. This is the
+// same path the paper's live test walks manually.
+#pragma once
+
+#include <memory>
+
+#include "core/security_eval.hpp"
+#include "features/pipeline.hpp"
+#include "features/transform.hpp"
+#include "math/matrix.hpp"
+
+namespace mev::core {
+
+/// Integer API-call additions implied by an attacker-space perturbation.
+/// For a count transform: k_j = ceil(counts(adv_j) - counts(orig_j)).
+/// For a binary transform: one call per newly-activated feature.
+math::Matrix additions_from_count_perturbation(
+    const features::CountTransform& attacker_transform,
+    const math::Matrix& original_features, const math::Matrix& adversarial);
+
+math::Matrix additions_from_binary_perturbation(
+    const math::Matrix& original_features, const math::Matrix& adversarial);
+
+/// Builds the craft/deploy map for the exact-feature grey-box attacker.
+/// `malware_counts` are the raw counts of the attacked rows (row-aligned
+/// with the sweep's malware_features); copies are captured by value.
+FeatureSpaceMap make_greybox_count_map(
+    features::CountTransform attacker_transform,
+    features::FeaturePipeline target_pipeline, math::Matrix malware_counts);
+
+/// Builds the craft/deploy map for the binary-feature attacker
+/// (Fig. 4(c)).
+FeatureSpaceMap make_greybox_binary_map(
+    features::FeaturePipeline target_pipeline, math::Matrix malware_counts);
+
+}  // namespace mev::core

@@ -1,0 +1,66 @@
+#include "core/persistence.hpp"
+
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "features/transform.hpp"
+
+namespace mev::core {
+
+void save_detector(const MalwareDetector& detector,
+                   const std::string& path_prefix) {
+  // Network (binary).
+  nn::save_network(
+      const_cast<MalwareDetector&>(detector).network(),  // read-only use
+      path_prefix + ".net");
+
+  // Transform (text, tagged by type).
+  std::ofstream ts(path_prefix + ".transform");
+  if (!ts)
+    throw std::runtime_error("save_detector: cannot open " + path_prefix +
+                             ".transform");
+  const features::FeatureTransform& transform =
+      detector.pipeline().transform();
+  if (const auto* count =
+          dynamic_cast<const features::CountTransform*>(&transform)) {
+    ts << "count\n";
+    count->save(ts);
+  } else if (transform.name() == "binary") {
+    ts << "binary\n" << transform.dim() << "\n";
+  } else {
+    throw std::runtime_error("save_detector: unsupported transform " +
+                             transform.name());
+  }
+  if (!ts) throw std::runtime_error("save_detector: write failure");
+}
+
+std::unique_ptr<MalwareDetector> load_detector(const std::string& path_prefix,
+                                               const data::ApiVocab& vocab) {
+  auto network = std::make_shared<nn::Network>(
+      nn::load_network(path_prefix + ".net"));
+
+  std::ifstream ts(path_prefix + ".transform");
+  if (!ts)
+    throw std::runtime_error("load_detector: cannot open " + path_prefix +
+                             ".transform");
+  std::string kind;
+  if (!(ts >> kind)) throw std::runtime_error("load_detector: empty transform");
+  std::unique_ptr<features::FeatureTransform> transform;
+  if (kind == "count") {
+    transform = std::make_unique<features::CountTransform>(
+        features::CountTransform::load(ts));
+  } else if (kind == "binary") {
+    std::size_t dim = 0;
+    if (!(ts >> dim))
+      throw std::runtime_error("load_detector: bad binary transform");
+    transform = std::make_unique<features::BinaryTransform>(dim);
+  } else {
+    throw std::runtime_error("load_detector: unknown transform " + kind);
+  }
+  return std::make_unique<MalwareDetector>(
+      features::FeaturePipeline(vocab, std::move(transform)),
+      std::move(network));
+}
+
+}  // namespace mev::core

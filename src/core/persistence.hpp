@@ -1,0 +1,25 @@
+// Detector persistence: a trained MalwareDetector (count transform + DNN)
+// round-trips through two files so a deployment can load the exact model
+// the evaluation measured.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/detector.hpp"
+
+namespace mev::core {
+
+/// Writes `<path_prefix>.net` (binary network) and `<path_prefix>.transform`
+/// (text transform). Supports CountTransform- and BinaryTransform-based
+/// pipelines; throws std::runtime_error on I/O failure or unknown
+/// transform types.
+void save_detector(const MalwareDetector& detector,
+                   const std::string& path_prefix);
+
+/// Loads a detector saved by save_detector, binding it to `vocab` (which
+/// must have the same size the detector was trained with).
+std::unique_ptr<MalwareDetector> load_detector(const std::string& path_prefix,
+                                               const data::ApiVocab& vocab);
+
+}  // namespace mev::core

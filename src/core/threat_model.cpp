@@ -1,0 +1,14 @@
+#include "core/threat_model.hpp"
+
+namespace mev::core {
+
+std::string to_string(ThreatModel model) {
+  switch (model) {
+    case ThreatModel::kWhiteBox: return "white-box";
+    case ThreatModel::kGreyBox: return "grey-box";
+    case ThreatModel::kBlackBox: return "black-box";
+  }
+  return "unknown";
+}
+
+}  // namespace mev::core

@@ -1,0 +1,51 @@
+// Threat models (§II-B): what the attacker knows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mev::core {
+
+enum class ThreatModel : std::uint8_t {
+  /// Complete knowledge: training data, features, model architecture and
+  /// parameters. JSMA runs directly against the target.
+  kWhiteBox = 0,
+  /// No knowledge of training data or model; knowledge of the feature
+  /// space. JSMA runs against a self-trained substitute and transfers.
+  kGreyBox = 1,
+  /// No knowledge at all; the target is only reachable as a label oracle
+  /// (Fig. 2 framework).
+  kBlackBox = 2,
+};
+
+std::string to_string(ThreatModel model);
+
+/// Fine-grained knowledge flags, for describing grey-box sub-variants
+/// (e.g. the paper's binary-feature attacker knows API names but not the
+/// count transformation).
+struct AttackerKnowledge {
+  bool training_data = false;
+  bool feature_set = false;
+  bool feature_transform = false;
+  bool model_architecture = false;
+  bool model_parameters = false;
+
+  static AttackerKnowledge white_box() noexcept {
+    return {true, true, true, true, true};
+  }
+  static AttackerKnowledge grey_box_exact_features() noexcept {
+    return {false, true, true, false, false};
+  }
+  static AttackerKnowledge grey_box_api_names_only() noexcept {
+    return {false, true, false, false, false};
+  }
+  static AttackerKnowledge black_box() noexcept { return {}; }
+
+  ThreatModel threat_model() const noexcept {
+    if (model_parameters && training_data) return ThreatModel::kWhiteBox;
+    if (feature_set) return ThreatModel::kGreyBox;
+    return ThreatModel::kBlackBox;
+  }
+};
+
+}  // namespace mev::core

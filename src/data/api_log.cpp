@@ -1,0 +1,140 @@
+#include "data/api_log.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/api_vocab.hpp"
+
+namespace mev::data {
+
+std::string to_string(OsVariant os) {
+  switch (os) {
+    case OsVariant::kWin7: return "Win7";
+    case OsVariant::kWinXp: return "WinXP";
+    case OsVariant::kWin8: return "Win8";
+    case OsVariant::kWin10: return "Win10";
+  }
+  return "Win7";
+}
+
+OsVariant os_variant_from_string(std::string_view s) {
+  if (s == "Win7") return OsVariant::kWin7;
+  if (s == "WinXP") return OsVariant::kWinXp;
+  if (s == "Win8") return OsVariant::kWin8;
+  if (s == "Win10") return OsVariant::kWin10;
+  throw std::runtime_error("os_variant_from_string: unknown variant");
+}
+
+std::size_t ApiLog::count_api(std::string_view api_name) const {
+  const std::string wanted = to_lower_ascii(api_name);
+  std::size_t n = 0;
+  for (const auto& call : calls)
+    if (to_lower_ascii(call.api) == wanted) ++n;
+  return n;
+}
+
+void ApiLog::append_calls(std::string_view api_name, std::size_t repeat,
+                          std::uint32_t thread_id) {
+  const std::uint32_t tid =
+      thread_id != 0 ? thread_id
+                     : (calls.empty() ? 1000u : calls.back().thread_id);
+  const std::uint64_t base =
+      calls.empty() ? 0x140000000ULL : calls.back().address + 0x40;
+  for (std::size_t i = 0; i < repeat; ++i) {
+    ApiCall call;
+    call.api = std::string(api_name);
+    call.address = base + 0x10 * i;
+    call.thread_id = tid;
+    calls.push_back(std::move(call));
+  }
+}
+
+std::string format_api_call(const ApiCall& call) {
+  std::ostringstream os;
+  os << call.api << ':' << std::uppercase << std::hex << call.address
+     << std::dec << " (" << call.args << ")\"" << call.thread_id << '"';
+  return os.str();
+}
+
+ApiCall parse_api_call(std::string_view line) {
+  ApiCall call;
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0)
+    throw std::runtime_error("parse_api_call: missing ':' in line");
+  call.api = std::string(line.substr(0, colon));
+
+  const std::size_t space = line.find(' ', colon + 1);
+  if (space == std::string_view::npos)
+    throw std::runtime_error("parse_api_call: missing address separator");
+  const std::string_view addr = line.substr(colon + 1, space - colon - 1);
+  {
+    const auto [ptr, ec] = std::from_chars(
+        addr.data(), addr.data() + addr.size(), call.address, 16);
+    if (ec != std::errc{} || ptr != addr.data() + addr.size())
+      throw std::runtime_error("parse_api_call: bad address");
+  }
+
+  // Trailing `"<tid>"`.
+  const std::size_t last_quote = line.rfind('"');
+  if (last_quote == std::string_view::npos || last_quote + 1 != line.size())
+    throw std::runtime_error("parse_api_call: missing trailing quote");
+  const std::size_t tid_quote = line.rfind('"', last_quote - 1);
+  if (tid_quote == std::string_view::npos || tid_quote <= space)
+    throw std::runtime_error("parse_api_call: missing thread id");
+  const std::string_view tid =
+      line.substr(tid_quote + 1, last_quote - tid_quote - 1);
+  {
+    const auto [ptr, ec] =
+        std::from_chars(tid.data(), tid.data() + tid.size(), call.thread_id);
+    if (ec != std::errc{} || ptr != tid.data() + tid.size())
+      throw std::runtime_error("parse_api_call: bad thread id");
+  }
+
+  // Args: between '(' after the space and the ')' preceding the tid quote.
+  if (space + 1 >= line.size() || line[space + 1] != '(')
+    throw std::runtime_error("parse_api_call: missing '('");
+  if (tid_quote == 0 || line[tid_quote - 1] != ')')
+    throw std::runtime_error("parse_api_call: missing ')'");
+  call.args = std::string(line.substr(space + 2, tid_quote - 1 - (space + 2)));
+  return call;
+}
+
+void write_log(const ApiLog& log, std::ostream& os) {
+  os << "# sample: " << log.sample_name << '\n';
+  os << "# os: " << to_string(log.os) << '\n';
+  for (const auto& call : log.calls) os << format_api_call(call) << '\n';
+}
+
+std::string log_to_string(const ApiLog& log) {
+  std::ostringstream os;
+  write_log(log, os);
+  return os.str();
+}
+
+ApiLog read_log(std::istream& is) {
+  ApiLog log;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      constexpr std::string_view kSample = "# sample: ";
+      constexpr std::string_view kOs = "# os: ";
+      if (line.starts_with(kSample))
+        log.sample_name = line.substr(kSample.size());
+      else if (line.starts_with(kOs))
+        log.os = os_variant_from_string(
+            std::string_view(line).substr(kOs.size()));
+      continue;  // unknown headers are ignored
+    }
+    log.calls.push_back(parse_api_call(line));
+  }
+  return log;
+}
+
+ApiLog log_from_string(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return read_log(is);
+}
+
+}  // namespace mev::data

@@ -1,0 +1,69 @@
+// API-call log files — the raw input of the detection pipeline.
+//
+// The text format matches the paper's Table II excerpt:
+//
+//   GetStartupInfoW:7FEFDD39C37 ()"61468"
+//   GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"
+//
+// i.e. `<api>:<hex return address> (<raw args>)"<thread id>"` per line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mev::data {
+
+enum class OsVariant : std::uint8_t { kWin7 = 0, kWinXp, kWin8, kWin10 };
+
+std::string to_string(OsVariant os);
+OsVariant os_variant_from_string(std::string_view s);
+
+/// One hooked API call.
+struct ApiCall {
+  std::string api;          // API name as logged (mixed case allowed)
+  std::uint64_t address = 0;  // return address
+  std::string args;         // raw argument text, no surrounding parens
+  std::uint32_t thread_id = 0;
+
+  bool operator==(const ApiCall&) const = default;
+};
+
+/// A full log for one PE sample.
+struct ApiLog {
+  std::string sample_name;  // e.g. "sample_000123.exe"
+  OsVariant os = OsVariant::kWin7;
+  std::vector<ApiCall> calls;
+
+  bool operator==(const ApiLog&) const = default;
+
+  std::size_t size() const noexcept { return calls.size(); }
+
+  /// Number of calls whose API name equals `api_name` (case-insensitive).
+  std::size_t count_api(std::string_view api_name) const;
+
+  /// Appends `repeat` calls to `api_name` at the end of the log — the
+  /// programmatic equivalent of the paper's live grey-box test, where a
+  /// researcher adds one API call to the malware source multiple times.
+  void append_calls(std::string_view api_name, std::size_t repeat,
+                    std::uint32_t thread_id = 0);
+};
+
+/// Serializes one call in the Table II line format.
+std::string format_api_call(const ApiCall& call);
+
+/// Parses a Table II-format line. Throws std::runtime_error on malformed
+/// input.
+ApiCall parse_api_call(std::string_view line);
+
+/// Writes a whole log (one call per line); header lines start with '#'.
+void write_log(const ApiLog& log, std::ostream& os);
+std::string log_to_string(const ApiLog& log);
+
+/// Reads a log written by write_log. Unknown '#' headers are ignored.
+ApiLog read_log(std::istream& is);
+ApiLog log_from_string(std::string_view text);
+
+}  // namespace mev::data

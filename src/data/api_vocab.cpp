@@ -1,0 +1,314 @@
+#include "data/api_vocab.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace mev::data {
+
+namespace {
+
+// Curated Win32 API base names (kernel32 / user32 / advapi32 / ws2_32 /
+// wininet / shell32 and friends). Lower-cased during vocabulary build.
+constexpr std::string_view kBaseNames[] = {
+    // Process / thread / module
+    "CreateProcessA", "CreateProcessW", "CreateProcessInternalW", "OpenProcess",
+    "TerminateProcess", "ExitProcess", "GetCurrentProcess",
+    "GetCurrentProcessId", "CreateThread", "CreateRemoteThread", "OpenThread",
+    "TerminateThread", "SuspendThread", "ResumeThread", "GetCurrentThread",
+    "GetCurrentThreadId", "ExitThread", "Sleep", "SleepEx", "SwitchToThread",
+    "GetModuleHandleA", "GetModuleHandleW", "GetModuleHandleExW",
+    "GetModuleFileNameA", "GetModuleFileNameW", "LoadLibraryA", "LoadLibraryW",
+    "LoadLibraryExA", "LoadLibraryExW", "FreeLibrary", "GetProcAddress",
+    "DllsLoad", "DisableThreadLibraryCalls", "CreateToolhelp32Snapshot",
+    "Process32First", "Process32Next", "Thread32First", "Thread32Next",
+    "Module32First", "Module32Next", "QueueUserAPC", "GetExitCodeProcess",
+    "GetExitCodeThread", "WaitForSingleObject", "WaitForSingleObjectEx",
+    "WaitForMultipleObjects", "OpenProcessToken", "AdjustTokenPrivileges",
+    "LookupPrivilegeValueA", "LookupPrivilegeValueW", "ImpersonateLoggedOnUser",
+    "SetThreadContext", "GetThreadContext", "NtUnmapViewOfSection",
+    "IsWow64Process", "GetProcessHeap", "GetProcessTimes",
+    "SetPriorityClass", "GetPriorityClass", "SetThreadPriority",
+    // Memory
+    "VirtualAlloc", "VirtualAllocEx", "VirtualFree", "VirtualFreeEx",
+    "VirtualProtect", "VirtualProtectEx", "VirtualQuery", "VirtualQueryEx",
+    "ReadProcessMemory", "WriteProcessMemory", "HeapCreate", "HeapDestroy",
+    "HeapAlloc", "HeapFree", "HeapReAlloc", "HeapSize", "GlobalAlloc",
+    "GlobalFree", "GlobalLock", "GlobalUnlock", "LocalAlloc", "LocalFree",
+    "MapViewOfFile", "MapViewOfFileEx", "UnmapViewOfFile",
+    "CreateFileMappingA", "CreateFileMappingW", "OpenFileMappingA",
+    "OpenFileMappingW", "FlushViewOfFile", "FlushInstructionCache",
+    // File I/O
+    "CreateFileA", "CreateFileW", "OpenFile", "ReadFile", "ReadFileEx",
+    "WriteFile", "WriteFileEx", "DeleteFileA", "DeleteFileW", "CopyFileA",
+    "CopyFileW", "CopyFileExW", "MoveFileA", "MoveFileW", "MoveFileExA",
+    "MoveFileExW", "GetFileType", "GetFileSize", "GetFileSizeEx",
+    "SetFilePointer", "SetFilePointerEx", "SetEndOfFile", "FlushFileBuffers",
+    "GetFileAttributesA", "GetFileAttributesW", "SetFileAttributesA",
+    "SetFileAttributesW", "GetFileTime", "SetFileTime", "LockFile",
+    "UnlockFile", "FindFirstFileA", "FindFirstFileW", "FindNextFileA",
+    "FindNextFileW", "FindClose", "GetTempPathA", "GetTempPathW",
+    "GetTempFileNameA", "GetTempFileNameW", "CreateDirectoryA",
+    "CreateDirectoryW", "RemoveDirectoryA", "RemoveDirectoryW",
+    "GetCurrentDirectoryA", "GetCurrentDirectoryW", "SetCurrentDirectoryA",
+    "SetCurrentDirectoryW", "GetFullPathNameA", "GetFullPathNameW",
+    "GetLongPathNameW", "GetShortPathNameW", "GetDriveTypeA", "GetDriveTypeW",
+    "GetLogicalDrives", "GetDiskFreeSpaceA", "GetDiskFreeSpaceExW",
+    "DeviceIoControl", "CreateNamedPipeA", "CreateNamedPipeW", "CreatePipe",
+    "ConnectNamedPipe", "DisconnectNamedPipe", "PeekNamedPipe",
+    "TransactNamedPipe", "WaitNamedPipeA", "WaitNamedPipeW",
+    // Registry
+    "RegOpenKeyA", "RegOpenKeyW", "RegOpenKeyExA", "RegOpenKeyExW",
+    "RegCreateKeyA", "RegCreateKeyW", "RegCreateKeyExA", "RegCreateKeyExW",
+    "RegCloseKey", "RegQueryValueA", "RegQueryValueW", "RegQueryValueExA",
+    "RegQueryValueExW", "RegSetValueA", "RegSetValueW", "RegSetValueExA",
+    "RegSetValueExW", "RegDeleteKeyA", "RegDeleteKeyW", "RegDeleteValueA",
+    "RegDeleteValueW", "RegEnumKeyExA", "RegEnumKeyExW", "RegEnumValueA",
+    "RegEnumValueW", "RegQueryInfoKeyA", "RegQueryInfoKeyW", "RegFlushKey",
+    "RegSaveKeyA", "RegLoadKeyW", "RegNotifyChangeKeyValue",
+    // Environment / system info
+    "GetStartupInfoA", "GetStartupInfoW", "GetStdHandle", "SetStdHandle",
+    "GetCommandLineA", "GetCommandLineW", "GetEnvironmentStringsA",
+    "GetEnvironmentStringsW", "FreeEnvironmentStringsA",
+    "FreeEnvironmentStringsW", "GetEnvironmentVariableA",
+    "GetEnvironmentVariableW", "SetEnvironmentVariableA",
+    "SetEnvironmentVariableW", "ExpandEnvironmentStringsA",
+    "ExpandEnvironmentStringsW", "GetSystemDirectoryA", "GetSystemDirectoryW",
+    "GetWindowsDirectoryA", "GetWindowsDirectoryW", "GetSystemInfo",
+    "GetNativeSystemInfo", "GetVersion", "GetVersionExA", "GetVersionExW",
+    "GetComputerNameA", "GetComputerNameW", "GetUserNameA", "GetUserNameW",
+    "GetSystemTime", "GetLocalTime", "GetSystemTimeAsFileTime",
+    "SystemTimeToFileTime", "FileTimeToSystemTime", "FileTimeToLocalFileTime",
+    "GetTickCount", "GetTickCount64", "QueryPerformanceCounter",
+    "QueryPerformanceFrequency", "GetCPInfo", "GetACP", "GetOEMCP",
+    "GetLocaleInfoA", "GetLocaleInfoW", "GetSystemDefaultLangID",
+    "GetUserDefaultLCID", "GetTimeZoneInformation", "GlobalMemoryStatus",
+    "GlobalMemoryStatusEx", "GetSystemMetrics", "GetKeyboardLayout",
+    "GetKeyboardState", "GetAsyncKeyState", "GetKeyState", "MapVirtualKeyW",
+    // Console / profile strings
+    "AllocConsole", "FreeConsole", "GetConsoleWindow", "GetConsoleMode",
+    "SetConsoleMode", "GetConsoleCP", "GetConsoleOutputCP", "WriteConsoleA",
+    "WriteConsoleW", "ReadConsoleA", "ReadConsoleW", "SetConsoleTitleA",
+    "SetConsoleTitleW", "SetConsoleCtrlHandler", "GetPrivateProfileStringA",
+    "GetPrivateProfileStringW", "GetPrivateProfileIntA",
+    "GetPrivateProfileIntW", "WritePrivateProfileStringA",
+    "WritePrivateProfileStringW", "GetProfileStringA", "GetProfileStringW",
+    "WriteProfileStringA", "WriteProfileStringW", "GetProfileIntA",
+    "GetProfileIntW",
+    // Error / exception / debug
+    "GetLastError", "SetLastError", "RaiseException", "SetErrorMode",
+    "SetUnhandledExceptionFilter", "UnhandledExceptionFilter",
+    "IsDebuggerPresent", "CheckRemoteDebuggerPresent", "OutputDebugStringA",
+    "OutputDebugStringW", "DebugBreak", "DebugActiveProcess",
+    // Sync
+    "CreateMutexA", "CreateMutexW", "OpenMutexA", "OpenMutexW",
+    "ReleaseMutex", "CreateEventA", "CreateEventW", "OpenEventA",
+    "OpenEventW", "SetEvent", "ResetEvent", "PulseEvent",
+    "CreateSemaphoreA", "CreateSemaphoreW", "ReleaseSemaphore",
+    "InitializeCriticalSection", "InitializeCriticalSectionAndSpinCount",
+    "EnterCriticalSection", "LeaveCriticalSection", "TryEnterCriticalSection",
+    "DeleteCriticalSection", "InterlockedIncrement", "InterlockedDecrement",
+    "InterlockedExchange", "InterlockedCompareExchange", "CreateWaitableTimerW",
+    "SetWaitableTimer", "CancelWaitableTimer",
+    // Strings / misc CRT-ish
+    "MultiByteToWideChar", "WideCharToMultiByte", "CompareStringA",
+    "CompareStringW", "lstrlenA", "lstrlenW", "lstrcpyA", "lstrcpyW",
+    "lstrcatA", "lstrcatW", "lstrcmpA", "lstrcmpW", "lstrcmpiA", "lstrcmpiW",
+    "CharUpperA", "CharUpperW", "CharLowerA", "CharLowerW", "IsBadReadPtr",
+    "IsBadWritePtr", "FlsAlloc", "FlsFree", "FlsGetValue", "FlsSetValue",
+    "TlsAlloc", "TlsFree", "TlsGetValue", "TlsSetValue", "EncodePointer",
+    "DecodePointer", "GetStringTypeA", "GetStringTypeW", "FormatMessageA",
+    "FormatMessageW", "LCMapStringA", "LCMapStringW",
+    // GUI (user32 / gdi32)
+    "MessageBoxA", "MessageBoxW", "CreateWindowExA", "CreateWindowExW",
+    "DestroyWindow", "ShowWindow", "UpdateWindow", "FindWindowA",
+    "FindWindowW", "FindWindowExA", "FindWindowExW", "GetForegroundWindow",
+    "SetForegroundWindow", "GetDesktopWindow", "GetWindowTextA",
+    "GetWindowTextW", "SetWindowTextA", "SetWindowTextW", "EnumWindows",
+    "EnumChildWindows", "GetWindowThreadProcessId", "SendMessageA",
+    "SendMessageW", "PostMessageA", "PostMessageW", "PeekMessageA",
+    "PeekMessageW", "GetMessageA", "GetMessageW", "DispatchMessageA",
+    "DispatchMessageW", "TranslateMessage", "WaitMessage", "PostQuitMessage",
+    "DefWindowProcA", "DefWindowProcW", "RegisterClassA", "RegisterClassW",
+    "RegisterClassExA", "RegisterClassExW", "SetWindowsHookExA",
+    "SetWindowsHookExW", "UnhookWindowsHookEx", "CallNextHookEx",
+    "SetTimer", "KillTimer", "GetDC", "ReleaseDC", "WindowFromDC",
+    "GetWindowDC", "BitBlt", "StretchBlt", "CreateCompatibleDC",
+    "CreateCompatibleBitmap", "SelectObject", "DeleteObject", "DeleteDC",
+    "GetDIBits", "SetPixel", "GetPixel", "LoadIconA", "LoadIconW",
+    "DestroyIcon", "LoadCursorA", "LoadCursorW", "SetCursorPos",
+    "GetCursorPos", "ClipCursor", "OpenClipboard", "CloseClipboard",
+    "GetClipboardData", "SetClipboardData", "EmptyClipboard",
+    "RegisterHotKey", "UnregisterHotKey", "keybd_event", "mouse_event",
+    "SendInput", "AttachThreadInput", "BlockInput",
+    // Shell / exec
+    "WinExec", "ShellExecuteA", "ShellExecuteW", "ShellExecuteExA",
+    "ShellExecuteExW", "SHGetFolderPathA", "SHGetFolderPathW",
+    "SHGetSpecialFolderPathW", "SHCreateDirectoryExW", "SHFileOperationA",
+    "SHFileOperationW", "ExtractIconA", "ExtractIconW", "FindExecutableA",
+    "FindExecutableW", "SHGetKnownFolderPath",
+    // Services
+    "OpenSCManagerA", "OpenSCManagerW", "CreateServiceA", "CreateServiceW",
+    "OpenServiceA", "OpenServiceW", "StartServiceA", "StartServiceW",
+    "ControlService", "DeleteService", "QueryServiceStatus",
+    "QueryServiceStatusEx", "CloseServiceHandle", "EnumServicesStatusW",
+    "ChangeServiceConfigW", "StartServiceCtrlDispatcherW",
+    // Network (ws2_32 / wininet / winhttp / urlmon)
+    "WSAStartup", "WSACleanup", "WSAGetLastError", "socket", "closesocket",
+    "connect", "bind", "listen", "accept", "send", "sendto", "recv",
+    "recvfrom", "select", "ioctlsocket", "setsockopt", "getsockopt",
+    "gethostbyname", "gethostname", "getaddrinfo", "inet_addr", "inet_ntoa",
+    "htons", "ntohs", "shutdown", "WSASocketW", "WSAConnect", "WSASend",
+    "WSARecv", "InternetOpenA", "InternetOpenW", "InternetOpenUrlA",
+    "InternetOpenUrlW", "InternetConnectA", "InternetConnectW",
+    "InternetReadFile", "InternetWriteFile", "InternetCloseHandle",
+    "InternetSetOptionA", "InternetQueryOptionA", "InternetGetConnectedState",
+    "HttpOpenRequestA", "HttpOpenRequestW", "HttpSendRequestA",
+    "HttpSendRequestW", "HttpQueryInfoA", "HttpAddRequestHeadersA",
+    "URLDownloadToFileA", "URLDownloadToFileW", "URLDownloadToCacheFileW",
+    "WinHttpOpen", "WinHttpConnect", "WinHttpOpenRequest",
+    "WinHttpSendRequest", "WinHttpReceiveResponse", "WinHttpReadData",
+    "WinHttpCloseHandle", "DnsQuery_A", "DnsQuery_W",
+    // Crypto
+    "CryptAcquireContextA", "CryptAcquireContextW", "CryptReleaseContext",
+    "CryptCreateHash", "CryptHashData", "CryptGetHashParam",
+    "CryptDestroyHash", "CryptGenKey", "CryptDeriveKey", "CryptDestroyKey",
+    "CryptEncrypt", "CryptDecrypt", "CryptGenRandom", "CryptImportKey",
+    "CryptExportKey", "CryptStringToBinaryA", "CryptBinaryToStringA",
+    "BCryptOpenAlgorithmProvider", "BCryptGenRandom", "BCryptEncrypt",
+    "BCryptDecrypt",
+    // Resources / PE
+    "FindResourceA", "FindResourceW", "LoadResource", "LockResource",
+    "SizeofResource", "FreeResource", "EnumResourceTypesW",
+    "EnumResourceNamesW", "UpdateResourceW", "BeginUpdateResourceW",
+    "EndUpdateResourceW", "GetFileVersionInfoW", "GetFileVersionInfoSizeW",
+    "VerQueryValueW", "ImageNtHeader", "CheckSumMappedFile",
+    // COM / OLE
+    "CoInitialize", "CoInitializeEx", "CoUninitialize", "CoCreateInstance",
+    "CoCreateGuid", "CoTaskMemAlloc", "CoTaskMemFree", "OleInitialize",
+    "SysAllocString", "SysFreeString", "VariantInit", "VariantClear",
+};
+
+bool is_paper_name(std::string_view name);
+
+std::vector<std::string> build_canonical_names() {
+  std::vector<std::string> names;
+  names.reserve(600);
+  for (std::string_view n : kBaseNames) names.push_back(to_lower_ascii(n));
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+
+  if (names.size() > kNumApiFeatures) {
+    // Trim evenly-spaced non-paper names so the alphabetical coverage stays
+    // uniform and every API name the paper prints survives.
+    const std::size_t excess = names.size() - kNumApiFeatures;
+    const std::size_t stride = names.size() / excess;
+    std::vector<std::string> kept;
+    kept.reserve(kNumApiFeatures);
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const bool removable = removed < excess && (i % stride == stride - 1) &&
+                             !is_paper_name(names[i]);
+      if (removable) {
+        ++removed;
+        continue;
+      }
+      kept.push_back(std::move(names[i]));
+    }
+    // If strided removal fell short (paper names on removal slots), drop
+    // further non-paper names from the front.
+    for (auto it = kept.begin(); kept.size() > kNumApiFeatures;) {
+      if (!is_paper_name(*it))
+        it = kept.erase(it);
+      else
+        ++it;
+    }
+    names = std::move(kept);
+  } else if (names.size() < kNumApiFeatures) {
+    // Pad deterministically with plausible verb-object-suffix API names.
+    constexpr std::string_view verbs[] = {"open",   "close",  "query", "enum",
+                                          "create", "delete", "set",   "get"};
+    constexpr std::string_view objects[] = {
+        "atomtable", "deskbar",    "fiberls",  "jobobject",
+        "powerreq",  "profilekey", "sessionlog", "tracectx"};
+    constexpr std::string_view suffixes[] = {"", "a", "w", "ex"};
+    for (std::string_view v : verbs)
+      for (std::string_view o : objects)
+        for (std::string_view s : suffixes) {
+          if (names.size() >= kNumApiFeatures) break;
+          std::string candidate =
+              std::string(v) + std::string(o) + std::string(s);
+          if (std::find(names.begin(), names.end(), candidate) == names.end())
+            names.push_back(std::move(candidate));
+        }
+  }
+  if (names.size() != kNumApiFeatures)
+    throw std::logic_error("ApiVocab: could not reach 491 names");
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+constexpr std::string_view kPaperNames[] = {
+    // Table II (log excerpt)
+    "getstartupinfow", "getfiletype", "getmodulehandlew", "getprocaddress",
+    "getstdhandle", "freeenvironmentstringsw", "getcpinfo",
+    // Table III (feature excerpt, indices 475..484)
+    "waitmessage", "windowfromdc", "winexec", "writeconsolea",
+    "writeconsolew", "writefile", "writeprivateprofilestringa",
+    "writeprivateprofilestringw", "writeprocessmemory", "writeprofilestringa",
+    // Fig. 1 (APIs added by the adversarial example)
+    "destroyicon", "dllsload",
+    // Table II argument ("FlsAlloc")
+    "flsalloc",
+};
+
+bool is_paper_name(std::string_view name) {
+  for (std::string_view p : kPaperNames)
+    if (p == name) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string to_lower_ascii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::span<const std::string_view> paper_api_names() { return kPaperNames; }
+
+ApiVocab::ApiVocab(std::vector<std::string> names) {
+  if (names.empty()) throw std::invalid_argument("ApiVocab: empty name list");
+  for (auto& n : names) {
+    if (n.empty()) throw std::invalid_argument("ApiVocab: empty name");
+    n = to_lower_ascii(n);
+  }
+  std::sort(names.begin(), names.end());
+  if (std::adjacent_find(names.begin(), names.end()) != names.end())
+    throw std::invalid_argument("ApiVocab: duplicate name");
+  names_ = std::move(names);
+  index_.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) index_[names_[i]] = i;
+}
+
+const ApiVocab& ApiVocab::instance() {
+  static const ApiVocab vocab(build_canonical_names());
+  return vocab;
+}
+
+std::optional<std::size_t> ApiVocab::index_of(std::string_view api_name) const {
+  const auto it = index_.find(to_lower_ascii(api_name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ApiVocab::name(std::size_t index) const {
+  if (index >= names_.size()) throw std::out_of_range("ApiVocab::name");
+  return names_[index];
+}
+
+}  // namespace mev::data

@@ -1,0 +1,62 @@
+// The 491-entry API feature vocabulary.
+//
+// The paper extracts 491 API-call features from sandbox log files
+// (Table III shows an alphabetical excerpt: indices 475..484 are
+// waitmessage..writeprofilestringa). The real vocabulary is proprietary;
+// this one is a deterministic stand-in built from real Win32 API names and
+// guaranteed to contain every API name the paper prints, including the two
+// added by its Fig. 1 adversarial example ("destroyicon", "dllsload").
+//
+// Feature identity does not affect any algorithm — only the vector index
+// mapping — so the substitution is behaviour-preserving (see DESIGN.md §2).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mev::data {
+
+/// Number of API features, fixed by the paper.
+inline constexpr std::size_t kNumApiFeatures = 491;
+
+/// Immutable, alphabetically ordered API name -> feature index mapping.
+class ApiVocab {
+ public:
+  /// The canonical 491-name vocabulary (singleton; thread-safe init).
+  static const ApiVocab& instance();
+
+  /// Builds a vocabulary from explicit names (must be unique, non-empty).
+  /// Names are lower-cased and sorted. Primarily for tests.
+  explicit ApiVocab(std::vector<std::string> names);
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+  /// Feature index for an API name (case-insensitive); nullopt if unknown.
+  std::optional<std::size_t> index_of(std::string_view api_name) const;
+
+  /// Name at a feature index. Throws std::out_of_range.
+  const std::string& name(std::size_t index) const;
+
+  std::span<const std::string> names() const noexcept { return names_; }
+
+  bool contains(std::string_view api_name) const {
+    return index_of(api_name).has_value();
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Lower-cases ASCII (API names are ASCII).
+std::string to_lower_ascii(std::string_view s);
+
+/// The API names the paper explicitly mentions; the canonical vocabulary is
+/// guaranteed to contain all of them.
+std::span<const std::string_view> paper_api_names();
+
+}  // namespace mev::data

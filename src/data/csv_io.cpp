@@ -1,0 +1,77 @@
+#include "data/csv_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mev::data {
+
+void write_csv(const CountDataset& ds, std::ostream& os) {
+  os << "label";
+  for (std::size_t c = 0; c < ds.counts.cols(); ++c) os << ",f" << c;
+  os << '\n';
+  for (std::size_t r = 0; r < ds.counts.rows(); ++r) {
+    os << ds.labels[r];
+    const auto row = ds.counts.row(r);
+    for (float v : row) os << ',' << v;
+    os << '\n';
+  }
+}
+
+void write_csv(const CountDataset& ds, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+  write_csv(ds, os);
+  if (!os) throw std::runtime_error("write_csv: write failure on " + path);
+}
+
+CountDataset read_csv(std::istream& is) {
+  CountDataset ds;
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("read_csv: empty input");
+  // Header: count columns.
+  std::size_t cols = 0;
+  for (char ch : line)
+    if (ch == ',') ++cols;
+  if (cols == 0) throw std::runtime_error("read_csv: no feature columns");
+
+  std::vector<float> row(cols);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    int label = 0;
+    auto res = std::from_chars(p, end, label);
+    if (res.ec != std::errc{})
+      throw std::runtime_error("read_csv: bad label field");
+    if (label != kCleanLabel && label != kMalwareLabel)
+      throw std::runtime_error("read_csv: label out of range");
+    p = res.ptr;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (p >= end || *p != ',')
+        throw std::runtime_error("read_csv: ragged row");
+      ++p;
+      float v = 0.0f;
+      auto fres = std::from_chars(p, end, v);
+      if (fres.ec != std::errc{})
+        throw std::runtime_error("read_csv: bad numeric field");
+      p = fres.ptr;
+      row[c] = v;
+    }
+    if (p != end) throw std::runtime_error("read_csv: trailing characters");
+    ds.counts.append_row(row);
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+CountDataset read_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_csv: cannot open " + path);
+  return read_csv(is);
+}
+
+}  // namespace mev::data

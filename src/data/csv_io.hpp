@@ -1,0 +1,21 @@
+// CSV persistence for count datasets, so generated corpora can be inspected
+// or reused across runs without regeneration.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace mev::data {
+
+/// Writes `label,count_0,...,count_{d-1}` rows with a header line.
+void write_csv(const CountDataset& ds, std::ostream& os);
+void write_csv(const CountDataset& ds, const std::string& path);
+
+/// Reads a CSV written by write_csv. Throws std::runtime_error on
+/// malformed input (ragged rows, non-numeric fields, bad labels).
+CountDataset read_csv(std::istream& is);
+CountDataset read_csv(const std::string& path);
+
+}  // namespace mev::data

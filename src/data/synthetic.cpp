@@ -1,0 +1,243 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string_view>
+
+namespace mev::data {
+
+namespace {
+
+constexpr std::string_view kLoaderMarkers[] = {
+    "getstartupinfo", "getfiletype", "getmodulehandle", "getprocaddress",
+    "getstdhandle", "freeenvironmentstrings", "getcpinfo", "getcommandline",
+    "getenvironmentstrings", "heapalloc", "heapfree", "getlasterror",
+    "initializecriticalsection", "entercriticalsection",
+    "leavecriticalsection", "tlsgetvalue", "flsalloc", "getcurrentthreadid",
+    "getcurrentprocessid", "queryperformancecounter",
+    "getsystemtimeasfiletime", "gettickcount", "multibytetowidechar",
+    "widechartomultibyte", "getacp", "encodepointer", "decodepointer",
+    "lstrlen", "loadlibrary", "exitprocess", "getversion", "getprocessheap",
+};
+
+constexpr std::string_view kMalwareMarkers[] = {
+    "writeprocessmemory", "readprocessmemory", "createremotethread",
+    "virtualallocex", "virtualprotect", "ntunmapviewofsection",
+    "setthreadcontext", "getthreadcontext", "queueuserapc", "winexec",
+    "shellexecute", "regsetvalue", "regcreatekey", "regdeletevalue",
+    "regdeletekey", "cryptencrypt", "cryptdecrypt", "cryptgenkey",
+    "cryptacquirecontext", "crypthashdata", "bcrypt", "internet", "http",
+    "urldownload", "winhttp", "dnsquery", "socket", "connect", "send",
+    "recv", "wsastartup", "wsasocket", "gethostbyname", "getaddrinfo",
+    "keybd_event", "mouse_event", "sendinput", "setwindowshookex",
+    "getasynckeystate", "getkeystate", "getkeyboardstate", "blockinput",
+    "attachthreadinput", "isdebuggerpresent", "checkremotedebugger",
+    "outputdebugstring", "terminateprocess", "openprocess",
+    "adjusttokenprivileges", "lookupprivilegevalue", "createservice",
+    "startservice", "deleteservice", "createtoolhelp32snapshot",
+    "process32", "thread32", "module32", "movefileex", "deletefile",
+    "settfileattributes", "createmutex", "openmutex", "clipcursor",
+    "findwindow", "debugactiveprocess", "impersonateloggedonuser",
+};
+
+constexpr std::string_view kCleanMarkers[] = {
+    "createwindow", "destroywindow", "messagebox", "showwindow",
+    "updatewindow", "getdc", "releasedc", "getwindowdc", "windowfromdc",
+    "bitblt", "stretchblt", "createcompatible", "selectobject",
+    "deleteobject", "deletedc", "getdibits", "setpixel", "getpixel",
+    "loadicon", "destroyicon", "loadcursor", "dispatchmessage",
+    "getmessage", "peekmessage", "translatemessage", "waitmessage",
+    "postquitmessage", "defwindowproc", "registerclass", "sendmessage",
+    "postmessage", "settimer", "killtimer", "openclipboard",
+    "closeclipboard", "getclipboarddata", "setclipboarddata",
+    "emptyclipboard", "writeconsole", "readconsole", "getconsole",
+    "setconsole", "allocconsole", "getprivateprofile", "writeprivateprofile",
+    "getprofile", "writeprofile", "comparestring", "lcmapstring",
+    "charupper", "charlower", "getlocaleinfo", "gettimezoneinformation",
+    "coinitialize", "cocreateinstance", "cotaskmem", "oleinitialize",
+    "sysallocstring", "sysfreestring", "variant", "extracticon",
+    "shgetfolderpath", "shgetknownfolderpath", "findexecutable",
+    "getfileversioninfo", "verqueryvalue", "dllsload", "formatmessage",
+};
+
+bool matches_any(std::string_view name,
+                 std::span<const std::string_view> markers) {
+  for (std::string_view m : markers)
+    if (name.find(m) != std::string_view::npos) return true;
+  return false;
+}
+
+std::vector<double> apply_drift(const std::vector<double>& rates,
+                                double sigma, math::Rng& rng) {
+  std::vector<double> out(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    out[i] = rates[i] * std::exp(rng.normal(0.0, sigma));
+  return out;
+}
+
+}  // namespace
+
+GenerativeModel::GenerativeModel(const ApiVocab& vocab, GenerativeConfig config)
+    : vocab_(&vocab), config_(config) {
+  const std::size_t n = vocab.size();
+  profiles_.clean_rates.assign(n, 0.0);
+  profiles_.malware_rates.assign(n, 0.0);
+
+  math::Rng rng(config_.seed);
+  std::size_t mal_sig_used = 0, clean_sig_used = 0;
+  const std::size_t cap = config_.max_signature_apis == 0
+                              ? n
+                              : config_.max_signature_apis;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& name = vocab.name(i);
+    const bool loader = matches_any(name, kLoaderMarkers);
+    const bool mal_sig = !loader && matches_any(name, kMalwareMarkers) &&
+                         mal_sig_used < cap;
+    const bool clean_sig = !loader && !mal_sig &&
+                           matches_any(name, kCleanMarkers) &&
+                           clean_sig_used < cap;
+    if (mal_sig) ++mal_sig_used;
+    if (clean_sig) ++clean_sig_used;
+
+    // Background usage shared by both classes.
+    double background = 0.005;
+    if (rng.bernoulli(config_.background_support))
+      background = rng.gamma(1.0, config_.background_rate);
+
+    double clean_rate = background;
+    double malware_rate = background;
+    if (loader) {
+      const double rate = config_.loader_rate * rng.uniform(0.5, 1.5);
+      clean_rate += rate;
+      malware_rate += rate;
+      profiles_.loader_apis.push_back(i);
+    } else if (mal_sig) {
+      const double boost = rng.gamma(
+          config_.signature_shape,
+          config_.signature_boost / config_.signature_shape);
+      malware_rate += boost;
+      clean_rate += boost * config_.malware_marker_leakage;
+      profiles_.malware_signature_apis.push_back(i);
+    } else if (clean_sig) {
+      const double boost = rng.gamma(
+          config_.signature_shape,
+          config_.signature_boost / config_.signature_shape);
+      clean_rate += boost;
+      malware_rate += boost * config_.clean_marker_leakage;
+      profiles_.clean_signature_apis.push_back(i);
+    }
+    profiles_.clean_rates[i] = clean_rate;
+    profiles_.malware_rates[i] = malware_rate;
+  }
+
+  math::Rng drift_rng(config_.seed ^ 0x56697275734e6574ULL);  // "VirusNet"
+  drift_clean_ =
+      apply_drift(profiles_.clean_rates, config_.test_drift_sigma, drift_rng);
+  drift_malware_ = apply_drift(profiles_.malware_rates,
+                               config_.test_drift_sigma, drift_rng);
+}
+
+std::vector<float> GenerativeModel::sample_from_rates(
+    const std::vector<double>& rates, math::Rng& rng) const {
+  const double activity =
+      rng.gamma(config_.activity_shape, 1.0 / config_.activity_shape);
+  std::vector<float> counts(rates.size(), 0.0f);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double rate = rates[i] * activity;
+    if (rate <= 0.0) continue;
+    std::uint32_t c = rng.poisson(rate);
+    // Occasional call-in-a-loop bursts give counts a realistic heavy tail.
+    if (c > 0 && rng.bernoulli(config_.burst_probability))
+      c *= static_cast<std::uint32_t>(
+          rng.uniform_int(2, static_cast<std::int64_t>(config_.burst_max)));
+    counts[i] = static_cast<float>(c);
+  }
+  return counts;
+}
+
+std::vector<float> GenerativeModel::generate_counts(int label, math::Rng& rng,
+                                                    bool drifted) const {
+  if (label != kCleanLabel && label != kMalwareLabel)
+    throw std::invalid_argument("generate_counts: bad label");
+  const double flip_p = label == kCleanLabel ? config_.hard_sample_clean
+                                             : config_.hard_sample_malware;
+  const bool flipped = rng.bernoulli(flip_p);
+  const bool use_malware_profile = (label == kMalwareLabel) != flipped;
+  const std::vector<double>& rates =
+      drifted ? (use_malware_profile ? drift_malware_ : drift_clean_)
+              : (use_malware_profile ? profiles_.malware_rates
+                                     : profiles_.clean_rates);
+  return sample_from_rates(rates, rng);
+}
+
+ApiLog GenerativeModel::log_from_counts(const std::vector<float>& counts,
+                                        const std::string& sample_name,
+                                        math::Rng& rng) const {
+  if (counts.size() != vocab_->size())
+    throw std::invalid_argument("log_from_counts: dimension mismatch");
+  ApiLog log;
+  log.sample_name = sample_name;
+  log.os = static_cast<OsVariant>(rng.uniform_index(4));
+
+  std::vector<std::size_t> sequence;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto k = static_cast<std::size_t>(std::lround(counts[i]));
+    for (std::size_t j = 0; j < k; ++j) sequence.push_back(i);
+  }
+  rng.shuffle(sequence);
+
+  const std::uint32_t main_tid =
+      static_cast<std::uint32_t>(60000 + rng.uniform_index(8000));
+  const std::uint32_t worker_tid = main_tid + 16;
+  std::uint64_t address = 0x13FBC0000ULL + rng.uniform_index(0x10000);
+  log.calls.reserve(sequence.size());
+  for (std::size_t idx : sequence) {
+    ApiCall call;
+    call.api = vocab_->name(idx);
+    call.address = address;
+    call.thread_id = rng.bernoulli(0.85) ? main_tid : worker_tid;
+    address += 0x10 + rng.uniform_index(0x40);
+    log.calls.push_back(std::move(call));
+  }
+  return log;
+}
+
+ApiLog GenerativeModel::generate_log(int label, const std::string& sample_name,
+                                     math::Rng& rng, bool drifted) const {
+  return log_from_counts(generate_counts(label, rng, drifted), sample_name,
+                         rng);
+}
+
+CountDataset GenerativeModel::generate_dataset(std::size_t n_clean,
+                                               std::size_t n_malware,
+                                               math::Rng& rng,
+                                               bool drifted) const {
+  CountDataset ds;
+  ds.counts = math::Matrix(n_clean + n_malware, vocab_->size());
+  ds.labels.reserve(n_clean + n_malware);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < n_clean; ++i, ++row) {
+    const auto counts = generate_counts(kCleanLabel, rng, drifted);
+    ds.counts.set_row(row, counts);
+    ds.labels.push_back(kCleanLabel);
+  }
+  for (std::size_t i = 0; i < n_malware; ++i, ++row) {
+    const auto counts = generate_counts(kMalwareLabel, rng, drifted);
+    ds.counts.set_row(row, counts);
+    ds.labels.push_back(kMalwareLabel);
+  }
+  return ds;
+}
+
+DatasetBundle GenerativeModel::generate_bundle(const DatasetSpec& spec,
+                                               math::Rng& rng) const {
+  DatasetBundle bundle;
+  bundle.train = generate_dataset(spec.train_clean, spec.train_malware, rng);
+  bundle.validation = generate_dataset(spec.val_clean, spec.val_malware, rng);
+  bundle.test = generate_dataset(spec.test_clean, spec.test_malware, rng,
+                                 /*drifted=*/true);
+  return bundle;
+}
+
+}  // namespace mev::data

@@ -1,0 +1,132 @@
+// Synthetic API-log generative model — the stand-in for the proprietary
+// McAfee Labs corpus (DESIGN.md §2).
+//
+// Model: each class (clean / malware) has a vector of Poisson base rates
+// over the 491 API features. Rates are built deterministically from a seed:
+//
+//  * "loader" APIs (process startup boilerplate, cf. Table II) have high
+//    rates in BOTH classes — they carry no label signal;
+//  * malware-signature APIs (process injection, persistence, crypto,
+//    networking beacons, keylogging) have elevated malware rates;
+//  * benign-signature APIs (GUI, printing, clipboard) have elevated clean
+//    rates;
+//  * the remaining APIs get small background rates.
+//
+// Per sample: an activity multiplier (gamma-distributed) scales all rates,
+// an OS variant perturbs a subset of rates, and with a small probability
+// the sample is drawn from the OPPOSITE class profile ("hard" samples) so
+// the learned detector has realistic error rates (paper Table VI,
+// No Defense: TPR 0.883 / TNR 0.964) rather than being trivially perfect.
+//
+// The test split can apply a multiplicative log-normal drift to all rates,
+// modelling the paper's VirusTotal test data being "independent of the
+// training data".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/api_log.hpp"
+#include "data/api_vocab.hpp"
+#include "data/dataset.hpp"
+#include "math/rng.hpp"
+
+namespace mev::data {
+
+struct GenerativeConfig {
+  std::uint64_t seed = 2018;  // the corpus vintage, per the paper
+  /// Mean number of loader-API calls per sample.
+  double loader_rate = 6.0;
+  /// Mean rate boost applied to signature APIs of the sample's class.
+  double signature_boost = 10.0;
+  /// Gamma shape of the per-API boost. Small values (< 1) make the class
+  /// evidence heavy-tailed — a few dominant marker APIs — which is what
+  /// gives real detectors their adversarial fragility: JSMA needs to flip
+  /// only the dominant markers.
+  double signature_shape = 0.5;
+  /// Probability that an active API is called in a loop, multiplying its
+  /// count by up to `burst_max` (gives raw counts the heavy tail real API
+  /// logs have).
+  double burst_probability = 0.05;
+  std::uint32_t burst_max = 40;
+  /// Fraction of the clean-signature boost that malware samples also
+  /// carry (malware uses GUI/clipboard/etc. too). This controls how close
+  /// malware sits to the decision boundary along the add-only attack
+  /// direction: higher leakage -> softer boundary -> the paper's gradual
+  /// confidence decay under API additions.
+  double clean_marker_leakage = 0.50;
+  /// Fraction of the malware-signature boost that clean samples carry
+  /// (legitimate installers call CreateService, WriteProcessMemory...).
+  /// Kept small so the false-positive rate stays realistic.
+  double malware_marker_leakage = 0.03;
+  /// Background rate for non-signature APIs.
+  double background_rate = 0.25;
+  /// Fraction of APIs with any background usage at all.
+  double background_support = 0.45;
+  /// P(sample drawn from the opposite profile) — adds irreducible error on
+  /// top of the natural profile overlap.
+  double hard_sample_clean = 0.005;   // clean samples that look suspicious
+  double hard_sample_malware = 0.020; // malware that looks benign
+  /// Std-dev of the log-normal rate drift applied to the test split.
+  double test_drift_sigma = 0.30;
+  /// Shape of the per-sample activity gamma (mean fixed at 1).
+  double activity_shape = 3.0;
+  /// Cap on the number of signature APIs per class. A small, shared set of
+  /// discriminative markers is what makes independently trained models
+  /// agree on their decision boundaries — the precondition for the
+  /// transferability the paper measures (§II-B.2). 0 disables the cap.
+  std::size_t max_signature_apis = 16;
+};
+
+/// Deterministic class-conditional profile over the vocabulary.
+struct ClassProfiles {
+  std::vector<double> clean_rates;    // vocab-sized Poisson base rates
+  std::vector<double> malware_rates;
+  std::vector<std::size_t> loader_apis;
+  std::vector<std::size_t> malware_signature_apis;
+  std::vector<std::size_t> clean_signature_apis;
+};
+
+class GenerativeModel {
+ public:
+  /// Builds profiles over `vocab` from `config.seed`.
+  GenerativeModel(const ApiVocab& vocab, GenerativeConfig config);
+
+  const ClassProfiles& profiles() const noexcept { return profiles_; }
+  const GenerativeConfig& config() const noexcept { return config_; }
+  const ApiVocab& vocab() const noexcept { return *vocab_; }
+
+  /// Raw API-count vector for one sample of the given label.
+  /// `drifted` selects the test-split profile.
+  std::vector<float> generate_counts(int label, math::Rng& rng,
+                                     bool drifted = false) const;
+
+  /// Materializes a full log whose extracted counts equal `counts` exactly
+  /// (call order, addresses and thread ids are synthesized).
+  ApiLog log_from_counts(const std::vector<float>& counts,
+                         const std::string& sample_name, math::Rng& rng) const;
+
+  /// Convenience: generate_counts + log_from_counts.
+  ApiLog generate_log(int label, const std::string& sample_name,
+                      math::Rng& rng, bool drifted = false) const;
+
+  /// Bulk generation of a labeled dataset (clean rows first).
+  CountDataset generate_dataset(std::size_t n_clean, std::size_t n_malware,
+                                math::Rng& rng, bool drifted = false) const;
+
+  /// Full Table I-style bundle: train and validation from the in-
+  /// distribution profile, test from the drifted profile.
+  DatasetBundle generate_bundle(const DatasetSpec& spec, math::Rng& rng) const;
+
+ private:
+  const ApiVocab* vocab_;
+  GenerativeConfig config_;
+  ClassProfiles profiles_;
+  std::vector<double> drift_clean_;    // test-split rates
+  std::vector<double> drift_malware_;
+
+  std::vector<float> sample_from_rates(const std::vector<double>& rates,
+                                       math::Rng& rng) const;
+};
+
+}  // namespace mev::data

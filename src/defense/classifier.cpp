@@ -1,0 +1,39 @@
+#include "defense/classifier.hpp"
+
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+
+namespace mev::defense {
+
+std::vector<double> Classifier::malware_confidence(
+    const math::Matrix& features) {
+  // Default: hard decisions as 0/1 confidences.
+  const auto classes = classify(features);
+  std::vector<double> conf(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    conf[i] = classes[i] == data::kMalwareLabel ? 1.0 : 0.0;
+  return conf;
+}
+
+NetworkClassifier::NetworkClassifier(std::shared_ptr<nn::Network> net,
+                                     std::string name)
+    : net_(std::move(net)), name_(std::move(name)) {
+  if (net_ == nullptr)
+    throw std::invalid_argument("NetworkClassifier: null network");
+}
+
+std::vector<int> NetworkClassifier::classify(const math::Matrix& features) {
+  return net_->predict(features);
+}
+
+std::vector<double> NetworkClassifier::malware_confidence(
+    const math::Matrix& features) {
+  const math::Matrix probs = net_->predict_proba(features);
+  std::vector<double> conf(probs.rows());
+  for (std::size_t i = 0; i < probs.rows(); ++i)
+    conf[i] = probs(i, data::kMalwareLabel);
+  return conf;
+}
+
+}  // namespace mev::defense

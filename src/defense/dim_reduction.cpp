@@ -1,0 +1,64 @@
+#include "defense/dim_reduction.hpp"
+
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+
+namespace mev::defense {
+
+DimReductionClassifier::DimReductionClassifier(
+    math::Pca pca, std::shared_ptr<nn::Network> net)
+    : pca_(std::move(pca)), net_(std::move(net)) {
+  if (net_ == nullptr)
+    throw std::invalid_argument("DimReductionClassifier: null network");
+  if (!pca_.fitted())
+    throw std::invalid_argument("DimReductionClassifier: unfitted PCA");
+  if (net_->input_dim() != pca_.k())
+    throw std::invalid_argument(
+        "DimReductionClassifier: network/PCA dimension mismatch");
+}
+
+std::vector<int> DimReductionClassifier::classify(
+    const math::Matrix& features) {
+  return net_->predict(pca_.transform(features));
+}
+
+std::vector<double> DimReductionClassifier::malware_confidence(
+    const math::Matrix& features) {
+  const math::Matrix probs = net_->predict_proba(pca_.transform(features));
+  std::vector<double> conf(probs.rows());
+  for (std::size_t i = 0; i < probs.rows(); ++i)
+    conf[i] = probs(i, data::kMalwareLabel);
+  return conf;
+}
+
+std::unique_ptr<DimReductionClassifier> train_dim_reduction_defense(
+    const nn::LabeledData& train_data, const DimReductionConfig& config,
+    const nn::LabeledData* validation) {
+  math::Pca pca;
+  pca.fit(train_data.x, config.k);
+
+  nn::MlpConfig arch;
+  arch.dims.push_back(config.k);
+  for (std::size_t h : config.hidden) arch.dims.push_back(h);
+  arch.dims.push_back(2);
+  arch.seed = config.seed;
+  auto net = std::make_shared<nn::Network>(nn::make_mlp(arch));
+
+  nn::LabeledData reduced;
+  reduced.x = pca.transform(train_data.x);
+  reduced.labels = train_data.labels;
+
+  if (validation != nullptr) {
+    nn::LabeledData reduced_val;
+    reduced_val.x = pca.transform(validation->x);
+    reduced_val.labels = validation->labels;
+    nn::train(*net, reduced, config.training, &reduced_val);
+  } else {
+    nn::train(*net, reduced, config.training, nullptr);
+  }
+  return std::make_unique<DimReductionClassifier>(std::move(pca),
+                                                  std::move(net));
+}
+
+}  // namespace mev::defense

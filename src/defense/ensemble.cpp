@@ -1,0 +1,58 @@
+#include "defense/ensemble.hpp"
+
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+
+namespace mev::defense {
+
+EnsembleClassifier::EnsembleClassifier(
+    std::vector<std::shared_ptr<Classifier>> members, VotePolicy policy)
+    : members_(std::move(members)), policy_(policy) {
+  if (members_.empty())
+    throw std::invalid_argument("EnsembleClassifier: no members");
+  for (const auto& m : members_)
+    if (m == nullptr)
+      throw std::invalid_argument("EnsembleClassifier: null member");
+}
+
+std::vector<int> EnsembleClassifier::classify(const math::Matrix& features) {
+  std::vector<std::size_t> malware_votes(features.rows(), 0);
+  for (const auto& member : members_) {
+    const auto preds = member->classify(features);
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      if (preds[i] == data::kMalwareLabel) ++malware_votes[i];
+  }
+  std::vector<int> out(features.rows(), data::kCleanLabel);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool malware =
+        policy_ == VotePolicy::kAnyMalware
+            ? malware_votes[i] > 0
+            : 2 * malware_votes[i] >= members_.size();  // ties -> malware
+    if (malware) out[i] = data::kMalwareLabel;
+  }
+  return out;
+}
+
+std::vector<double> EnsembleClassifier::malware_confidence(
+    const math::Matrix& features) {
+  std::vector<double> mean(features.rows(), 0.0);
+  for (const auto& member : members_) {
+    const auto conf = member->malware_confidence(features);
+    for (std::size_t i = 0; i < conf.size(); ++i) mean[i] += conf[i];
+  }
+  for (auto& v : mean) v /= static_cast<double>(members_.size());
+  return mean;
+}
+
+std::string EnsembleClassifier::name() const {
+  std::string out = policy_ == VotePolicy::kAnyMalware ? "ensemble-any("
+                                                       : "ensemble-maj(";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i) out += "+";
+    out += members_[i]->name();
+  }
+  return out + ")";
+}
+
+}  // namespace mev::defense

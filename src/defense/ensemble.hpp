@@ -1,0 +1,41 @@
+// Ensemble defense — the combination the paper's §III-C explicitly
+// suggests trying: "The results suggest we may consider ensemble
+// adversarial training and dimension reduction."
+//
+// Members vote; two policies:
+//  * kMajority — standard majority vote (ties break to malware);
+//  * kAnyMalware — flag if ANY member says malware (maximum recall,
+//    appropriate when members have complementary blind spots, e.g. an
+//    adversarially-trained model plus a PCA-projected model).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "defense/classifier.hpp"
+
+namespace mev::defense {
+
+enum class VotePolicy { kMajority, kAnyMalware };
+
+class EnsembleClassifier final : public Classifier {
+ public:
+  EnsembleClassifier(std::vector<std::shared_ptr<Classifier>> members,
+                     VotePolicy policy = VotePolicy::kMajority);
+
+  std::vector<int> classify(const math::Matrix& features) override;
+
+  /// Mean of the members' malware confidences.
+  std::vector<double> malware_confidence(const math::Matrix& features) override;
+
+  std::string name() const override;
+
+  std::size_t size() const noexcept { return members_.size(); }
+  VotePolicy policy() const noexcept { return policy_; }
+
+ private:
+  std::vector<std::shared_ptr<Classifier>> members_;
+  VotePolicy policy_;
+};
+
+}  // namespace mev::defense

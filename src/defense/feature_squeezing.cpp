@@ -1,0 +1,101 @@
+#include "defense/feature_squeezing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "math/linalg.hpp"
+#include "math/stats.hpp"
+
+namespace mev::defense {
+
+BitDepthSqueezer::BitDepthSqueezer(int bits) : bits_(bits) {
+  if (bits < 1 || bits > 16)
+    throw std::invalid_argument("BitDepthSqueezer: bits must be in [1,16]");
+}
+
+math::Matrix BitDepthSqueezer::squeeze(const math::Matrix& features) const {
+  const float levels = static_cast<float>((1 << bits_) - 1);
+  math::Matrix out = features;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float clamped = std::clamp(out.data()[i], 0.0f, 1.0f);
+    out.data()[i] = std::round(clamped * levels) / levels;
+  }
+  return out;
+}
+
+std::string BitDepthSqueezer::name() const {
+  return "bit-depth-" + std::to_string(bits_);
+}
+
+std::unique_ptr<Squeezer> BitDepthSqueezer::clone() const {
+  return std::make_unique<BitDepthSqueezer>(*this);
+}
+
+math::Matrix BinarySqueezer::squeeze(const math::Matrix& features) const {
+  math::Matrix out = features;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = out.data()[i] > threshold_ ? 1.0f : 0.0f;
+  return out;
+}
+
+std::unique_ptr<Squeezer> BinarySqueezer::clone() const {
+  return std::make_unique<BinarySqueezer>(*this);
+}
+
+FeatureSqueezing::FeatureSqueezing(std::shared_ptr<nn::Network> model,
+                                   std::unique_ptr<Squeezer> squeezer,
+                                   double threshold)
+    : model_(std::move(model)),
+      squeezer_(std::move(squeezer)),
+      threshold_(threshold) {
+  if (model_ == nullptr)
+    throw std::invalid_argument("FeatureSqueezing: null model");
+  if (squeezer_ == nullptr)
+    throw std::invalid_argument("FeatureSqueezing: null squeezer");
+  if (threshold_ < 0.0)
+    throw std::invalid_argument("FeatureSqueezing: negative threshold");
+}
+
+std::vector<double> FeatureSqueezing::scores(const math::Matrix& features) {
+  const math::Matrix p_original = model_->predict_proba(features);
+  const math::Matrix p_squeezed =
+      model_->predict_proba(squeezer_->squeeze(features));
+  std::vector<double> out(features.rows());
+  for (std::size_t i = 0; i < features.rows(); ++i)
+    out[i] = math::l1_distance(p_original.row(i), p_squeezed.row(i));
+  return out;
+}
+
+std::vector<bool> FeatureSqueezing::is_adversarial(
+    const math::Matrix& features) {
+  const auto s = scores(features);
+  std::vector<bool> flagged(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) flagged[i] = s[i] > threshold_;
+  return flagged;
+}
+
+std::vector<int> FeatureSqueezing::classify(const math::Matrix& features) {
+  const auto flagged = is_adversarial(features);
+  auto preds = model_->predict(features);
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (flagged[i]) preds[i] = data::kMalwareLabel;
+  return preds;
+}
+
+double FeatureSqueezing::calibrate_threshold(
+    nn::Network& model, const Squeezer& squeezer,
+    const math::Matrix& legitimate_features, double percentile) {
+  if (legitimate_features.rows() == 0)
+    throw std::invalid_argument("calibrate_threshold: empty calibration set");
+  const math::Matrix p_original = model.predict_proba(legitimate_features);
+  const math::Matrix p_squeezed =
+      model.predict_proba(squeezer.squeeze(legitimate_features));
+  std::vector<double> s(legitimate_features.rows());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = math::l1_distance(p_original.row(i), p_squeezed.row(i));
+  return math::percentile(s, percentile);
+}
+
+}  // namespace mev::defense

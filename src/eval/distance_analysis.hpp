@@ -1,0 +1,51 @@
+// L2-distance analysis across the decision boundary (paper Fig. 5):
+// pairwise mean distances between (malware, adversarial), (malware, clean)
+// and (clean, adversarial) populations. The paper's observed ordering —
+// d(mal, adv) < d(mal, clean) < d(clean, adv) — is the evidence that
+// adversarial examples live in a blind spot far from the clean class
+// rather than on the decision boundary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace mev::eval {
+
+struct DistanceTriple {
+  double malware_to_adversarial = 0.0;
+  double malware_to_clean = 0.0;
+  double clean_to_adversarial = 0.0;
+
+  /// Fig. 5's qualitative claim.
+  bool paper_ordering_holds() const noexcept {
+    return malware_to_adversarial < malware_to_clean &&
+           malware_to_clean < clean_to_adversarial;
+  }
+};
+
+/// Mean of the L2 distances between adversarial rows and their own
+/// originals (row i to row i), and mean pairwise (sub-sampled) distances
+/// between the malware/clean/adversarial populations.
+///
+/// `malware` and `adversarial` must have equal row counts (advex i derives
+/// from malware i); `clean` may have any row count. `max_pairs` bounds the
+/// number of cross-population pairs evaluated (uniform stride), keeping the
+/// analysis O(max_pairs * dim).
+DistanceTriple l2_distance_analysis(const math::Matrix& malware,
+                                    const math::Matrix& adversarial,
+                                    const math::Matrix& clean,
+                                    std::size_t max_pairs = 20000);
+
+/// One Fig. 5 series point: distances as a function of attack strength.
+struct DistanceCurvePoint {
+  double attack_strength = 0.0;
+  DistanceTriple distances;
+};
+
+std::string render_distance_curve(
+    const std::string& parameter,
+    const std::vector<DistanceCurvePoint>& points);
+
+}  // namespace mev::eval

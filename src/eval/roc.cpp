@@ -1,0 +1,78 @@
+#include "eval/roc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mev::eval {
+
+namespace {
+
+void validate(const std::vector<int>& labels,
+              const std::vector<double>& scores) {
+  if (labels.size() != scores.size())
+    throw std::invalid_argument("roc: size mismatch");
+  bool has_pos = false, has_neg = false;
+  for (int l : labels) {
+    if (l == 1) has_pos = true;
+    else if (l == 0) has_neg = true;
+    else throw std::invalid_argument("roc: labels must be 0/1");
+  }
+  if (!has_pos || !has_neg)
+    throw std::invalid_argument("roc: need both classes");
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(const std::vector<int>& labels,
+                                const std::vector<double>& scores) {
+  validate(labels, scores);
+  std::vector<std::size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::size_t positives = 0, negatives = 0;
+  for (int l : labels) (l == 1 ? positives : negatives) += 1;
+
+  std::vector<RocPoint> points;
+  points.push_back({scores[order.front()] + 1.0, 0.0, 0.0});
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (labels[order[i]] == 1 ? tp : fp) += 1;
+    // Emit a point only when the next score differs (proper step curve).
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]])
+      continue;
+    points.push_back({scores[order[i]],
+                      static_cast<double>(tp) / static_cast<double>(positives),
+                      static_cast<double>(fp) / static_cast<double>(negatives)});
+  }
+  return points;
+}
+
+double auc(const std::vector<int>& labels, const std::vector<double>& scores) {
+  const auto points = roc_curve(labels, scores);
+  double area = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    area += (points[i].fpr - points[i - 1].fpr) *
+            (points[i].tpr + points[i - 1].tpr) / 2.0;
+  return area;
+}
+
+double best_youden_threshold(const std::vector<int>& labels,
+                             const std::vector<double>& scores) {
+  const auto points = roc_curve(labels, scores);
+  double best_j = -2.0, best_threshold = 0.5;
+  for (const auto& p : points) {
+    const double j = p.tpr - p.fpr;
+    if (j > best_j) {
+      best_j = j;
+      best_threshold = p.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace mev::eval

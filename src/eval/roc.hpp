@@ -1,0 +1,29 @@
+// ROC curve and AUC from malware-confidence scores — threshold-free
+// detector evaluation, complementing the fixed-threshold Table VI metrics.
+#pragma once
+
+#include <vector>
+
+namespace mev::eval {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+/// ROC points sorted by descending threshold (one per distinct score),
+/// with the (0,0) and (1,1) endpoints included. Labels: 0 clean /
+/// 1 malware; scores: higher = more malware-like.
+std::vector<RocPoint> roc_curve(const std::vector<int>& labels,
+                                const std::vector<double>& scores);
+
+/// Area under the ROC curve by trapezoidal rule. Requires both classes
+/// present; throws std::invalid_argument otherwise.
+double auc(const std::vector<int>& labels, const std::vector<double>& scores);
+
+/// The score threshold maximizing Youden's J = TPR - FPR.
+double best_youden_threshold(const std::vector<int>& labels,
+                             const std::vector<double>& scores);
+
+}  // namespace mev::eval

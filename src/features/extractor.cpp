@@ -1,0 +1,22 @@
+#include "features/extractor.hpp"
+
+namespace mev::features {
+
+std::vector<float> CountExtractor::extract(const data::ApiLog& log) const {
+  std::vector<float> counts(vocab_->size(), 0.0f);
+  for (const auto& call : log.calls) {
+    const auto idx = vocab_->index_of(call.api);
+    if (idx.has_value()) counts[*idx] += 1.0f;
+  }
+  return counts;
+}
+
+math::Matrix CountExtractor::extract_batch(
+    std::span<const data::ApiLog> logs) const {
+  math::Matrix out(logs.size(), vocab_->size());
+  for (std::size_t i = 0; i < logs.size(); ++i)
+    out.set_row(i, extract(logs[i]));
+  return out;
+}
+
+}  // namespace mev::features

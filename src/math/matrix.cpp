@@ -1,0 +1,276 @@
+#include "math/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mev::math {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    require(r.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::row_vector(std::span<const float> v) {
+  Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::col_vector(std::span<const float> v) {
+  Matrix m(v.size(), 1);
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+void Matrix::set_row(std::size_t r, std::span<const float> src) {
+  require(src.size() == cols_, "Matrix::set_row: length mismatch");
+  if (r >= rows_) throw std::out_of_range("Matrix::set_row");
+  std::copy(src.begin(), src.end(), data_.begin() + r * cols_);
+}
+
+void Matrix::append_row(std::span<const float> src) {
+  if (rows_ == 0 && cols_ == 0) cols_ = src.size();
+  require(src.size() == cols_, "Matrix::append_row: length mismatch");
+  data_.insert(data_.end(), src.begin(), src.end());
+  ++rows_;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require(same_shape(rhs), "Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  require(same_shape(rhs), "Matrix::operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) noexcept {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::hadamard(const Matrix& rhs) {
+  require(same_shape(rhs), "Matrix::hadamard: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::apply(const std::function<float(float)>& f) {
+  for (auto& x : data_) x = f(x);
+  return *this;
+}
+
+Matrix& Matrix::clamp(float lo, float hi) noexcept {
+  for (auto& x : data_) x = std::clamp(x, lo, hi);
+  return *this;
+}
+
+void Matrix::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::slice_rows(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > rows_) throw std::out_of_range("slice_rows");
+  Matrix out(end - begin, cols_);
+  std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+            out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) throw std::out_of_range("gather_rows");
+    out.set_row(i, row(indices[i]));
+  }
+  return out;
+}
+
+Matrix Matrix::gather_cols(std::span<const std::size_t> indices) const {
+  Matrix out(rows_, indices.size());
+  for (std::size_t c = 0; c < indices.size(); ++c)
+    if (indices[c] >= cols_) throw std::out_of_range("gather_cols");
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < indices.size(); ++c)
+      out(r, c) = (*this)(r, indices[c]);
+  return out;
+}
+
+double Matrix::sum() const noexcept {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+float Matrix::max_abs() const noexcept {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::string Matrix::to_string(std::size_t max_rows) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  const std::size_t shown = std::min(rows_, max_rows);
+  for (std::size_t r = 0; r < shown; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]";
+    if (r + 1 < shown) os << "\n";
+  }
+  if (shown < rows_) os << "\n ...";
+  os << "]";
+  return os.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, float scalar) { return lhs *= scalar; }
+Matrix operator*(float scalar, Matrix rhs) { return rhs *= scalar; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  // i-k-j loop order: the inner loop streams both B and C rows, which is
+  // cache-friendly for row-major storage; OpenMP parallelizes over rows.
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    const float* ai = a.data() + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = ai[kk];
+      if (aik == 0.0f) continue;  // feature vectors are sparse
+      const float* bk = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_at_b: row mismatch");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+#pragma omp parallel if (m * n * k > 1u << 16)
+  {
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) {
+      float* ci = c.data() + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aki = a(kk, i);
+        if (aki == 0.0f) continue;
+        const float* bk = b.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_a_bt: col mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float s = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) s += ai[kk] * bj[kk];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+std::vector<float> matvec(const Matrix& a, std::span<const float> x) {
+  require(a.cols() == x.size(), "matvec: dimension mismatch");
+  std::vector<float> y(a.rows(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.data() + i * a.cols();
+    float s = 0.0f;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += ai[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+void add_row_broadcast(Matrix& m, std::span<const float> bias) {
+  require(bias.size() == m.cols(), "add_row_broadcast: length mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+std::vector<float> column_sums(const Matrix& m) {
+  std::vector<float> s(m.cols(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) s[c] += row[c];
+  }
+  return s;
+}
+
+std::vector<float> column_means(const Matrix& m) {
+  require(m.rows() > 0, "column_means: empty matrix");
+  auto s = column_sums(m);
+  const float inv = 1.0f / static_cast<float>(m.rows());
+  for (auto& x : s) x *= inv;
+  return s;
+}
+
+}  // namespace mev::math

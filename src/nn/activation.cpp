@@ -1,0 +1,80 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mev::nn {
+
+void apply_activation(Activation act, math::Matrix& z) {
+  float* p = z.data();
+  const std::size_t n = z.size();
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+      return;
+    case Activation::kLeakyRelu:
+      for (std::size_t i = 0; i < n; ++i)
+        p[i] = p[i] > 0.0f ? p[i] : 0.01f * p[i];
+      return;
+  }
+  throw std::invalid_argument("apply_activation: unknown activation");
+}
+
+void apply_activation_grad(Activation act, const math::Matrix& z,
+                           const math::Matrix& a, math::Matrix& grad) {
+  if (!grad.same_shape(z) || !grad.same_shape(a))
+    throw std::invalid_argument("apply_activation_grad: shape mismatch");
+  float* g = grad.data();
+  const float* zp = z.data();
+  const float* ap = a.data();
+  const std::size_t n = grad.size();
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < n; ++i)
+        if (zp[i] <= 0.0f) g[i] = 0.0f;
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) g[i] *= ap[i] * (1.0f - ap[i]);
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) g[i] *= 1.0f - ap[i] * ap[i];
+      return;
+    case Activation::kLeakyRelu:
+      for (std::size_t i = 0; i < n; ++i)
+        if (zp[i] <= 0.0f) g[i] *= 0.01f;
+      return;
+  }
+  throw std::invalid_argument("apply_activation_grad: unknown activation");
+}
+
+std::string to_string(Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+    case Activation::kLeakyRelu: return "leaky_relu";
+  }
+  return "unknown";
+}
+
+Activation activation_from_string(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "leaky_relu") return Activation::kLeakyRelu;
+  throw std::invalid_argument("activation_from_string: " + name);
+}
+
+}  // namespace mev::nn

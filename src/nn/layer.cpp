@@ -1,0 +1,112 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mev::nn {
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
+                       math::Rng& rng)
+    : weights_(in, out),
+      bias_(1, out),
+      weight_grad_(in, out),
+      bias_grad_(1, out),
+      activation_(act) {
+  if (in == 0 || out == 0)
+    throw std::invalid_argument("DenseLayer: zero dimension");
+  // He initialization for relu-family activations, Glorot otherwise.
+  const bool relu_family =
+      act == Activation::kRelu || act == Activation::kLeakyRelu;
+  const double scale = relu_family
+                           ? std::sqrt(2.0 / static_cast<double>(in))
+                           : std::sqrt(2.0 / static_cast<double>(in + out));
+  for (std::size_t i = 0; i < weights_.rows(); ++i)
+    for (std::size_t j = 0; j < weights_.cols(); ++j)
+      weights_(i, j) = static_cast<float>(rng.normal(0.0, scale));
+}
+
+DenseLayer::DenseLayer(math::Matrix weights, math::Matrix bias, Activation act)
+    : weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      weight_grad_(weights_.rows(), weights_.cols()),
+      bias_grad_(1, weights_.cols()),
+      activation_(act) {
+  if (bias_.rows() != 1 || bias_.cols() != weights_.cols())
+    throw std::invalid_argument("DenseLayer: bias/weight shape mismatch");
+}
+
+math::Matrix DenseLayer::forward(const math::Matrix& x, bool /*training*/) {
+  if (x.cols() != weights_.rows())
+    throw std::invalid_argument("DenseLayer::forward: dimension mismatch");
+  input_ = x;
+  pre_activation_ = math::matmul(x, weights_);
+  math::add_row_broadcast(pre_activation_, bias_.row(0));
+  output_ = pre_activation_;
+  apply_activation(activation_, output_);
+  return output_;
+}
+
+math::Matrix DenseLayer::backward(const math::Matrix& grad_output) {
+  if (!grad_output.same_shape(output_))
+    throw std::invalid_argument("DenseLayer::backward: shape mismatch");
+  math::Matrix grad_z = grad_output;
+  apply_activation_grad(activation_, pre_activation_, output_, grad_z);
+
+  weight_grad_ += math::matmul_at_b(input_, grad_z);
+  const auto col_grad = math::column_sums(grad_z);
+  for (std::size_t j = 0; j < col_grad.size(); ++j)
+    bias_grad_(0, j) += col_grad[j];
+
+  return math::matmul_a_bt(grad_z, weights_);
+}
+
+std::vector<ParamRef> DenseLayer::params() {
+  return {{&weights_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+void DenseLayer::zero_grad() {
+  weight_grad_.fill(0.0f);
+  bias_grad_.fill(0.0f);
+}
+
+std::unique_ptr<Layer> DenseLayer::clone() const {
+  return std::make_unique<DenseLayer>(weights_, bias_, activation_);
+}
+
+DropoutLayer::DropoutLayer(std::size_t dim, float rate, std::uint64_t seed)
+    : dim_(dim), rate_(rate), seed_(seed), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f)
+    throw std::invalid_argument("DropoutLayer: rate must be in [0, 1)");
+}
+
+math::Matrix DropoutLayer::forward(const math::Matrix& x, bool training) {
+  if (x.cols() != dim_)
+    throw std::invalid_argument("DropoutLayer::forward: dimension mismatch");
+  if (!training || rate_ == 0.0f) {
+    mask_ = math::Matrix();
+    return x;
+  }
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+  mask_ = math::Matrix(x.rows(), x.cols());
+  math::Matrix out = x;
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    const float m = rng_.bernoulli(keep) ? scale : 0.0f;
+    mask_.data()[i] = m;
+    out.data()[i] *= m;
+  }
+  return out;
+}
+
+math::Matrix DropoutLayer::backward(const math::Matrix& grad_output) {
+  if (mask_.empty()) return grad_output;  // was an inference pass
+  math::Matrix grad = grad_output;
+  grad.hadamard(mask_);
+  return grad;
+}
+
+std::unique_ptr<Layer> DropoutLayer::clone() const {
+  return std::make_unique<DropoutLayer>(dim_, rate_, seed_);
+}
+
+}  // namespace mev::nn

@@ -1,0 +1,116 @@
+// Layer abstraction: dense (affine + activation) and dropout layers.
+//
+// Layers cache whatever the backward pass needs during forward; a Layer is
+// therefore stateful across a forward/backward pair and not thread-safe.
+// Clone a network per thread for concurrent inference.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+#include "nn/activation.hpp"
+
+namespace mev::nn {
+
+/// A mutable view of one parameter tensor and its gradient accumulator,
+/// handed to optimizers.
+struct ParamRef {
+  math::Matrix* value = nullptr;
+  math::Matrix* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass on a batch (rows are samples). `training` enables
+  /// stochastic behaviour (dropout).
+  virtual math::Matrix forward(const math::Matrix& x, bool training) = 0;
+
+  /// Backward pass: receives dLoss/dOutput, accumulates parameter
+  /// gradients, returns dLoss/dInput. Must follow a forward call with the
+  /// matching batch.
+  virtual math::Matrix backward(const math::Matrix& grad_output) = 0;
+
+  /// Parameter/gradient pairs (empty for parameterless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Zeroes accumulated gradients.
+  virtual void zero_grad() {}
+
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t output_dim() const = 0;
+
+  virtual std::unique_ptr<Layer> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fully connected layer: y = act(x * W + b), W is in x out, b is 1 x out.
+class DenseLayer final : public Layer {
+ public:
+  /// Initializes weights with He (relu-family) or Glorot (otherwise)
+  /// scaling from `rng`; biases start at zero.
+  DenseLayer(std::size_t in, std::size_t out, Activation act, math::Rng& rng);
+
+  /// Constructs with explicit parameters (for deserialization/tests).
+  /// `bias` must be 1 x weights.cols().
+  DenseLayer(math::Matrix weights, math::Matrix bias, Activation act);
+
+  math::Matrix forward(const math::Matrix& x, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+  std::vector<ParamRef> params() override;
+  void zero_grad() override;
+
+  std::size_t input_dim() const override { return weights_.rows(); }
+  std::size_t output_dim() const override { return weights_.cols(); }
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "dense"; }
+
+  Activation activation() const noexcept { return activation_; }
+  const math::Matrix& weights() const noexcept { return weights_; }
+  math::Matrix& mutable_weights() noexcept { return weights_; }
+  const math::Matrix& bias() const noexcept { return bias_; }
+  math::Matrix& mutable_bias() noexcept { return bias_; }
+
+ private:
+  math::Matrix weights_;      // in x out
+  math::Matrix bias_;         // 1 x out
+  math::Matrix weight_grad_;  // in x out
+  math::Matrix bias_grad_;    // 1 x out
+  Activation activation_;
+
+  // Forward-pass caches.
+  math::Matrix input_;
+  math::Matrix pre_activation_;
+  math::Matrix output_;
+};
+
+/// Inverted dropout: active only in training mode; scales kept units by
+/// 1/(1-rate) so inference needs no rescaling.
+class DropoutLayer final : public Layer {
+ public:
+  /// `dim` is the (equal) input/output width; rate in [0, 1).
+  DropoutLayer(std::size_t dim, float rate, std::uint64_t seed);
+
+  math::Matrix forward(const math::Matrix& x, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+
+  std::size_t input_dim() const override { return dim_; }
+  std::size_t output_dim() const override { return dim_; }
+  std::unique_ptr<Layer> clone() const override;
+  std::string name() const override { return "dropout"; }
+
+  float rate() const noexcept { return rate_; }
+
+ private:
+  std::size_t dim_;
+  float rate_;
+  std::uint64_t seed_;
+  math::Rng rng_;
+  math::Matrix mask_;
+};
+
+}  // namespace mev::nn

@@ -1,0 +1,264 @@
+#include "nn/network.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/linalg.hpp"
+#include "nn/loss.hpp"
+
+namespace mev::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d45564eu;  // "MEVN"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint8_t kDenseTag = 1;
+constexpr std::uint8_t kDropoutTag = 2;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("load_network: truncated stream");
+  return v;
+}
+
+void write_matrix(std::ostream& os, const math::Matrix& m) {
+  write_pod<std::uint64_t>(os, m.rows());
+  write_pod<std::uint64_t>(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+math::Matrix read_matrix(std::istream& is) {
+  const auto rows = read_pod<std::uint64_t>(is);
+  const auto cols = read_pod<std::uint64_t>(is);
+  if (rows > (1u << 24) || cols > (1u << 24))
+    throw std::runtime_error("load_network: implausible matrix shape");
+  math::Matrix m(static_cast<std::size_t>(rows),
+                 static_cast<std::size_t>(cols));
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("load_network: truncated matrix data");
+  return m;
+}
+
+}  // namespace
+
+Network::Network(const Network& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+  return *this;
+}
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  if (layer == nullptr) throw std::invalid_argument("Network::add: null layer");
+  if (!layers_.empty() && layers_.back()->output_dim() != layer->input_dim())
+    throw std::invalid_argument("Network::add: layer dimension mismatch");
+  layers_.push_back(std::move(layer));
+}
+
+std::size_t Network::input_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network: empty");
+  return layers_.front()->input_dim();
+}
+
+std::size_t Network::output_dim() const {
+  if (layers_.empty()) throw std::logic_error("Network: empty");
+  return layers_.back()->output_dim();
+}
+
+std::size_t Network::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_)
+    for (const auto& p : const_cast<Layer&>(*layer).params())
+      n += p.value->size();
+  return n;
+}
+
+math::Matrix Network::forward(const math::Matrix& x, bool training) {
+  if (layers_.empty()) throw std::logic_error("Network::forward: empty");
+  math::Matrix activations = x;
+  for (auto& layer : layers_)
+    activations = layer->forward(activations, training);
+  return activations;
+}
+
+math::Matrix Network::predict_proba(const math::Matrix& x, float temperature) {
+  return softmax_rows(forward(x, /*training=*/false), temperature);
+}
+
+std::vector<int> Network::predict(const math::Matrix& x) {
+  const math::Matrix logits = forward(x, /*training=*/false);
+  std::vector<int> labels(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i)
+    labels[i] = static_cast<int>(math::argmax(logits.row(i)));
+  return labels;
+}
+
+math::Matrix Network::backward(const math::Matrix& grad_logits) {
+  if (layers_.empty()) throw std::logic_error("Network::backward: empty");
+  math::Matrix grad = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    grad = (*it)->backward(grad);
+  return grad;
+}
+
+math::Matrix Network::input_gradient(const math::Matrix& x, int target_class) {
+  const std::size_t classes = output_dim();
+  if (target_class < 0 || static_cast<std::size_t>(target_class) >= classes)
+    throw std::invalid_argument("input_gradient: class out of range");
+  const math::Matrix logits = forward(x, /*training=*/false);
+  const math::Matrix probs = softmax_rows(logits);
+
+  // dF_c/dlogit_j = p_c (delta_cj - p_j): the softmax Jacobian row.
+  math::Matrix grad_logits(logits.rows(), classes);
+  const auto c = static_cast<std::size_t>(target_class);
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float pc = probs(i, c);
+    for (std::size_t j = 0; j < classes; ++j)
+      grad_logits(i, j) = pc * ((j == c ? 1.0f : 0.0f) - probs(i, j));
+  }
+  math::Matrix grad_input = backward(grad_logits);
+  zero_grad();  // discard parameter gradients from this bookkeeping pass
+  return grad_input;
+}
+
+std::vector<math::Matrix> Network::input_gradients_all(const math::Matrix& x) {
+  const std::size_t classes = output_dim();
+  const math::Matrix logits = forward(x, /*training=*/false);
+  const math::Matrix probs = softmax_rows(logits);
+  std::vector<math::Matrix> grads;
+  grads.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    math::Matrix grad_logits(logits.rows(), classes);
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+      const float pc = probs(i, c);
+      for (std::size_t j = 0; j < classes; ++j)
+        grad_logits(i, j) = pc * ((j == c ? 1.0f : 0.0f) - probs(i, j));
+    }
+    grads.push_back(backward(grad_logits));
+  }
+  zero_grad();
+  return grads;
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> all;
+  for (auto& layer : layers_)
+    for (auto& p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::string Network::architecture_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& layer : layers_) {
+    if (layer->name() != "dense") continue;
+    if (first) {
+      os << layer->input_dim();
+      first = false;
+    }
+    os << "-" << layer->output_dim();
+  }
+  return os.str();
+}
+
+Network make_mlp(const MlpConfig& config) {
+  if (config.dims.size() < 2)
+    throw std::invalid_argument("make_mlp: need at least input and output dims");
+  math::Rng rng(config.seed);
+  Network net;
+  for (std::size_t i = 0; i + 1 < config.dims.size(); ++i) {
+    const bool last = (i + 2 == config.dims.size());
+    const Activation act =
+        last ? Activation::kIdentity : config.hidden_activation;
+    net.add(std::make_unique<DenseLayer>(config.dims[i], config.dims[i + 1],
+                                         act, rng));
+    if (!last && config.dropout > 0.0f)
+      net.add(std::make_unique<DropoutLayer>(config.dims[i + 1],
+                                             config.dropout, rng.next()));
+  }
+  return net;
+}
+
+void save_network(const Network& net, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(net.num_layers()));
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const Layer& layer = net.layer(i);
+    if (const auto* dense = dynamic_cast<const DenseLayer*>(&layer)) {
+      write_pod(os, kDenseTag);
+      write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(dense->activation()));
+      write_matrix(os, dense->weights());
+      write_matrix(os, dense->bias());
+    } else if (const auto* drop = dynamic_cast<const DropoutLayer*>(&layer)) {
+      write_pod(os, kDropoutTag);
+      write_pod<std::uint64_t>(os, drop->input_dim());
+      write_pod<float>(os, drop->rate());
+    } else {
+      throw std::runtime_error("save_network: unknown layer type " +
+                               layer.name());
+    }
+  }
+  if (!os) throw std::runtime_error("save_network: write failure");
+}
+
+void save_network(const Network& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_network: cannot open " + path);
+  save_network(net, os);
+}
+
+Network load_network(std::istream& is) {
+  if (read_pod<std::uint32_t>(is) != kMagic)
+    throw std::runtime_error("load_network: bad magic");
+  if (read_pod<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("load_network: unsupported version");
+  const auto count = read_pod<std::uint32_t>(is);
+  Network net;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto tag = read_pod<std::uint8_t>(is);
+    if (tag == kDenseTag) {
+      const auto act = static_cast<Activation>(read_pod<std::uint8_t>(is));
+      math::Matrix weights = read_matrix(is);
+      math::Matrix bias = read_matrix(is);
+      net.add(std::make_unique<DenseLayer>(std::move(weights), std::move(bias),
+                                           act));
+    } else if (tag == kDropoutTag) {
+      const auto dim = read_pod<std::uint64_t>(is);
+      const auto rate = read_pod<float>(is);
+      net.add(std::make_unique<DropoutLayer>(static_cast<std::size_t>(dim),
+                                             rate, /*seed=*/0));
+    } else {
+      throw std::runtime_error("load_network: unknown layer tag");
+    }
+  }
+  return net;
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_network: cannot open " + path);
+  return load_network(is);
+}
+
+}  // namespace mev::nn

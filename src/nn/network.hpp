@@ -1,0 +1,94 @@
+// Feed-forward network (MLP) — the model class for both the target malware
+// detector (4-layer DNN) and the substitute model (Table IV: 5-layer,
+// 491-1200-1500-1300-2).
+//
+// Besides training, the network exposes input gradients ∂F_i(X)/∂X_j
+// (Eq. 1 of the paper), which is what the JSMA saliency map consumes.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace mev::nn {
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
+  /// Appends a layer; its input_dim must match the current output_dim.
+  void add(std::unique_ptr<Layer> layer);
+
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+  Layer& mutable_layer(std::size_t i) { return *layers_.at(i); }
+
+  std::size_t input_dim() const;
+  std::size_t output_dim() const;
+
+  /// Total number of trainable scalars.
+  std::size_t num_parameters() const;
+
+  /// Forward pass over a batch; returns logits (batch x classes).
+  math::Matrix forward(const math::Matrix& x, bool training = false);
+
+  /// Softmax probabilities at the given temperature.
+  math::Matrix predict_proba(const math::Matrix& x, float temperature = 1.0f);
+
+  /// Argmax class per row.
+  std::vector<int> predict(const math::Matrix& x);
+
+  /// Backward pass from dLoss/dLogits; accumulates parameter gradients and
+  /// returns dLoss/dInput. Must follow a forward() on the same batch.
+  /// May be called multiple times per forward (e.g. one per output class).
+  math::Matrix backward(const math::Matrix& grad_logits);
+
+  /// Gradient of the softmax probability of `target_class` with respect to
+  /// the input, per sample (batch x input_dim). Runs its own forward pass
+  /// in inference mode; parameter gradients are zeroed afterwards.
+  math::Matrix input_gradient(const math::Matrix& x, int target_class);
+
+  /// Gradients of ALL class probabilities: result[c] is batch x input_dim.
+  /// Cheaper than calling input_gradient per class (single forward).
+  std::vector<math::Matrix> input_gradients_all(const math::Matrix& x);
+
+  std::vector<ParamRef> params();
+  void zero_grad();
+
+  /// Layer widths, e.g. "491-1200-1500-1300-2" (dense layers only).
+  std::string architecture_string() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+struct MlpConfig {
+  std::vector<std::size_t> dims;  // e.g. {491, 1200, 1500, 1300, 2}
+  Activation hidden_activation = Activation::kRelu;
+  float dropout = 0.0f;  // applied after each hidden layer when > 0
+  std::uint64_t seed = 1;
+};
+
+/// Builds an MLP whose final layer is linear (logits); apply softmax via
+/// predict_proba or a loss function.
+Network make_mlp(const MlpConfig& config);
+
+/// Serializes all layers (architecture + parameters) to a binary stream.
+void save_network(const Network& net, std::ostream& os);
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void save_network(const Network& net, const std::string& path);
+
+/// Reads a network written by save_network.
+Network load_network(std::istream& is);
+Network load_network(const std::string& path);
+
+}  // namespace mev::nn

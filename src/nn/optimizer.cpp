@@ -1,0 +1,92 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mev::nn {
+
+namespace {
+
+void check_params(const std::vector<ParamRef>& params) {
+  for (const auto& p : params) {
+    if (p.value == nullptr || p.grad == nullptr)
+      throw std::invalid_argument("Optimizer: null parameter reference");
+    if (!p.value->same_shape(*p.grad))
+      throw std::invalid_argument("Optimizer: value/grad shape mismatch");
+  }
+}
+
+void init_state(std::vector<math::Matrix>& state,
+                const std::vector<ParamRef>& params) {
+  if (state.empty()) {
+    state.reserve(params.size());
+    for (const auto& p : params)
+      state.emplace_back(p.value->rows(), p.value->cols());
+  } else if (state.size() != params.size()) {
+    throw std::invalid_argument("Optimizer: parameter set changed");
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(SgdConfig config) : config_(config) {
+  if (config_.learning_rate <= 0.0f)
+    throw std::invalid_argument("Sgd: learning rate must be positive");
+}
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  check_params(params);
+  init_state(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    math::Matrix& value = *params[i].value;
+    const math::Matrix& grad = *params[i].grad;
+    math::Matrix& vel = velocity_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      float g = grad.data()[j];
+      if (config_.weight_decay > 0.0f)
+        g += config_.weight_decay * value.data()[j];
+      if (config_.momentum > 0.0f) {
+        vel.data()[j] = config_.momentum * vel.data()[j] - config_.learning_rate * g;
+        value.data()[j] += vel.data()[j];
+      } else {
+        value.data()[j] -= config_.learning_rate * g;
+      }
+    }
+  }
+}
+
+Adam::Adam(AdamConfig config) : config_(config) {
+  if (config_.learning_rate <= 0.0f)
+    throw std::invalid_argument("Adam: learning rate must be positive");
+  if (config_.beta1 < 0.0f || config_.beta1 >= 1.0f ||
+      config_.beta2 < 0.0f || config_.beta2 >= 1.0f)
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  check_params(params);
+  init_state(m_, params);
+  init_state(v_, params);
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, step_count_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, step_count_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    math::Matrix& value = *params[i].value;
+    const math::Matrix& grad = *params[i].grad;
+    math::Matrix& m = m_[i];
+    math::Matrix& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      float g = grad.data()[j];
+      if (config_.weight_decay > 0.0f)
+        g += config_.weight_decay * value.data()[j];
+      m.data()[j] = config_.beta1 * m.data()[j] + (1.0f - config_.beta1) * g;
+      v.data()[j] = config_.beta2 * v.data()[j] + (1.0f - config_.beta2) * g * g;
+      const double mhat = m.data()[j] / bc1;
+      const double vhat = v.data()[j] / bc2;
+      value.data()[j] -= static_cast<float>(
+          config_.learning_rate * mhat / (std::sqrt(vhat) + config_.epsilon));
+    }
+  }
+}
+
+}  // namespace mev::nn

@@ -1,0 +1,138 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+#include "nn/loss.hpp"
+
+namespace mev::nn {
+
+namespace {
+
+std::unique_ptr<Optimizer> make_optimizer(const TrainConfig& config) {
+  switch (config.optimizer) {
+    case OptimizerKind::kSgd: {
+      SgdConfig sc;
+      sc.learning_rate = config.learning_rate;
+      sc.momentum = config.momentum;
+      sc.weight_decay = config.weight_decay;
+      return std::make_unique<Sgd>(sc);
+    }
+    case OptimizerKind::kAdam: {
+      AdamConfig ac;
+      ac.learning_rate = config.learning_rate;
+      ac.weight_decay = config.weight_decay;
+      return std::make_unique<Adam>(ac);
+    }
+  }
+  throw std::invalid_argument("make_optimizer: unknown kind");
+}
+
+/// Shared epoch loop; `loss_fn` maps (logits, batch indices) to LossResult.
+template <typename LossFn>
+TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
+                          const TrainConfig& config,
+                          const LabeledData* validation, LossFn&& loss_fn) {
+  if (n == 0) throw std::invalid_argument("train: empty training set");
+  if (config.batch_size == 0)
+    throw std::invalid_argument("train: batch_size must be positive");
+
+  auto optimizer = make_optimizer(config);
+  auto params = net.params();
+  math::Rng rng(config.shuffle_seed);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainHistory history;
+  std::size_t epochs_since_best = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, n);
+      const std::span<const std::size_t> batch_idx(order.data() + start,
+                                                   end - start);
+      const math::Matrix batch_x = x.gather_rows(batch_idx);
+      net.zero_grad();
+      const math::Matrix logits = net.forward(batch_x, /*training=*/true);
+      LossResult loss = loss_fn(logits, batch_idx);
+      epoch_loss += loss.loss;
+      ++batches;
+      net.backward(loss.grad_logits);
+      optimizer->step(params);
+    }
+
+    EpochStats stats;
+    stats.train_loss = epoch_loss / static_cast<double>(batches);
+    if (validation != nullptr)
+      stats.val_accuracy = accuracy(net, validation->x, validation->labels);
+    history.epochs.push_back(stats);
+    if (config.on_epoch)
+      config.on_epoch(epoch, stats.train_loss, stats.val_accuracy);
+
+    if (validation != nullptr) {
+      if (stats.val_accuracy > history.best_val_accuracy) {
+        history.best_val_accuracy = stats.val_accuracy;
+        history.best_epoch = epoch;
+        epochs_since_best = 0;
+      } else if (config.early_stopping_patience > 0 &&
+                 ++epochs_since_best >= config.early_stopping_patience) {
+        history.early_stopped = true;
+        break;
+      }
+    }
+  }
+  return history;
+}
+
+}  // namespace
+
+TrainHistory train(Network& net, const LabeledData& train_data,
+                   const TrainConfig& config, const LabeledData* validation) {
+  if (train_data.labels.size() != train_data.x.rows())
+    throw std::invalid_argument("train: label count mismatch");
+  return run_training(
+      net, train_data.x, train_data.x.rows(), config, validation,
+      [&](const math::Matrix& logits, std::span<const std::size_t> idx) {
+        std::vector<int> batch_labels(idx.size());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+          batch_labels[i] = train_data.labels[idx[i]];
+        return softmax_cross_entropy(logits, batch_labels, config.temperature);
+      });
+}
+
+TrainHistory train_soft(Network& net, const math::Matrix& x,
+                        const math::Matrix& soft_targets,
+                        const TrainConfig& config,
+                        const LabeledData* validation) {
+  if (soft_targets.rows() != x.rows())
+    throw std::invalid_argument("train_soft: target count mismatch");
+  return run_training(
+      net, x, x.rows(), config, validation,
+      [&](const math::Matrix& logits, std::span<const std::size_t> idx) {
+        math::Matrix batch_targets(idx.size(), soft_targets.cols());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+          batch_targets.set_row(i, soft_targets.row(idx[i]));
+        return soft_label_cross_entropy(logits, batch_targets,
+                                        config.temperature);
+      });
+}
+
+double accuracy(Network& net, const math::Matrix& x,
+                const std::vector<int>& labels) {
+  if (labels.size() != x.rows())
+    throw std::invalid_argument("accuracy: label count mismatch");
+  if (labels.empty()) return 0.0;
+  const auto predictions = net.predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (predictions[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace mev::nn

@@ -1,0 +1,69 @@
+// Mini-batch training loop with shuffling, optional validation-based early
+// stopping, and per-epoch history. Matches the paper's training regime
+// (§III-B: Adam, lr 0.001, batch 256).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mev::nn {
+
+enum class OptimizerKind { kSgd, kAdam };
+
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 256;
+  float learning_rate = 0.001f;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  float momentum = 0.9f;       // SGD only
+  float weight_decay = 0.0f;
+  /// Softmax temperature used in the loss (defensive distillation trains
+  /// the student at high T; normal training uses 1).
+  float temperature = 1.0f;
+  std::uint64_t shuffle_seed = 7;
+  /// Stop if validation accuracy has not improved for this many epochs
+  /// (0 disables early stopping).
+  std::size_t early_stopping_patience = 0;
+  /// Called after every epoch with (epoch, train_loss, val_accuracy or -1).
+  std::function<void(std::size_t, double, double)> on_epoch;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double val_accuracy = -1.0;  // -1 when no validation set given
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  std::size_t best_epoch = 0;
+  double best_val_accuracy = -1.0;
+  bool early_stopped = false;
+};
+
+/// Hard-label training set.
+struct LabeledData {
+  math::Matrix x;            // n x features
+  std::vector<int> labels;   // n
+};
+
+/// Trains with integer labels via softmax cross-entropy.
+TrainHistory train(Network& net, const LabeledData& train_data,
+                   const TrainConfig& config,
+                   const LabeledData* validation = nullptr);
+
+/// Trains with soft probability targets (distillation student).
+TrainHistory train_soft(Network& net, const math::Matrix& x,
+                        const math::Matrix& soft_targets,
+                        const TrainConfig& config,
+                        const LabeledData* validation = nullptr);
+
+/// Fraction of samples whose argmax prediction matches the label.
+double accuracy(Network& net, const math::Matrix& x,
+                const std::vector<int>& labels);
+
+}  // namespace mev::nn

@@ -1,0 +1,44 @@
+#include "attack/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/trainer.hpp"
+
+namespace mev::attack {
+namespace {
+
+TEST(Transfer, EmptyResult) {
+  nn::MlpConfig cfg;
+  cfg.dims = {4, 8, 2};
+  nn::Network net = nn::make_mlp(cfg);
+  AttackResult crafted;
+  crafted.adversarial = math::Matrix(0, 4);
+  const TransferResult r = evaluate_transfer(net, crafted);
+  EXPECT_EQ(r.total, 0u);
+  EXPECT_EQ(r.evaded_count, 0u);
+}
+
+TEST(Transfer, RatesAreConsistent) {
+  nn::MlpConfig cfg;
+  cfg.dims = {4, 8, 2};
+  cfg.seed = 9;
+  nn::Network net = nn::make_mlp(cfg);
+  math::Rng rng(10);
+  AttackResult crafted;
+  crafted.adversarial = math::Matrix(20, 4);
+  for (std::size_t i = 0; i < crafted.adversarial.size(); ++i)
+    crafted.adversarial.data()[i] = static_cast<float>(rng.uniform());
+  crafted.evaded.assign(20, true);
+  crafted.features_changed.assign(20, 1);
+  crafted.l2_perturbation.assign(20, 0.1);
+
+  const TransferResult r = evaluate_transfer(net, crafted);
+  EXPECT_EQ(r.total, 20u);
+  EXPECT_NEAR(r.transfer_rate + r.target_detection_rate, 1.0, 1e-9);
+  EXPECT_EQ(r.evaded_count,
+            static_cast<std::size_t>(r.transfer_rate * 20 + 0.5));
+  EXPECT_DOUBLE_EQ(r.craft_success_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace mev::attack

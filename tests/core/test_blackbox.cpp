@@ -1,0 +1,114 @@
+#include "core/blackbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mev::core {
+namespace {
+
+/// A trivial oracle: malware iff feature 0's count exceeds a threshold.
+class ThresholdOracle final : public CountOracle {
+ public:
+  std::vector<int> label_counts(const math::Matrix& counts) override {
+    record_queries(counts.rows());
+    std::vector<int> labels(counts.rows());
+    for (std::size_t i = 0; i < counts.rows(); ++i)
+      labels[i] = counts(i, 0) > 5.0f ? 1 : 0;
+    return labels;
+  }
+};
+
+math::Matrix seed_counts(std::size_t n, std::size_t d, std::uint64_t seed) {
+  math::Rng rng(seed);
+  math::Matrix counts(n, d);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    counts.data()[i] = static_cast<float>(rng.poisson(5.0));
+  return counts;
+}
+
+BlackBoxConfig config(std::size_t input_dim) {
+  BlackBoxConfig cfg;
+  cfg.substitute_architecture.dims = {input_dim, 16, 2};
+  cfg.substitute_architecture.seed = 4;
+  cfg.training_per_round.epochs = 10;
+  cfg.augmentation_rounds = 2;
+  return cfg;
+}
+
+TEST(BlackBox, OracleCountsQueries) {
+  ThresholdOracle oracle;
+  oracle.label_counts(math::Matrix(7, 3));
+  oracle.label_counts(math::Matrix(5, 3));
+  EXPECT_EQ(oracle.queries(), 12u);
+}
+
+TEST(BlackBox, EmptySeedThrows) {
+  ThresholdOracle oracle;
+  EXPECT_THROW(run_blackbox_framework(oracle, math::Matrix(0, 4), config(4)),
+               std::invalid_argument);
+}
+
+TEST(BlackBox, ArchitectureMismatchThrows) {
+  ThresholdOracle oracle;
+  EXPECT_THROW(
+      run_blackbox_framework(oracle, seed_counts(10, 4, 1), config(5)),
+      std::invalid_argument);
+}
+
+TEST(BlackBox, DatasetDoublesEachRound) {
+  ThresholdOracle oracle;
+  const auto result =
+      run_blackbox_framework(oracle, seed_counts(16, 4, 2), config(4));
+  ASSERT_EQ(result.rounds.size(), 3u);  // rounds 0..2
+  EXPECT_EQ(result.rounds[0].dataset_rows, 16u);
+  EXPECT_EQ(result.rounds[1].dataset_rows, 32u);
+  EXPECT_EQ(result.rounds[2].dataset_rows, 64u);
+  EXPECT_EQ(result.total_queries, 16u + 32u + 64u);
+}
+
+TEST(BlackBox, MaxRowsCapStopsAugmentation) {
+  ThresholdOracle oracle;
+  auto cfg = config(4);
+  cfg.augmentation_rounds = 10;
+  cfg.max_dataset_rows = 40;
+  const auto result =
+      run_blackbox_framework(oracle, seed_counts(16, 4, 3), cfg);
+  EXPECT_LE(result.rounds.back().dataset_rows, 40u);
+}
+
+TEST(BlackBox, SubstituteLearnsSimpleOracle) {
+  ThresholdOracle oracle;
+  auto cfg = config(4);
+  cfg.training_per_round.epochs = 25;
+  const auto result =
+      run_blackbox_framework(oracle, seed_counts(64, 4, 5), cfg);
+  EXPECT_GT(result.rounds.back().oracle_agreement, 0.85);
+  ASSERT_NE(result.substitute, nullptr);
+  EXPECT_TRUE(result.attacker_transform.fitted());
+}
+
+TEST(BlackBox, RealizeCountsInvertsTransform) {
+  features::CountTransform t;
+  const math::Matrix counts = seed_counts(12, 5, 7);
+  t.fit(counts);
+  const math::Matrix features = t.apply(counts);
+  const math::Matrix realized = realize_counts(t, features);
+  EXPECT_EQ(realized, counts);
+}
+
+TEST(BlackBox, AgreementTendsUpward) {
+  ThresholdOracle oracle;
+  auto cfg = config(4);
+  cfg.augmentation_rounds = 3;
+  cfg.training_per_round.epochs = 20;
+  const auto result =
+      run_blackbox_framework(oracle, seed_counts(32, 4, 9), cfg);
+  // The last round should agree at least as well as the first (Jacobian
+  // augmentation adds informative boundary samples).
+  EXPECT_GE(result.rounds.back().oracle_agreement,
+            result.rounds.front().oracle_agreement - 0.05);
+}
+
+}  // namespace
+}  // namespace mev::core

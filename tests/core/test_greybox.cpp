@@ -1,0 +1,134 @@
+#include "core/greybox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "data/api_vocab.hpp"
+
+namespace mev::core {
+namespace {
+
+features::CountTransform fitted_transform() {
+  features::CountTransform t;
+  math::Matrix counts(2, 4);
+  counts(0, 0) = 10;
+  counts(0, 1) = 4;
+  counts(1, 2) = 2;
+  counts(0, 3) = 1;
+  t.fit(counts);
+  return t;
+}
+
+TEST(GreyBox, CountAdditionsFromPerturbation) {
+  const auto t = fitted_transform();
+  // original counts {2, 0, 0, 0} -> features {0.2, 0, 0, 0}
+  math::Matrix orig(1, 4);
+  orig(0, 0) = 0.2f;
+  math::Matrix adv = orig;
+  adv(0, 0) = 0.5f;  // 0.3 * denom(10) = +3 calls
+  adv(0, 1) = 0.25f; // 0.25 * denom(4) = +1 call
+  const math::Matrix additions =
+      additions_from_count_perturbation(t, orig, adv);
+  EXPECT_EQ(additions(0, 0), 3.0f);
+  EXPECT_EQ(additions(0, 1), 1.0f);
+  EXPECT_EQ(additions(0, 2), 0.0f);
+}
+
+TEST(GreyBox, AdditionsAreNeverNegative) {
+  const auto t = fitted_transform();
+  math::Matrix orig(1, 4, 0.5f);
+  math::Matrix adv(1, 4, 0.1f);  // decreased features must be ignored
+  const math::Matrix additions =
+      additions_from_count_perturbation(t, orig, adv);
+  for (std::size_t i = 0; i < additions.size(); ++i)
+    EXPECT_EQ(additions.data()[i], 0.0f);
+}
+
+TEST(GreyBox, TinyPositiveDeltaStillAddsOneCall) {
+  const auto t = fitted_transform();
+  math::Matrix orig(1, 4);
+  math::Matrix adv = orig;
+  adv(0, 3) = 0.01f;  // denom 1 -> sub-one-call delta, still one real call
+  const math::Matrix additions =
+      additions_from_count_perturbation(t, orig, adv);
+  EXPECT_EQ(additions(0, 3), 1.0f);
+}
+
+TEST(GreyBox, ShapeMismatchThrows) {
+  const auto t = fitted_transform();
+  EXPECT_THROW(
+      additions_from_count_perturbation(t, math::Matrix(1, 4),
+                                        math::Matrix(2, 4)),
+      std::invalid_argument);
+  EXPECT_THROW(additions_from_binary_perturbation(math::Matrix(1, 4),
+                                                  math::Matrix(1, 5)),
+               std::invalid_argument);
+}
+
+TEST(GreyBox, BinaryAdditionsOnlyForNewlyActivated) {
+  math::Matrix orig{{0, 1, 0, 1}};
+  math::Matrix adv{{0.4f, 1, 0, 1}};  // feature 0 newly raised
+  const math::Matrix additions =
+      additions_from_binary_perturbation(orig, adv);
+  EXPECT_EQ(additions(0, 0), 1.0f);
+  EXPECT_EQ(additions(0, 1), 0.0f);
+  EXPECT_EQ(additions(0, 3), 0.0f);
+}
+
+features::FeaturePipeline target_pipeline(const math::Matrix& counts) {
+  auto transform = std::make_unique<features::CountTransform>();
+  transform->fit(counts);
+  // Use a small custom vocab matching the 4-feature toy data.
+  static const data::ApiVocab vocab(
+      {"alpha", "bravo", "charlie", "delta"});
+  return features::FeaturePipeline(vocab, std::move(transform));
+}
+
+TEST(GreyBoxMap, CountMapRoundTripAtZeroPerturbation) {
+  math::Matrix counts{{2, 0, 1, 0}, {0, 3, 0, 1}};
+  auto pipeline = target_pipeline(counts);
+  features::CountTransform attacker;
+  attacker.fit(counts);
+  const auto map = make_greybox_count_map(attacker, pipeline, counts);
+
+  const math::Matrix craft = map.to_craft_space(math::Matrix(2, 4));
+  // No perturbation: deployment reproduces the target features exactly.
+  const math::Matrix deployed = map.to_target_space(craft);
+  EXPECT_EQ(deployed, pipeline.features_from_counts(counts));
+}
+
+TEST(GreyBoxMap, DeployedFeaturesNeverDecrease) {
+  math::Matrix counts{{2, 0, 1, 0}};
+  auto pipeline = target_pipeline(counts);
+  features::CountTransform attacker;
+  attacker.fit(counts);
+  const auto map = make_greybox_count_map(attacker, pipeline, counts);
+  math::Matrix craft = map.to_craft_space(math::Matrix(1, 4));
+  math::Matrix adv = craft;
+  for (std::size_t j = 0; j < 4; ++j)
+    adv(0, j) = std::min(1.0f, adv(0, j) + 0.3f);
+  const math::Matrix base = pipeline.features_from_counts(counts);
+  const math::Matrix deployed = map.to_target_space(adv);
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_GE(deployed(0, j), base(0, j) - 1e-6);
+}
+
+TEST(GreyBoxMap, BinaryMapActivatesApis) {
+  math::Matrix counts{{2, 0, 1, 0}};
+  auto pipeline = target_pipeline(counts);
+  const auto map = make_greybox_binary_map(pipeline, counts);
+  const math::Matrix craft = map.to_craft_space(math::Matrix(1, 4));
+  EXPECT_EQ(craft(0, 0), 1.0f);
+  EXPECT_EQ(craft(0, 1), 0.0f);
+
+  math::Matrix adv = craft;
+  adv(0, 1) = 0.7f;  // activate API 1
+  const math::Matrix deployed = map.to_target_space(adv);
+  const math::Matrix base = pipeline.features_from_counts(counts);
+  EXPECT_GT(deployed(0, 1), base(0, 1));
+}
+
+}  // namespace
+}  // namespace mev::core

@@ -1,0 +1,87 @@
+#include "core/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/experiment_config.hpp"
+#include "data/synthetic.hpp"
+
+namespace mev::core {
+namespace {
+
+struct Fixture {
+  const data::ApiVocab& vocab = data::ApiVocab::instance();
+  data::GenerativeModel generator{vocab, data::GenerativeConfig{}};
+  data::DatasetBundle bundle;
+  DetectorTrainingResult trained;
+
+  Fixture() {
+    const auto config = ExperimentConfig::tiny();
+    math::Rng rng(config.seed + 5);
+    bundle = generator.generate_bundle(data::DatasetSpec::scaled(0.003, 16),
+                                       rng);
+    auto arch = config.target_architecture();
+    auto tc = config.target_training();
+    tc.epochs = 5;
+    trained = train_detector(bundle, arch, tc, vocab);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(Persistence, RoundTripPreservesVerdicts) {
+  auto& f = fixture();
+  const std::string prefix = ::testing::TempDir() + "/mev_detector";
+  save_detector(*f.trained.detector, prefix);
+  auto loaded = load_detector(prefix, f.vocab);
+  ASSERT_NE(loaded, nullptr);
+
+  math::Rng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    const data::ApiLog log = f.generator.generate_log(
+        i % 2, "roundtrip_" + std::to_string(i) + ".exe", rng);
+    const Verdict a = f.trained.detector->scan(log);
+    const Verdict b = loaded->scan(log);
+    EXPECT_EQ(a.predicted_class, b.predicted_class);
+    EXPECT_NEAR(a.malware_confidence, b.malware_confidence, 1e-6);
+  }
+}
+
+TEST(Persistence, RoundTripPreservesFeatureTransform) {
+  auto& f = fixture();
+  const std::string prefix = ::testing::TempDir() + "/mev_detector2";
+  save_detector(*f.trained.detector, prefix);
+  auto loaded = load_detector(prefix, f.vocab);
+  math::Rng rng(78);
+  const auto counts = f.generator.generate_counts(data::kMalwareLabel, rng);
+  math::Matrix m(1, counts.size());
+  m.set_row(0, counts);
+  EXPECT_EQ(f.trained.detector->features_of_counts(m),
+            loaded->features_of_counts(m));
+}
+
+TEST(Persistence, MissingFilesThrow) {
+  auto& f = fixture();
+  EXPECT_THROW(load_detector("/nonexistent/prefix", f.vocab),
+               std::runtime_error);
+}
+
+TEST(Persistence, CorruptTransformThrows) {
+  auto& f = fixture();
+  const std::string prefix = ::testing::TempDir() + "/mev_detector3";
+  save_detector(*f.trained.detector, prefix);
+  // Corrupt the transform file header.
+  {
+    std::ofstream ts(prefix + ".transform");
+    ts << "mystery\n";
+  }
+  EXPECT_THROW(load_detector(prefix, f.vocab), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mev::core

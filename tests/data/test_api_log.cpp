@@ -1,0 +1,128 @@
+#include "data/api_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mev::data {
+namespace {
+
+TEST(ApiLog, FormatMatchesPaperTable2) {
+  ApiCall call;
+  call.api = "GetProcAddress";
+  call.address = 0x13FBC34D6;
+  call.args = "76D30000,\"FlsAlloc\"";
+  call.thread_id = 61484;
+  EXPECT_EQ(format_api_call(call),
+            "GetProcAddress:13FBC34D6 (76D30000,\"FlsAlloc\")\"61484\"");
+}
+
+TEST(ApiLog, FormatEmptyArgs) {
+  ApiCall call;
+  call.api = "GetFileType";
+  call.address = 0x7FEFDD39D0C;
+  call.thread_id = 61468;
+  EXPECT_EQ(format_api_call(call), "GetFileType:7FEFDD39D0C ()\"61468\"");
+}
+
+TEST(ApiLog, ParsePaperLines) {
+  // Lines taken verbatim from the paper's Table II.
+  const ApiCall a = parse_api_call("GetStartupInfoW:7FEFDD39C37 ()\"61468\"");
+  EXPECT_EQ(a.api, "GetStartupInfoW");
+  EXPECT_EQ(a.address, 0x7FEFDD39C37ull);
+  EXPECT_EQ(a.args, "");
+  EXPECT_EQ(a.thread_id, 61468u);
+
+  const ApiCall b = parse_api_call(
+      "GetProcAddress:13FBC34D6 (76D30000,\"FlsAlloc\")\"61484\"");
+  EXPECT_EQ(b.api, "GetProcAddress");
+  EXPECT_EQ(b.args, "76D30000,\"FlsAlloc\"");
+  EXPECT_EQ(b.thread_id, 61484u);
+}
+
+TEST(ApiLog, FormatParseRoundTrip) {
+  ApiCall call;
+  call.api = "RegSetValueExW";
+  call.address = 0xABCDEF0123;
+  call.args = "HKEY_CURRENT_USER,\"Run\",4";
+  call.thread_id = 1234;
+  EXPECT_EQ(parse_api_call(format_api_call(call)), call);
+}
+
+class ApiLogMalformed : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ApiLogMalformed, ParseThrows) {
+  EXPECT_THROW(parse_api_call(GetParam()), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadLines, ApiLogMalformed,
+    ::testing::Values("", "noformat", ":13F ()\"1\"",
+                      "Api:NOTHEX ()\"1\"", "Api:13F ()\"\"",
+                      "Api:13F ()\"abc\"", "Api:13F \"1\"",
+                      "Api:13F (x\"1\"", "Api:13F ()\"1",
+                      "Api:13F()\"1\""));
+
+TEST(ApiLog, CountApiIsCaseInsensitive) {
+  ApiLog log;
+  log.append_calls("WriteFile", 3);
+  log.append_calls("ReadFile", 1);
+  EXPECT_EQ(log.count_api("writefile"), 3u);
+  EXPECT_EQ(log.count_api("WRITEFILE"), 3u);
+  EXPECT_EQ(log.count_api("missing"), 0u);
+  EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(ApiLog, AppendCallsAssignsPlausibleMetadata) {
+  ApiLog log;
+  log.append_calls("WinExec", 2);
+  ASSERT_EQ(log.calls.size(), 2u);
+  EXPECT_NE(log.calls[0].address, log.calls[1].address);
+  EXPECT_EQ(log.calls[0].thread_id, log.calls[1].thread_id);
+  // Appending more continues from the last call's context.
+  log.append_calls("WinExec", 1);
+  EXPECT_GT(log.calls[2].address, log.calls[1].address);
+}
+
+TEST(ApiLog, WriteReadRoundTrip) {
+  ApiLog log;
+  log.sample_name = "evil.exe";
+  log.os = OsVariant::kWin10;
+  log.append_calls("CreateFileW", 2);
+  log.append_calls("WriteProcessMemory", 1);
+
+  std::stringstream buffer;
+  write_log(log, buffer);
+  const ApiLog loaded = read_log(buffer);
+  EXPECT_EQ(loaded, log);
+}
+
+TEST(ApiLog, StringRoundTrip) {
+  ApiLog log;
+  log.sample_name = "x.dll";
+  log.os = OsVariant::kWinXp;
+  log.append_calls("LoadLibraryA", 1);
+  EXPECT_EQ(log_from_string(log_to_string(log)), log);
+}
+
+TEST(ApiLog, ReadIgnoresUnknownHeadersAndBlankLines) {
+  const std::string text =
+      "# sample: a.exe\n# custom: whatever\n\n# os: Win8\n"
+      "GetFileType:1A ()\"7\"\n";
+  const ApiLog log = log_from_string(text);
+  EXPECT_EQ(log.sample_name, "a.exe");
+  EXPECT_EQ(log.os, OsVariant::kWin8);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(ApiLog, OsVariantStringRoundTrip) {
+  for (OsVariant os : {OsVariant::kWin7, OsVariant::kWinXp, OsVariant::kWin8,
+                       OsVariant::kWin10}) {
+    EXPECT_EQ(os_variant_from_string(to_string(os)), os);
+  }
+  EXPECT_THROW(os_variant_from_string("Win95"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mev::data

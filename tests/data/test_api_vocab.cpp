@@ -1,0 +1,88 @@
+#include "data/api_vocab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mev::data {
+namespace {
+
+TEST(ApiVocab, CanonicalHasExactly491Names) {
+  EXPECT_EQ(ApiVocab::instance().size(), kNumApiFeatures);
+  EXPECT_EQ(kNumApiFeatures, 491u);
+}
+
+TEST(ApiVocab, CanonicalIsSortedAndUnique) {
+  const auto names = ApiVocab::instance().names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(ApiVocab, ContainsEveryPaperName) {
+  const auto& vocab = ApiVocab::instance();
+  for (const auto name : paper_api_names())
+    EXPECT_TRUE(vocab.contains(name)) << name;
+}
+
+TEST(ApiVocab, Fig1ApisPresent) {
+  // The two APIs the paper's Fig. 1 adversarial example adds.
+  const auto& vocab = ApiVocab::instance();
+  EXPECT_TRUE(vocab.contains("destroyicon"));
+  EXPECT_TRUE(vocab.contains("dllsload"));
+}
+
+TEST(ApiVocab, IndexNameRoundTrip) {
+  const auto& vocab = ApiVocab::instance();
+  for (std::size_t i = 0; i < vocab.size(); i += 37) {
+    const auto idx = vocab.index_of(vocab.name(i));
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, i);
+  }
+}
+
+TEST(ApiVocab, LookupIsCaseInsensitive) {
+  const auto& vocab = ApiVocab::instance();
+  const auto lower = vocab.index_of("writeprocessmemory");
+  const auto mixed = vocab.index_of("WriteProcessMemory");
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_EQ(lower, mixed);
+}
+
+TEST(ApiVocab, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(ApiVocab::instance().index_of("definitely_not_an_api"));
+}
+
+TEST(ApiVocab, NameOutOfRangeThrows) {
+  EXPECT_THROW(ApiVocab::instance().name(kNumApiFeatures),
+               std::out_of_range);
+}
+
+TEST(ApiVocab, CustomVocabNormalizesCase) {
+  const ApiVocab vocab({"Beta", "alpha"});
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.name(0), "alpha");  // sorted after lower-casing
+  EXPECT_EQ(vocab.name(1), "beta");
+}
+
+TEST(ApiVocab, CustomVocabRejectsBadInput) {
+  EXPECT_THROW(ApiVocab({}), std::invalid_argument);
+  EXPECT_THROW(ApiVocab({"a", ""}), std::invalid_argument);
+  EXPECT_THROW(ApiVocab({"dup", "DUP"}), std::invalid_argument);
+}
+
+TEST(ApiVocab, ToLowerAscii) {
+  EXPECT_EQ(to_lower_ascii("GetProcAddress"), "getprocaddress");
+  EXPECT_EQ(to_lower_ascii(""), "");
+  EXPECT_EQ(to_lower_ascii("123_abc"), "123_abc");
+}
+
+TEST(ApiVocab, Table3ExcerptNeighborhoodIsAlphabetical) {
+  // Table III shows indices 475..484 covering "w"-prefixed names; ours are
+  // alphabetical too, so the tail of the vocabulary must be w-names.
+  const auto& vocab = ApiVocab::instance();
+  EXPECT_EQ(vocab.name(480)[0], 'w');
+}
+
+}  // namespace
+}  // namespace mev::data

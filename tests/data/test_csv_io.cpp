@@ -1,0 +1,72 @@
+#include "data/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mev::data {
+namespace {
+
+CountDataset sample() {
+  CountDataset ds;
+  ds.counts = math::Matrix{{1, 0, 2.5f}, {0, 3, 0}};
+  ds.labels = {kCleanLabel, kMalwareLabel};
+  return ds;
+}
+
+TEST(CsvIo, RoundTrip) {
+  const CountDataset ds = sample();
+  std::stringstream buffer;
+  write_csv(ds, buffer);
+  const CountDataset loaded = read_csv(buffer);
+  EXPECT_EQ(loaded.labels, ds.labels);
+  EXPECT_EQ(loaded.counts, ds.counts);
+}
+
+TEST(CsvIo, HeaderContainsFeatureColumns) {
+  std::stringstream buffer;
+  write_csv(sample(), buffer);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "label,f0,f1,f2");
+}
+
+TEST(CsvIo, EmptyInputThrows) {
+  std::stringstream buffer;
+  EXPECT_THROW(read_csv(buffer), std::runtime_error);
+}
+
+TEST(CsvIo, HeaderOnlyGivesEmptyDataset) {
+  std::stringstream buffer("label,f0,f1\n");
+  const CountDataset ds = read_csv(buffer);
+  EXPECT_EQ(ds.size(), 0u);
+}
+
+class CsvMalformed : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CsvMalformed, Throws) {
+  std::stringstream buffer(std::string("label,f0,f1\n") + GetParam());
+  EXPECT_THROW(read_csv(buffer), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(BadRows, CsvMalformed,
+                         ::testing::Values("x,1,2\n",      // bad label
+                                           "0,1\n",        // ragged short
+                                           "0,1,2,3\n",    // ragged long
+                                           "0,abc,2\n",    // bad number
+                                           "3,1,2\n"));    // label range
+
+TEST(CsvIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mev_csv_test.csv";
+  write_csv(sample(), path);
+  const CountDataset loaded = read_csv(path);
+  EXPECT_EQ(loaded.counts, sample().counts);
+}
+
+TEST(CsvIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mev::data

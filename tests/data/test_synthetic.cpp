@@ -1,0 +1,168 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/extractor.hpp"
+
+namespace mev::data {
+namespace {
+
+const ApiVocab& vocab() { return ApiVocab::instance(); }
+
+GenerativeModel model(std::uint64_t seed = 2018) {
+  GenerativeConfig cfg;
+  cfg.seed = seed;
+  return GenerativeModel(vocab(), cfg);
+}
+
+TEST(Synthetic, ProfilesAreDeterministicInSeed) {
+  const GenerativeModel a = model(1), b = model(1), c = model(2);
+  EXPECT_EQ(a.profiles().clean_rates, b.profiles().clean_rates);
+  EXPECT_NE(a.profiles().clean_rates, c.profiles().clean_rates);
+}
+
+TEST(Synthetic, ProfileStructure) {
+  const GenerativeModel m = model();
+  const auto& p = m.profiles();
+  EXPECT_FALSE(p.loader_apis.empty());
+  EXPECT_FALSE(p.malware_signature_apis.empty());
+  EXPECT_FALSE(p.clean_signature_apis.empty());
+  // Signature caps respected.
+  EXPECT_LE(p.malware_signature_apis.size(), 16u);
+  EXPECT_LE(p.clean_signature_apis.size(), 16u);
+}
+
+TEST(Synthetic, LoaderApisCarryNoLabelSignal) {
+  const GenerativeModel m = model();
+  const auto& p = m.profiles();
+  for (std::size_t i : p.loader_apis)
+    EXPECT_NEAR(p.clean_rates[i], p.malware_rates[i], 1e-9) << i;
+}
+
+TEST(Synthetic, SignatureApisAreAsymmetric) {
+  const GenerativeModel m = model();
+  const auto& p = m.profiles();
+  double mal_in_mal = 0, mal_in_clean = 0;
+  for (std::size_t i : p.malware_signature_apis) {
+    mal_in_mal += p.malware_rates[i];
+    mal_in_clean += p.clean_rates[i];
+  }
+  EXPECT_GT(mal_in_mal, 3.0 * mal_in_clean);
+}
+
+TEST(Synthetic, SignatureApisComeFromMarkerLists) {
+  // Every selected malware-signature API must look malware-ish: spot-check
+  // that none of the paper's clean-direction APIs (Fig. 1) are in it.
+  const GenerativeModel m = model();
+  const auto& sig = m.profiles().malware_signature_apis;
+  for (const char* benign : {"destroyicon", "dllsload", "waitmessage"}) {
+    const auto idx = vocab().index_of(benign);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(std::find(sig.begin(), sig.end(), *idx), sig.end()) << benign;
+  }
+}
+
+TEST(Synthetic, CountsAreNonNegativeIntegers) {
+  const GenerativeModel m = model();
+  math::Rng rng(3);
+  for (int label : {kCleanLabel, kMalwareLabel}) {
+    const auto counts = m.generate_counts(label, rng);
+    ASSERT_EQ(counts.size(), vocab().size());
+    for (float c : counts) {
+      EXPECT_GE(c, 0.0f);
+      EXPECT_EQ(c, std::floor(c));
+    }
+  }
+}
+
+TEST(Synthetic, GenerateCountsRejectsBadLabel) {
+  const GenerativeModel m = model();
+  math::Rng rng(4);
+  EXPECT_THROW(m.generate_counts(2, rng), std::invalid_argument);
+}
+
+TEST(Synthetic, ClassesAreDistinguishableInSignatureMass) {
+  const GenerativeModel m = model();
+  math::Rng rng(5);
+  const auto& sig = m.profiles().malware_signature_apis;
+  double mal_mass = 0, clean_mass = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto mal = m.generate_counts(kMalwareLabel, rng);
+    const auto clean = m.generate_counts(kCleanLabel, rng);
+    for (std::size_t j : sig) {
+      mal_mass += mal[j];
+      clean_mass += clean[j];
+    }
+  }
+  EXPECT_GT(mal_mass, 2.0 * clean_mass);
+}
+
+TEST(Synthetic, LogFromCountsRoundTripsThroughExtractor) {
+  const GenerativeModel m = model();
+  math::Rng rng(6);
+  const auto counts = m.generate_counts(kMalwareLabel, rng);
+  const ApiLog log = m.log_from_counts(counts, "t.exe", rng);
+  const features::CountExtractor extractor(vocab());
+  EXPECT_EQ(extractor.extract(log), counts);
+}
+
+TEST(Synthetic, LogFromCountsRejectsWrongDimension) {
+  const GenerativeModel m = model();
+  math::Rng rng(7);
+  EXPECT_THROW(m.log_from_counts(std::vector<float>(3, 0.0f), "x", rng),
+               std::invalid_argument);
+}
+
+TEST(Synthetic, GenerateLogHasNameAndCalls) {
+  const GenerativeModel m = model();
+  math::Rng rng(8);
+  const ApiLog log = m.generate_log(kMalwareLabel, "sample.exe", rng);
+  EXPECT_EQ(log.sample_name, "sample.exe");
+  EXPECT_GT(log.size(), 10u);
+}
+
+TEST(Synthetic, DatasetSizesAndOrdering) {
+  const GenerativeModel m = model();
+  math::Rng rng(9);
+  const CountDataset ds = m.generate_dataset(5, 7, rng);
+  EXPECT_EQ(ds.size(), 12u);
+  EXPECT_EQ(ds.count_label(kCleanLabel), 5u);
+  EXPECT_EQ(ds.count_label(kMalwareLabel), 7u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ds.labels[i], kCleanLabel);
+}
+
+TEST(Synthetic, BundleMatchesSpec) {
+  const GenerativeModel m = model();
+  math::Rng rng(10);
+  const DatasetSpec spec = DatasetSpec::scaled(0.002, 8);
+  const DatasetBundle b = m.generate_bundle(spec, rng);
+  EXPECT_EQ(b.train.size(), spec.train_total());
+  EXPECT_EQ(b.validation.size(), spec.val_total());
+  EXPECT_EQ(b.test.size(), spec.test_total());
+}
+
+TEST(Synthetic, DriftChangesDistribution) {
+  const GenerativeModel m = model();
+  math::Rng rng_a(11), rng_b(11);
+  // Same rng stream, but drifted profile should give different samples in
+  // aggregate (compare total mass over many samples).
+  double plain = 0, drifted = 0;
+  for (int i = 0; i < 30; ++i) {
+    for (float c : m.generate_counts(kMalwareLabel, rng_a, false)) plain += c;
+    for (float c : m.generate_counts(kMalwareLabel, rng_b, true)) drifted += c;
+  }
+  EXPECT_NE(plain, drifted);
+}
+
+TEST(Synthetic, DeterministicDatasetGivenSeed) {
+  const GenerativeModel m = model();
+  math::Rng a(12), b(12);
+  const CountDataset da = m.generate_dataset(4, 4, a);
+  const CountDataset db = m.generate_dataset(4, 4, b);
+  EXPECT_EQ(da.counts, db.counts);
+}
+
+}  // namespace
+}  // namespace mev::data

@@ -1,0 +1,101 @@
+#include "defense/adversarial_training.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+
+namespace mev::defense {
+namespace {
+
+math::Matrix train_x() { return math::Matrix{{0, 0}, {1, 1}, {0.5f, 0.5f}}; }
+std::vector<int> train_y() {
+  return {data::kCleanLabel, data::kMalwareLabel, data::kCleanLabel};
+}
+
+TEST(AdvTrainingSet, CountsOriginalComposition) {
+  const math::Matrix advex{{0.9f, 0.9f}};
+  const auto set =
+      build_adversarial_training_set(train_x(), train_y(), advex);
+  EXPECT_EQ(set.stats.clean, 2u);
+  EXPECT_EQ(set.stats.malware, 1u);
+  EXPECT_EQ(set.stats.adversarial, 1u);
+  EXPECT_EQ(set.stats.total(), 4u);
+  EXPECT_EQ(set.data.x.rows(), 4u);
+  EXPECT_EQ(set.data.labels.back(), data::kMalwareLabel);
+}
+
+TEST(AdvTrainingSet, RemovesDuplicateAdversarialRows) {
+  const math::Matrix advex{{0.9f, 0.9f}, {0.9f, 0.9f}, {0.8f, 0.8f}};
+  const auto set =
+      build_adversarial_training_set(train_x(), train_y(), advex);
+  EXPECT_EQ(set.stats.adversarial, 2u);
+  EXPECT_EQ(set.stats.duplicates_removed, 1u);
+}
+
+TEST(AdvTrainingSet, RemovesAdvexDuplicatingTrainingRows) {
+  const math::Matrix advex{{1, 1}};  // identical to a training malware row
+  const auto set =
+      build_adversarial_training_set(train_x(), train_y(), advex);
+  EXPECT_EQ(set.stats.adversarial, 0u);
+  EXPECT_EQ(set.stats.duplicates_removed, 1u);
+}
+
+TEST(AdvTrainingSet, BalancesWithExtraClean) {
+  // 1 malware + 3 advex = 4 positives vs 2 clean: needs 2 extra clean.
+  const math::Matrix advex{{0.9f, 0.9f}, {0.8f, 0.8f}, {0.7f, 0.7f}};
+  const math::Matrix pool{{0.1f, 0.1f}, {0.2f, 0.2f}, {0.3f, 0.3f}};
+  const auto set =
+      build_adversarial_training_set(train_x(), train_y(), advex, &pool);
+  EXPECT_EQ(set.stats.clean, 4u);
+  EXPECT_EQ(set.stats.malware + set.stats.adversarial, 4u);
+}
+
+TEST(AdvTrainingSet, PoolExhaustionIsGraceful) {
+  const math::Matrix advex{{0.9f, 0.9f}, {0.8f, 0.8f}, {0.7f, 0.7f}};
+  const math::Matrix pool{{0.1f, 0.1f}};  // not enough to balance
+  const auto set =
+      build_adversarial_training_set(train_x(), train_y(), advex, &pool);
+  EXPECT_EQ(set.stats.clean, 3u);
+}
+
+TEST(AdvTrainingSet, ErrorsOnBadInput) {
+  const math::Matrix advex{{0.9f, 0.9f}};
+  std::vector<int> short_labels{0};
+  EXPECT_THROW(
+      build_adversarial_training_set(train_x(), short_labels, advex),
+      std::invalid_argument);
+  const math::Matrix wrong_dim{{1, 2, 3}};
+  EXPECT_THROW(
+      build_adversarial_training_set(train_x(), train_y(), wrong_dim),
+      std::invalid_argument);
+  const math::Matrix bad_pool{{1, 2, 3}};
+  EXPECT_THROW(build_adversarial_training_set(train_x(), train_y(), advex,
+                                              &bad_pool),
+               std::invalid_argument);
+}
+
+TEST(AdvTraining, TrainsAModel) {
+  math::Matrix x(40, 2);
+  std::vector<int> y(40);
+  math::Rng rng(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const int label = static_cast<int>(i % 2);
+    x(i, 0) = static_cast<float>(label + 0.2 * rng.normal());
+    x(i, 1) = static_cast<float>(label + 0.2 * rng.normal());
+    y[i] = label;
+  }
+  const auto set = build_adversarial_training_set(x, y, math::Matrix(0, 2));
+  AdversarialTrainingConfig cfg;
+  cfg.architecture.dims = {2, 8, 2};
+  cfg.training.epochs = 20;
+  cfg.training.batch_size = 16;
+  cfg.training.learning_rate = 0.01f;
+  auto net = adversarial_training(set, cfg);
+  ASSERT_NE(net, nullptr);
+  EXPECT_GT(nn::accuracy(*net, x, y), 0.9);
+}
+
+}  // namespace
+}  // namespace mev::defense

@@ -1,0 +1,74 @@
+#include "defense/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+
+namespace mev::defense {
+namespace {
+
+/// A classifier that answers with a fixed label for every row.
+class ConstantClassifier final : public Classifier {
+ public:
+  explicit ConstantClassifier(int label) : label_(label) {}
+  std::vector<int> classify(const math::Matrix& features) override {
+    return std::vector<int>(features.rows(), label_);
+  }
+  std::string name() const override { return "const"; }
+
+ private:
+  int label_;
+};
+
+std::shared_ptr<Classifier> constant(int label) {
+  return std::make_shared<ConstantClassifier>(label);
+}
+
+const math::Matrix kProbe(3, 2);
+
+TEST(Ensemble, RejectsEmptyOrNullMembers) {
+  EXPECT_THROW(EnsembleClassifier({}), std::invalid_argument);
+  EXPECT_THROW(EnsembleClassifier({nullptr}), std::invalid_argument);
+}
+
+TEST(Ensemble, MajorityVote) {
+  EnsembleClassifier clf({constant(1), constant(1), constant(0)},
+                         VotePolicy::kMajority);
+  for (int pred : clf.classify(kProbe)) EXPECT_EQ(pred, 1);
+
+  EnsembleClassifier clean_wins({constant(0), constant(0), constant(1)},
+                                VotePolicy::kMajority);
+  for (int pred : clean_wins.classify(kProbe)) EXPECT_EQ(pred, 0);
+}
+
+TEST(Ensemble, MajorityTieBreaksToMalware) {
+  EnsembleClassifier clf({constant(1), constant(0)}, VotePolicy::kMajority);
+  for (int pred : clf.classify(kProbe)) EXPECT_EQ(pred, data::kMalwareLabel);
+}
+
+TEST(Ensemble, AnyMalwarePolicy) {
+  EnsembleClassifier clf({constant(0), constant(0), constant(1)},
+                         VotePolicy::kAnyMalware);
+  for (int pred : clf.classify(kProbe)) EXPECT_EQ(pred, data::kMalwareLabel);
+
+  EnsembleClassifier all_clean({constant(0), constant(0)},
+                               VotePolicy::kAnyMalware);
+  for (int pred : all_clean.classify(kProbe)) EXPECT_EQ(pred, 0);
+}
+
+TEST(Ensemble, ConfidenceIsMemberMean) {
+  EnsembleClassifier clf({constant(1), constant(0)});
+  const auto conf = clf.malware_confidence(kProbe);
+  for (double c : conf) EXPECT_DOUBLE_EQ(c, 0.5);  // (1.0 + 0.0) / 2
+}
+
+TEST(Ensemble, NameListsMembers) {
+  EnsembleClassifier clf({constant(1), constant(0)}, VotePolicy::kAnyMalware);
+  EXPECT_EQ(clf.name(), "ensemble-any(const+const)");
+  EXPECT_EQ(clf.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mev::defense

@@ -1,0 +1,76 @@
+#include "eval/distance_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace mev::eval {
+namespace {
+
+TEST(Distance, PairedMalwareAdvexDistance) {
+  const math::Matrix malware{{0, 0}, {1, 1}};
+  const math::Matrix advex{{0, 1}, {1, 2}};  // each row moved by 1
+  const math::Matrix clean{{10, 10}};
+  const DistanceTriple t = l2_distance_analysis(malware, advex, clean);
+  EXPECT_NEAR(t.malware_to_adversarial, 1.0, 1e-6);
+}
+
+TEST(Distance, CrossPopulationMeans) {
+  const math::Matrix malware{{0, 0}};
+  const math::Matrix advex{{0, 0}};
+  const math::Matrix clean{{3, 4}};
+  const DistanceTriple t = l2_distance_analysis(malware, advex, clean);
+  EXPECT_NEAR(t.malware_to_clean, 5.0, 1e-6);
+  EXPECT_NEAR(t.clean_to_adversarial, 5.0, 1e-6);
+}
+
+TEST(Distance, PaperOrderingPredicate) {
+  DistanceTriple good;
+  good.malware_to_adversarial = 0.3;
+  good.malware_to_clean = 2.0;
+  good.clean_to_adversarial = 2.2;
+  EXPECT_TRUE(good.paper_ordering_holds());
+
+  DistanceTriple bad = good;
+  bad.clean_to_adversarial = 1.0;
+  EXPECT_FALSE(bad.paper_ordering_holds());
+}
+
+TEST(Distance, RowMismatchThrows) {
+  EXPECT_THROW(l2_distance_analysis(math::Matrix(2, 2), math::Matrix(3, 2),
+                                    math::Matrix(1, 2)),
+               std::invalid_argument);
+}
+
+TEST(Distance, EmptyCleanThrows) {
+  EXPECT_THROW(l2_distance_analysis(math::Matrix(1, 2), math::Matrix(1, 2),
+                                    math::Matrix(0, 2)),
+               std::invalid_argument);
+}
+
+TEST(Distance, SubsamplingIsDeterministic) {
+  math::Rng rng(3);
+  math::Matrix a(50, 4), b(50, 4), c(60, 4);
+  for (auto* m : {&a, &b, &c})
+    for (std::size_t i = 0; i < m->size(); ++i)
+      m->data()[i] = static_cast<float>(rng.uniform());
+  const auto t1 = l2_distance_analysis(a, b, c, 100);
+  const auto t2 = l2_distance_analysis(a, b, c, 100);
+  EXPECT_EQ(t1.malware_to_clean, t2.malware_to_clean);
+}
+
+TEST(Distance, RenderCurveContainsOrderingColumn) {
+  DistanceCurvePoint p;
+  p.attack_strength = 0.1;
+  p.distances.malware_to_adversarial = 0.2;
+  p.distances.malware_to_clean = 1.0;
+  p.distances.clean_to_adversarial = 1.3;
+  const std::string out = render_distance_curve("gamma", {p});
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("gamma"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mev::eval

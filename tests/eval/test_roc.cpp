@@ -1,0 +1,75 @@
+#include "eval/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mev::eval {
+namespace {
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  const std::vector<int> labels{0, 0, 1, 1};
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 1.0);
+}
+
+TEST(Roc, ReversedScoresGiveAucZero) {
+  const std::vector<int> labels{0, 0, 1, 1};
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 0.0);
+}
+
+TEST(Roc, RandomScoresGiveHalf) {
+  // Identical scores: the single step covers everything -> AUC 0.5.
+  const std::vector<int> labels{0, 1, 0, 1};
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 0.5);
+}
+
+TEST(Roc, KnownPartialOrdering) {
+  // One inversion among 2x2 pairs: AUC = 3/4.
+  const std::vector<int> labels{0, 1, 0, 1};
+  const std::vector<double> scores{0.1, 0.4, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(auc(labels, scores), 0.75);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+  const std::vector<int> labels{0, 1, 0, 1, 1, 0};
+  const std::vector<double> scores{0.2, 0.9, 0.4, 0.6, 0.3, 0.1};
+  const auto points = roc_curve(labels, scores);
+  EXPECT_DOUBLE_EQ(points.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(points.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().fpr, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].tpr, points[i - 1].tpr);
+    EXPECT_GE(points[i].fpr, points[i - 1].fpr);
+    EXPECT_LE(points[i].threshold, points[i - 1].threshold);
+  }
+}
+
+TEST(Roc, TiedScoresCollapseToOnePoint) {
+  const std::vector<int> labels{0, 1, 1};
+  const std::vector<double> scores{0.5, 0.5, 0.9};
+  const auto points = roc_curve(labels, scores);
+  // endpoints + 0.9 step + the tied 0.5 step.
+  EXPECT_EQ(points.size(), 3u);
+}
+
+TEST(Roc, YoudenThresholdSeparatesPerfectData) {
+  const std::vector<int> labels{0, 0, 1, 1};
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const double threshold = best_youden_threshold(labels, scores);
+  // Classifying score >= threshold as malware must be perfect.
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    EXPECT_EQ(scores[i] >= threshold, labels[i] == 1);
+}
+
+TEST(Roc, Validation) {
+  EXPECT_THROW(auc({0, 1}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(auc({0, 0}, {0.5, 0.6}), std::invalid_argument);  // one class
+  EXPECT_THROW(auc({0, 2}, {0.5, 0.6}), std::invalid_argument);  // bad label
+}
+
+}  // namespace
+}  // namespace mev::eval

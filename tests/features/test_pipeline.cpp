@@ -1,0 +1,58 @@
+#include "features/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "features/transform.hpp"
+
+namespace mev::features {
+namespace {
+
+FeaturePipeline make_pipeline() {
+  const auto& vocab = data::ApiVocab::instance();
+  auto transform = std::make_unique<CountTransform>();
+  math::Matrix counts(2, vocab.size());
+  counts(0, 0) = 4;
+  counts(1, 1) = 2;
+  transform->fit(counts);
+  return FeaturePipeline(vocab, std::move(transform));
+}
+
+TEST(Pipeline, NullTransformThrows) {
+  EXPECT_THROW(FeaturePipeline(data::ApiVocab::instance(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, FeaturesFromLogMatchManualPath) {
+  const FeaturePipeline pipeline = make_pipeline();
+  data::ApiLog log;
+  log.append_calls(data::ApiVocab::instance().name(0), 2);
+  const auto via_log = pipeline.features_from_log(log);
+  const auto counts = pipeline.extractor().extract(log);
+  const auto via_counts = pipeline.features_from_counts_row(counts);
+  EXPECT_EQ(via_log, via_counts);
+  EXPECT_EQ(via_log[0], 0.5f);  // 2 of max 4
+}
+
+TEST(Pipeline, BatchFeatures) {
+  const FeaturePipeline pipeline = make_pipeline();
+  math::Matrix counts(1, data::kNumApiFeatures);
+  counts(0, 1) = 1;
+  const math::Matrix f = pipeline.features_from_counts(counts);
+  EXPECT_EQ(f(0, 1), 0.5f);  // 1 of max 2
+}
+
+TEST(Pipeline, CopyIsDeep) {
+  const FeaturePipeline pipeline = make_pipeline();
+  const FeaturePipeline copy = pipeline;  // NOLINT(performance-*)
+  EXPECT_EQ(copy.dim(), pipeline.dim());
+  EXPECT_EQ(copy.transform().name(), "count");
+}
+
+TEST(Pipeline, DimMatchesVocab) {
+  EXPECT_EQ(make_pipeline().dim(), data::kNumApiFeatures);
+}
+
+}  // namespace
+}  // namespace mev::features

@@ -1,0 +1,165 @@
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mev::nn {
+namespace {
+
+TEST(DenseLayer, ForwardKnownValues) {
+  // y = x * W + b with identity activation.
+  math::Matrix w{{1, 0}, {0, 2}};
+  math::Matrix b{{10, 20}};
+  DenseLayer layer(std::move(w), std::move(b), Activation::kIdentity);
+  const math::Matrix x{{3, 4}};
+  const math::Matrix y = layer.forward(x, false);
+  EXPECT_EQ(y(0, 0), 13.0f);
+  EXPECT_EQ(y(0, 1), 28.0f);
+}
+
+TEST(DenseLayer, ForwardAppliesActivation) {
+  math::Matrix w{{1}, {1}};
+  math::Matrix b{{-10}};
+  DenseLayer layer(std::move(w), std::move(b), Activation::kRelu);
+  const math::Matrix x{{1, 2}};
+  EXPECT_EQ(layer.forward(x, false)(0, 0), 0.0f);
+}
+
+TEST(DenseLayer, DimensionMismatchThrows) {
+  math::Rng rng(1);
+  DenseLayer layer(3, 2, Activation::kRelu, rng);
+  EXPECT_THROW(layer.forward(math::Matrix(1, 4), false),
+               std::invalid_argument);
+}
+
+TEST(DenseLayer, BiasShapeMismatchThrows) {
+  EXPECT_THROW(DenseLayer(math::Matrix(2, 3), math::Matrix(1, 2),
+                          Activation::kIdentity),
+               std::invalid_argument);
+}
+
+TEST(DenseLayer, ZeroDimensionThrows) {
+  math::Rng rng(1);
+  EXPECT_THROW(DenseLayer(0, 2, Activation::kRelu, rng),
+               std::invalid_argument);
+}
+
+TEST(DenseLayer, ParameterGradientsMatchFiniteDifference) {
+  math::Rng rng(3);
+  DenseLayer layer(4, 3, Activation::kTanh, rng);
+  math::Matrix x(2, 4);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.normal());
+
+  // Loss = sum of outputs; upstream gradient of ones.
+  const auto loss = [&](DenseLayer& l) {
+    return l.forward(x, false).sum();
+  };
+  layer.zero_grad();
+  layer.forward(x, false);
+  layer.backward(math::Matrix(2, 3, 1.0f));
+  auto params = layer.params();
+  ASSERT_EQ(params.size(), 2u);
+
+  const float eps = 1e-2f;
+  for (const auto& p : params) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(p.value->size(), 6);
+         ++i) {
+      const float original = p.value->data()[i];
+      p.value->data()[i] = original + eps;
+      const double up = loss(layer);
+      p.value->data()[i] = original - eps;
+      const double down = loss(layer);
+      p.value->data()[i] = original;
+      const double fd = (up - down) / (2 * eps);
+      EXPECT_NEAR(p.grad->data()[i], fd, 2e-2);
+    }
+  }
+}
+
+TEST(DenseLayer, InputGradientMatchesFiniteDifference) {
+  math::Rng rng(4);
+  DenseLayer layer(3, 2, Activation::kSigmoid, rng);
+  math::Matrix x(1, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    x.data()[i] = static_cast<float>(rng.normal());
+  layer.forward(x, false);
+  const math::Matrix gin = layer.backward(math::Matrix(1, 2, 1.0f));
+
+  const float eps = 1e-2f;
+  for (std::size_t j = 0; j < 3; ++j) {
+    math::Matrix xp = x, xm = x;
+    xp(0, j) += eps;
+    xm(0, j) -= eps;
+    const double fd =
+        (layer.forward(xp, false).sum() - layer.forward(xm, false).sum()) /
+        (2 * eps);
+    EXPECT_NEAR(gin(0, j), fd, 2e-2);
+  }
+}
+
+TEST(DenseLayer, GradientsAccumulateAcrossBackwards) {
+  math::Rng rng(5);
+  DenseLayer layer(2, 2, Activation::kIdentity, rng);
+  const math::Matrix x{{1, 1}};
+  layer.zero_grad();
+  layer.forward(x, false);
+  layer.backward(math::Matrix(1, 2, 1.0f));
+  const float once = layer.params()[0].grad->data()[0];
+  layer.backward(math::Matrix(1, 2, 1.0f));
+  EXPECT_NEAR(layer.params()[0].grad->data()[0], 2 * once, 1e-5);
+  layer.zero_grad();
+  EXPECT_EQ(layer.params()[0].grad->data()[0], 0.0f);
+}
+
+TEST(DenseLayer, CloneIsDeepCopy) {
+  math::Rng rng(6);
+  DenseLayer layer(2, 2, Activation::kRelu, rng);
+  auto clone = layer.clone();
+  auto* dense = dynamic_cast<DenseLayer*>(clone.get());
+  ASSERT_NE(dense, nullptr);
+  EXPECT_EQ(dense->weights(), layer.weights());
+  dense->mutable_weights()(0, 0) += 1.0f;
+  EXPECT_NE(dense->weights(), layer.weights());
+}
+
+TEST(DropoutLayer, InferenceModePassesThrough) {
+  DropoutLayer drop(3, 0.5f, 1);
+  const math::Matrix x{{1, 2, 3}};
+  EXPECT_EQ(drop.forward(x, false), x);
+}
+
+TEST(DropoutLayer, TrainingZeroesRoughlyRateFraction) {
+  DropoutLayer drop(1000, 0.4f, 2);
+  const math::Matrix x(1, 1000, 1.0f);
+  const math::Matrix y = drop.forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (y.data()[i] == 0.0f) ++zeros;
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.4, 0.06);
+  // Kept units are scaled by 1/(1-rate).
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (y.data()[i] != 0.0f) EXPECT_NEAR(y.data()[i], 1.0f / 0.6f, 1e-5);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  DropoutLayer drop(100, 0.5f, 3);
+  const math::Matrix x(1, 100, 1.0f);
+  const math::Matrix y = drop.forward(x, true);
+  const math::Matrix g = drop.backward(math::Matrix(1, 100, 1.0f));
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (y.data()[i] == 0.0f)
+      EXPECT_EQ(g.data()[i], 0.0f);
+    else
+      EXPECT_GT(g.data()[i], 0.0f);
+  }
+}
+
+TEST(DropoutLayer, InvalidRateThrows) {
+  EXPECT_THROW(DropoutLayer(3, 1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(DropoutLayer(3, -0.1f, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mev::nn

@@ -1,0 +1,150 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mev::nn {
+namespace {
+
+struct Quadratic {
+  // f(w) = 0.5 * ||w - target||^2; grad = w - target.
+  math::Matrix w{math::Matrix(1, 3, 0.0f)};
+  math::Matrix grad{math::Matrix(1, 3, 0.0f)};
+  math::Matrix target{{2.0f, -1.0f, 0.5f}};
+
+  std::vector<ParamRef> params() { return {{&w, &grad}}; }
+
+  void compute_grad() {
+    for (std::size_t i = 0; i < 3; ++i)
+      grad.data()[i] = w.data()[i] - target.data()[i];
+  }
+  double loss() const {
+    double s = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double d = w.data()[i] - target.data()[i];
+      s += 0.5 * d * d;
+    }
+    return s;
+  }
+};
+
+TEST(Sgd, PlainStepMath) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  Sgd sgd(cfg);
+  math::Matrix w(1, 1, 1.0f), g(1, 1, 2.0f);
+  std::vector<ParamRef> params{{&w, &g}};
+  sgd.step(params);
+  EXPECT_NEAR(w(0, 0), 1.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayAddsL2Pull) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  cfg.weight_decay = 1.0f;
+  Sgd sgd(cfg);
+  math::Matrix w(1, 1, 1.0f), g(1, 1, 0.0f);
+  std::vector<ParamRef> params{{&w, &g}};
+  sgd.step(params);
+  EXPECT_NEAR(w(0, 0), 1.0f - 0.1f * 1.0f, 1e-6);  // decays toward 0
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  cfg.momentum = 0.9f;
+  Sgd sgd(cfg);
+  math::Matrix w(1, 1, 0.0f), g(1, 1, 1.0f);
+  std::vector<ParamRef> params{{&w, &g}};
+  sgd.step(params);
+  const float after_one = w(0, 0);
+  sgd.step(params);
+  // Second step is larger in magnitude thanks to momentum.
+  EXPECT_LT(w(0, 0) - after_one, after_one);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Quadratic q;
+  SgdConfig cfg;
+  cfg.learning_rate = 0.2f;
+  Sgd sgd(cfg);
+  auto params = q.params();
+  for (int i = 0; i < 200; ++i) {
+    q.compute_grad();
+    sgd.step(params);
+  }
+  EXPECT_LT(q.loss(), 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic q;
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1f;
+  Adam adam(cfg);
+  auto params = q.params();
+  for (int i = 0; i < 500; ++i) {
+    q.compute_grad();
+    adam.step(params);
+  }
+  EXPECT_LT(q.loss(), 1e-4);
+}
+
+TEST(Adam, FirstStepIsApproximatelyLearningRate) {
+  // With bias correction the first Adam step is ~lr * sign(grad).
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01f;
+  Adam adam(cfg);
+  math::Matrix w(1, 1, 0.0f), g(1, 1, 123.0f);
+  std::vector<ParamRef> params{{&w, &g}};
+  adam.step(params);
+  EXPECT_NEAR(w(0, 0), -0.01f, 1e-4);
+}
+
+TEST(Optimizer, InvalidConfigsThrow) {
+  SgdConfig s;
+  s.learning_rate = 0.0f;
+  EXPECT_THROW(Sgd{s}, std::invalid_argument);
+  AdamConfig a;
+  a.learning_rate = -1.0f;
+  EXPECT_THROW(Adam{a}, std::invalid_argument);
+  AdamConfig b;
+  b.beta1 = 1.0f;
+  EXPECT_THROW(Adam{b}, std::invalid_argument);
+}
+
+TEST(Optimizer, NullParamThrows) {
+  Sgd sgd(SgdConfig{});
+  std::vector<ParamRef> params{{nullptr, nullptr}};
+  EXPECT_THROW(sgd.step(params), std::invalid_argument);
+}
+
+TEST(Optimizer, ShapeMismatchThrows) {
+  Sgd sgd(SgdConfig{});
+  math::Matrix w(1, 2), g(1, 3);
+  std::vector<ParamRef> params{{&w, &g}};
+  EXPECT_THROW(sgd.step(params), std::invalid_argument);
+}
+
+TEST(Optimizer, ParameterSetChangeThrows) {
+  Adam adam(AdamConfig{});
+  math::Matrix w(1, 2), g(1, 2);
+  std::vector<ParamRef> params{{&w, &g}};
+  adam.step(params);
+  math::Matrix w2(1, 2), g2(1, 2);
+  params.push_back({&w2, &g2});
+  EXPECT_THROW(adam.step(params), std::invalid_argument);
+}
+
+TEST(Optimizer, LearningRateAccessors) {
+  Sgd sgd(SgdConfig{});
+  sgd.set_learning_rate(0.5f);
+  EXPECT_EQ(sgd.learning_rate(), 0.5f);
+  EXPECT_EQ(sgd.name(), "sgd");
+  Adam adam(AdamConfig{});
+  EXPECT_EQ(adam.name(), "adam");
+}
+
+}  // namespace
+}  // namespace mev::nn

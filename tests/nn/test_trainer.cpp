@@ -1,0 +1,155 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mev::nn {
+namespace {
+
+/// Linearly separable 2-D blobs.
+LabeledData blobs(std::size_t n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  LabeledData data;
+  data.x = math::Matrix(n, 2);
+  data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double cx = label == 0 ? -1.0 : 1.0;
+    data.x(i, 0) = static_cast<float>(cx + 0.3 * rng.normal());
+    data.x(i, 1) = static_cast<float>(cx + 0.3 * rng.normal());
+    data.labels[i] = label;
+  }
+  return data;
+}
+
+Network blob_net(std::uint64_t seed = 7) {
+  MlpConfig cfg;
+  cfg.dims = {2, 16, 2};
+  cfg.seed = seed;
+  return make_mlp(cfg);
+}
+
+TEST(Trainer, LossDecreases) {
+  Network net = blob_net();
+  const LabeledData data = blobs(200, 1);
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.01f;
+  const TrainHistory history = train(net, data, cfg);
+  ASSERT_EQ(history.epochs.size(), 15u);
+  EXPECT_LT(history.epochs.back().train_loss,
+            history.epochs.front().train_loss);
+}
+
+TEST(Trainer, LearnsSeparableData) {
+  Network net = blob_net();
+  const LabeledData data = blobs(400, 2);
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.01f;
+  train(net, data, cfg);
+  EXPECT_GT(accuracy(net, data.x, data.labels), 0.95);
+}
+
+TEST(Trainer, SgdAlsoLearns) {
+  Network net = blob_net();
+  const LabeledData data = blobs(400, 3);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.optimizer = OptimizerKind::kSgd;
+  cfg.learning_rate = 0.05f;
+  train(net, data, cfg);
+  EXPECT_GT(accuracy(net, data.x, data.labels), 0.9);
+}
+
+TEST(Trainer, ValidationAccuracyTracked) {
+  Network net = blob_net();
+  const LabeledData data = blobs(200, 4);
+  const LabeledData val = blobs(100, 5);
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.01f;
+  const TrainHistory history = train(net, data, cfg, &val);
+  EXPECT_GT(history.best_val_accuracy, 0.8);
+  EXPECT_GE(history.epochs.back().val_accuracy, 0.0);
+}
+
+TEST(Trainer, EarlyStoppingStopsEarly) {
+  Network net = blob_net();
+  const LabeledData data = blobs(300, 6);
+  const LabeledData val = blobs(100, 7);
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.01f;
+  cfg.early_stopping_patience = 3;
+  const TrainHistory history = train(net, data, cfg, &val);
+  EXPECT_TRUE(history.early_stopped);
+  EXPECT_LT(history.epochs.size(), 200u);
+}
+
+TEST(Trainer, OnEpochCallbackFires) {
+  Network net = blob_net();
+  const LabeledData data = blobs(64, 8);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  std::size_t calls = 0;
+  cfg.on_epoch = [&](std::size_t, double, double) { ++calls; };
+  train(net, data, cfg);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const LabeledData data = blobs(128, 9);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  Network a = blob_net(42), b = blob_net(42);
+  const auto ha = train(a, data, cfg);
+  const auto hb = train(b, data, cfg);
+  EXPECT_DOUBLE_EQ(ha.epochs.back().train_loss, hb.epochs.back().train_loss);
+}
+
+TEST(Trainer, SoftLabelTrainingLearns) {
+  Network net = blob_net(13);
+  const LabeledData data = blobs(300, 10);
+  math::Matrix soft(data.x.rows(), 2);
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    soft(i, data.labels[i]) = 0.9f;
+    soft(i, 1 - data.labels[i]) = 0.1f;
+  }
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 0.01f;
+  train_soft(net, data.x, soft, cfg);
+  EXPECT_GT(accuracy(net, data.x, data.labels), 0.9);
+}
+
+TEST(Trainer, InvalidInputsThrow) {
+  Network net = blob_net();
+  LabeledData data = blobs(10, 11);
+  data.labels.pop_back();
+  TrainConfig cfg;
+  EXPECT_THROW(train(net, data, cfg), std::invalid_argument);
+
+  LabeledData empty;
+  EXPECT_THROW(train(net, empty, cfg), std::invalid_argument);
+
+  LabeledData ok = blobs(10, 12);
+  cfg.batch_size = 0;
+  EXPECT_THROW(train(net, ok, cfg), std::invalid_argument);
+}
+
+TEST(Trainer, AccuracyChecksSizes) {
+  Network net = blob_net();
+  const LabeledData data = blobs(10, 13);
+  std::vector<int> wrong(5, 0);
+  EXPECT_THROW(accuracy(net, data.x, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mev::nn
