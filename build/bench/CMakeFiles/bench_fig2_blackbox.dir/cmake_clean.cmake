@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_blackbox.dir/bench_fig2_blackbox.cpp.o"
+  "CMakeFiles/bench_fig2_blackbox.dir/bench_fig2_blackbox.cpp.o.d"
+  "bench_fig2_blackbox"
+  "bench_fig2_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

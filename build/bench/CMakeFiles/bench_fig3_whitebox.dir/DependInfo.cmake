@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_whitebox.cpp" "bench/CMakeFiles/bench_fig3_whitebox.dir/bench_fig3_whitebox.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_whitebox.dir/bench_fig3_whitebox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mev_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mev_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/mev_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mev_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mev_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_greybox.dir/bench_fig4_greybox.cpp.o"
+  "CMakeFiles/bench_fig4_greybox.dir/bench_fig4_greybox.cpp.o.d"
+  "bench_fig4_greybox"
+  "bench_fig4_greybox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_greybox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

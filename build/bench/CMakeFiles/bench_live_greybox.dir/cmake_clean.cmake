@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_live_greybox.dir/bench_live_greybox.cpp.o"
+  "CMakeFiles/bench_live_greybox.dir/bench_live_greybox.cpp.o.d"
+  "bench_live_greybox"
+  "bench_live_greybox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_live_greybox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

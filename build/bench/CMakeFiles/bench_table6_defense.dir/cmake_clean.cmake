@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_defense.dir/bench_table6_defense.cpp.o"
+  "CMakeFiles/bench_table6_defense.dir/bench_table6_defense.cpp.o.d"
+  "bench_table6_defense"
+  "bench_table6_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

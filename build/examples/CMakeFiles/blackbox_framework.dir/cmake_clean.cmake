@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_framework.dir/blackbox_framework.cpp.o"
+  "CMakeFiles/blackbox_framework.dir/blackbox_framework.cpp.o.d"
+  "blackbox_framework"
+  "blackbox_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_pipeline.dir/defense_pipeline.cpp.o"
+  "CMakeFiles/defense_pipeline.dir/defense_pipeline.cpp.o.d"
+  "defense_pipeline"
+  "defense_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "src/attack/CMakeFiles/mev_attack.dir/attack.cpp.o" "gcc" "src/attack/CMakeFiles/mev_attack.dir/attack.cpp.o.d"
+  "/root/repo/src/attack/fgsm.cpp" "src/attack/CMakeFiles/mev_attack.dir/fgsm.cpp.o" "gcc" "src/attack/CMakeFiles/mev_attack.dir/fgsm.cpp.o.d"
+  "/root/repo/src/attack/jsma.cpp" "src/attack/CMakeFiles/mev_attack.dir/jsma.cpp.o" "gcc" "src/attack/CMakeFiles/mev_attack.dir/jsma.cpp.o.d"
+  "/root/repo/src/attack/random_attack.cpp" "src/attack/CMakeFiles/mev_attack.dir/random_attack.cpp.o" "gcc" "src/attack/CMakeFiles/mev_attack.dir/random_attack.cpp.o.d"
+  "/root/repo/src/attack/source_attack.cpp" "src/attack/CMakeFiles/mev_attack.dir/source_attack.cpp.o" "gcc" "src/attack/CMakeFiles/mev_attack.dir/source_attack.cpp.o.d"
+  "/root/repo/src/attack/transfer.cpp" "src/attack/CMakeFiles/mev_attack.dir/transfer.cpp.o" "gcc" "src/attack/CMakeFiles/mev_attack.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mev_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mev_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mev_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_attack.dir/attack.cpp.o"
+  "CMakeFiles/mev_attack.dir/attack.cpp.o.d"
+  "CMakeFiles/mev_attack.dir/fgsm.cpp.o"
+  "CMakeFiles/mev_attack.dir/fgsm.cpp.o.d"
+  "CMakeFiles/mev_attack.dir/jsma.cpp.o"
+  "CMakeFiles/mev_attack.dir/jsma.cpp.o.d"
+  "CMakeFiles/mev_attack.dir/random_attack.cpp.o"
+  "CMakeFiles/mev_attack.dir/random_attack.cpp.o.d"
+  "CMakeFiles/mev_attack.dir/source_attack.cpp.o"
+  "CMakeFiles/mev_attack.dir/source_attack.cpp.o.d"
+  "CMakeFiles/mev_attack.dir/transfer.cpp.o"
+  "CMakeFiles/mev_attack.dir/transfer.cpp.o.d"
+  "libmev_attack.a"
+  "libmev_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

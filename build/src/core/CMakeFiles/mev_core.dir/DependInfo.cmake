@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blackbox.cpp" "src/core/CMakeFiles/mev_core.dir/blackbox.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/blackbox.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/mev_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/experiment_config.cpp" "src/core/CMakeFiles/mev_core.dir/experiment_config.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/experiment_config.cpp.o.d"
+  "/root/repo/src/core/greybox.cpp" "src/core/CMakeFiles/mev_core.dir/greybox.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/greybox.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/mev_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/core/security_eval.cpp" "src/core/CMakeFiles/mev_core.dir/security_eval.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/security_eval.cpp.o.d"
+  "/root/repo/src/core/substitute.cpp" "src/core/CMakeFiles/mev_core.dir/substitute.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/substitute.cpp.o.d"
+  "/root/repo/src/core/threat_model.cpp" "src/core/CMakeFiles/mev_core.dir/threat_model.cpp.o" "gcc" "src/core/CMakeFiles/mev_core.dir/threat_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mev_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mev_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mev_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mev_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/mev_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mev_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_core.dir/blackbox.cpp.o"
+  "CMakeFiles/mev_core.dir/blackbox.cpp.o.d"
+  "CMakeFiles/mev_core.dir/detector.cpp.o"
+  "CMakeFiles/mev_core.dir/detector.cpp.o.d"
+  "CMakeFiles/mev_core.dir/experiment_config.cpp.o"
+  "CMakeFiles/mev_core.dir/experiment_config.cpp.o.d"
+  "CMakeFiles/mev_core.dir/greybox.cpp.o"
+  "CMakeFiles/mev_core.dir/greybox.cpp.o.d"
+  "CMakeFiles/mev_core.dir/persistence.cpp.o"
+  "CMakeFiles/mev_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/mev_core.dir/security_eval.cpp.o"
+  "CMakeFiles/mev_core.dir/security_eval.cpp.o.d"
+  "CMakeFiles/mev_core.dir/substitute.cpp.o"
+  "CMakeFiles/mev_core.dir/substitute.cpp.o.d"
+  "CMakeFiles/mev_core.dir/threat_model.cpp.o"
+  "CMakeFiles/mev_core.dir/threat_model.cpp.o.d"
+  "libmev_core.a"
+  "libmev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmev_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/api_log.cpp" "src/data/CMakeFiles/mev_data.dir/api_log.cpp.o" "gcc" "src/data/CMakeFiles/mev_data.dir/api_log.cpp.o.d"
+  "/root/repo/src/data/api_vocab.cpp" "src/data/CMakeFiles/mev_data.dir/api_vocab.cpp.o" "gcc" "src/data/CMakeFiles/mev_data.dir/api_vocab.cpp.o.d"
+  "/root/repo/src/data/csv_io.cpp" "src/data/CMakeFiles/mev_data.dir/csv_io.cpp.o" "gcc" "src/data/CMakeFiles/mev_data.dir/csv_io.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/mev_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/mev_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/mev_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/mev_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

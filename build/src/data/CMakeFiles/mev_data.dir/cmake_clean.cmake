@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_data.dir/api_log.cpp.o"
+  "CMakeFiles/mev_data.dir/api_log.cpp.o.d"
+  "CMakeFiles/mev_data.dir/api_vocab.cpp.o"
+  "CMakeFiles/mev_data.dir/api_vocab.cpp.o.d"
+  "CMakeFiles/mev_data.dir/csv_io.cpp.o"
+  "CMakeFiles/mev_data.dir/csv_io.cpp.o.d"
+  "CMakeFiles/mev_data.dir/dataset.cpp.o"
+  "CMakeFiles/mev_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/mev_data.dir/synthetic.cpp.o"
+  "CMakeFiles/mev_data.dir/synthetic.cpp.o.d"
+  "libmev_data.a"
+  "libmev_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/adversarial_training.cpp" "src/defense/CMakeFiles/mev_defense.dir/adversarial_training.cpp.o" "gcc" "src/defense/CMakeFiles/mev_defense.dir/adversarial_training.cpp.o.d"
+  "/root/repo/src/defense/classifier.cpp" "src/defense/CMakeFiles/mev_defense.dir/classifier.cpp.o" "gcc" "src/defense/CMakeFiles/mev_defense.dir/classifier.cpp.o.d"
+  "/root/repo/src/defense/dim_reduction.cpp" "src/defense/CMakeFiles/mev_defense.dir/dim_reduction.cpp.o" "gcc" "src/defense/CMakeFiles/mev_defense.dir/dim_reduction.cpp.o.d"
+  "/root/repo/src/defense/distillation.cpp" "src/defense/CMakeFiles/mev_defense.dir/distillation.cpp.o" "gcc" "src/defense/CMakeFiles/mev_defense.dir/distillation.cpp.o.d"
+  "/root/repo/src/defense/ensemble.cpp" "src/defense/CMakeFiles/mev_defense.dir/ensemble.cpp.o" "gcc" "src/defense/CMakeFiles/mev_defense.dir/ensemble.cpp.o.d"
+  "/root/repo/src/defense/feature_squeezing.cpp" "src/defense/CMakeFiles/mev_defense.dir/feature_squeezing.cpp.o" "gcc" "src/defense/CMakeFiles/mev_defense.dir/feature_squeezing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mev_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mev_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

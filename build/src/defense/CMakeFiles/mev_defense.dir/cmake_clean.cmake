@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_defense.dir/adversarial_training.cpp.o"
+  "CMakeFiles/mev_defense.dir/adversarial_training.cpp.o.d"
+  "CMakeFiles/mev_defense.dir/classifier.cpp.o"
+  "CMakeFiles/mev_defense.dir/classifier.cpp.o.d"
+  "CMakeFiles/mev_defense.dir/dim_reduction.cpp.o"
+  "CMakeFiles/mev_defense.dir/dim_reduction.cpp.o.d"
+  "CMakeFiles/mev_defense.dir/distillation.cpp.o"
+  "CMakeFiles/mev_defense.dir/distillation.cpp.o.d"
+  "CMakeFiles/mev_defense.dir/ensemble.cpp.o"
+  "CMakeFiles/mev_defense.dir/ensemble.cpp.o.d"
+  "CMakeFiles/mev_defense.dir/feature_squeezing.cpp.o"
+  "CMakeFiles/mev_defense.dir/feature_squeezing.cpp.o.d"
+  "libmev_defense.a"
+  "libmev_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

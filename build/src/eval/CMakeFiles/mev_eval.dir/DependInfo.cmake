@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/distance_analysis.cpp" "src/eval/CMakeFiles/mev_eval.dir/distance_analysis.cpp.o" "gcc" "src/eval/CMakeFiles/mev_eval.dir/distance_analysis.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/mev_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/mev_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/mev_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/mev_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/roc.cpp" "src/eval/CMakeFiles/mev_eval.dir/roc.cpp.o" "gcc" "src/eval/CMakeFiles/mev_eval.dir/roc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

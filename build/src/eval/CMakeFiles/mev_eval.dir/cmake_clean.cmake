@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_eval.dir/distance_analysis.cpp.o"
+  "CMakeFiles/mev_eval.dir/distance_analysis.cpp.o.d"
+  "CMakeFiles/mev_eval.dir/metrics.cpp.o"
+  "CMakeFiles/mev_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/mev_eval.dir/report.cpp.o"
+  "CMakeFiles/mev_eval.dir/report.cpp.o.d"
+  "CMakeFiles/mev_eval.dir/roc.cpp.o"
+  "CMakeFiles/mev_eval.dir/roc.cpp.o.d"
+  "libmev_eval.a"
+  "libmev_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_features.dir/extractor.cpp.o"
+  "CMakeFiles/mev_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/mev_features.dir/transform.cpp.o"
+  "CMakeFiles/mev_features.dir/transform.cpp.o.d"
+  "libmev_features.a"
+  "libmev_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_math.dir/linalg.cpp.o"
+  "CMakeFiles/mev_math.dir/linalg.cpp.o.d"
+  "CMakeFiles/mev_math.dir/matrix.cpp.o"
+  "CMakeFiles/mev_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/mev_math.dir/pca.cpp.o"
+  "CMakeFiles/mev_math.dir/pca.cpp.o.d"
+  "CMakeFiles/mev_math.dir/rng.cpp.o"
+  "CMakeFiles/mev_math.dir/rng.cpp.o.d"
+  "CMakeFiles/mev_math.dir/stats.cpp.o"
+  "CMakeFiles/mev_math.dir/stats.cpp.o.d"
+  "libmev_math.a"
+  "libmev_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

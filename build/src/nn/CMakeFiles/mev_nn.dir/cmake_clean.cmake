@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mev_nn.dir/activation.cpp.o"
+  "CMakeFiles/mev_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/mev_nn.dir/layer.cpp.o"
+  "CMakeFiles/mev_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/mev_nn.dir/loss.cpp.o"
+  "CMakeFiles/mev_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/mev_nn.dir/network.cpp.o"
+  "CMakeFiles/mev_nn.dir/network.cpp.o.d"
+  "CMakeFiles/mev_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/mev_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mev_nn.dir/trainer.cpp.o"
+  "CMakeFiles/mev_nn.dir/trainer.cpp.o.d"
+  "libmev_nn.a"
+  "libmev_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mev_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/test_jsma.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_jsma.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_random_fgsm.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_random_fgsm.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_source_attack.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_source_attack.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_transfer.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_transfer.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_blackbox.cpp" "tests/CMakeFiles/test_core.dir/core/test_blackbox.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_blackbox.cpp.o.d"
+  "/root/repo/tests/core/test_detector.cpp" "tests/CMakeFiles/test_core.dir/core/test_detector.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_detector.cpp.o.d"
+  "/root/repo/tests/core/test_greybox.cpp" "tests/CMakeFiles/test_core.dir/core/test_greybox.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_greybox.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/test_core.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_persistence.cpp" "tests/CMakeFiles/test_core.dir/core/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_persistence.cpp.o.d"
+  "/root/repo/tests/core/test_security_eval.cpp" "tests/CMakeFiles/test_core.dir/core/test_security_eval.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_security_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mev_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mev_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/mev_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mev_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mev_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

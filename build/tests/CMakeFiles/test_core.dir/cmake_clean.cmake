@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_blackbox.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_blackbox.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_detector.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_detector.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_greybox.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_greybox.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_persistence.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_persistence.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_security_eval.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_security_eval.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_api_log.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_api_log.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_api_vocab.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_api_vocab.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_csv_io.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_csv_io.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

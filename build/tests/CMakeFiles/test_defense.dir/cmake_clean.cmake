@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defense.dir/defense/test_adv_training.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_adv_training.cpp.o.d"
+  "CMakeFiles/test_defense.dir/defense/test_dim_reduction.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_dim_reduction.cpp.o.d"
+  "CMakeFiles/test_defense.dir/defense/test_distillation.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_distillation.cpp.o.d"
+  "CMakeFiles/test_defense.dir/defense/test_ensemble.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_ensemble.cpp.o.d"
+  "CMakeFiles/test_defense.dir/defense/test_squeezing.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_squeezing.cpp.o.d"
+  "test_defense"
+  "test_defense.pdb"
+  "test_defense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval.dir/eval/test_distance.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_distance.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_metrics.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_metrics.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_report.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_report.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_roc.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_roc.cpp.o.d"
+  "test_eval"
+  "test_eval.pdb"
+  "test_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features.dir/features/test_extractor.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_extractor.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_pipeline.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_transform.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_transform.cpp.o.d"
+  "test_features"
+  "test_features.pdb"
+  "test_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

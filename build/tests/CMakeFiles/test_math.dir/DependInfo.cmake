@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/math/test_linalg.cpp" "tests/CMakeFiles/test_math.dir/math/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_linalg.cpp.o.d"
+  "/root/repo/tests/math/test_matrix.cpp" "tests/CMakeFiles/test_math.dir/math/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_matrix.cpp.o.d"
+  "/root/repo/tests/math/test_pca.cpp" "tests/CMakeFiles/test_math.dir/math/test_pca.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_pca.cpp.o.d"
+  "/root/repo/tests/math/test_rng.cpp" "tests/CMakeFiles/test_math.dir/math/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_rng.cpp.o.d"
+  "/root/repo/tests/math/test_stats.cpp" "tests/CMakeFiles/test_math.dir/math/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_math.dir/math/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/mev_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/mev_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/mev_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mev_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mev_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mev_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/math/test_linalg.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_linalg.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_matrix.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_matrix.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_pca.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_pca.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_rng.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_rng.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/test_stats.cpp.o"
+  "CMakeFiles/test_math.dir/math/test_stats.cpp.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_activation.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_activation.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_network.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
