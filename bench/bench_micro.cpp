@@ -1,8 +1,17 @@
 // Google-benchmark microbenchmarks for the library's hot paths: matmul,
-// network forward/backward, JSMA crafting throughput, feature transforms,
-// PCA fitting and synthetic-corpus generation — plus the add-only vs
-// unconstrained-JSMA ablation cost (DESIGN.md §5).
+// network forward/backward (legacy API and InferenceSession), JSMA
+// crafting throughput, feature transforms, PCA fitting and
+// synthetic-corpus generation — plus the add-only vs unconstrained-JSMA
+// ablation cost (DESIGN.md §5).
+//
+// Besides the console table, the binary writes BENCH_micro.json (ns/op per
+// benchmark) to the working directory for machine consumption.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "attack/jsma.hpp"
 #include "data/api_vocab.hpp"
@@ -13,6 +22,7 @@
 #include "math/rng.hpp"
 #include "nn/loss.hpp"
 #include "nn/network.hpp"
+#include "nn/session.hpp"
 
 using namespace mev;
 
@@ -53,6 +63,79 @@ void BM_NetworkForward(benchmark::State& state) {
                           batch);
 }
 BENCHMARK(BM_NetworkForward)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_SessionForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 192, 240, 208, 2};
+  cfg.seed = 3;
+  const nn::Network net = nn::make_mlp(cfg);
+  nn::InferenceSession session(net, batch);
+  const math::Matrix x = random_matrix(batch, 491, 4);
+  session.forward(x);  // warm-up: steady state is allocation-free
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.forward(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+}
+BENCHMARK(BM_SessionForward)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_SessionBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 192, 240, 208, 2};
+  cfg.seed = 3;
+  nn::Network net = nn::make_mlp(cfg);
+  nn::InferenceSession session(net, batch);
+  session.bind_params(net);
+  const math::Matrix x = random_matrix(batch, 491, 4);
+  std::vector<int> labels(batch);
+  for (std::size_t i = 0; i < batch; ++i) labels[i] = i % 2;
+  for (auto _ : state) {
+    session.zero_param_grads();
+    const math::Matrix& logits = session.forward(x, true);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    benchmark::DoNotOptimize(session.backward(loss.grad_logits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+}
+BENCHMARK(BM_SessionBackward)->Arg(64)->Arg(256);
+
+void BM_SessionInputGradient(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 64, 32, 2};
+  cfg.seed = 5;
+  const nn::Network net = nn::make_mlp(cfg);
+  nn::InferenceSession session(net, batch);
+  const math::Matrix x = random_matrix(batch, 491, 6);
+  session.input_gradient(x, 0);  // warm-up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.input_gradient(x, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+}
+BENCHMARK(BM_SessionInputGradient)->Arg(1)->Arg(32);
+
+void BM_SessionInputGradientsAll(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 64, 32, 2};
+  cfg.seed = 5;
+  const nn::Network net = nn::make_mlp(cfg);
+  nn::InferenceSession session(net, batch);
+  const math::Matrix x = random_matrix(batch, 491, 6);
+  session.input_gradients_all(x);  // warm-up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.input_gradients_all(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+}
+BENCHMARK(BM_SessionInputGradientsAll)->Arg(32);
 
 void BM_NetworkTrainStep(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
@@ -145,6 +228,44 @@ void BM_LogRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_LogRoundTrip);
 
+/// Console reporter that additionally records real ns/op per benchmark and
+/// dumps them as BENCH_micro.json for scripted consumption.
+class JsonDumpReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9
+              : 0.0;
+      results_.emplace_back(run.benchmark_name(), ns_per_op);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write_json(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      out << "  \"" << results_[i].first << "\": " << results_[i].second
+          << (i + 1 < results_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;  // name -> ns/op
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonDumpReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write_json("BENCH_micro.json");
+  return 0;
+}

@@ -40,9 +40,11 @@ class EvasionAttack {
   virtual ~EvasionAttack() = default;
 
   /// Crafts adversarial versions of `x` (rows: malware samples, values in
-  /// [0,1]) against `model`. The model is only read (forward/gradient);
-  /// its parameters are unchanged on return.
-  virtual AttackResult craft(nn::Network& model, const math::Matrix& x) const = 0;
+  /// [0,1]) against `model`. The model is strictly read-only: attacks run
+  /// their own InferenceSession(s) against it, so several attacks may share
+  /// one network concurrently.
+  virtual AttackResult craft(const nn::Network& model,
+                             const math::Matrix& x) const = 0;
 
   virtual std::string name() const = 0;
 };

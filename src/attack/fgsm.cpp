@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "math/linalg.hpp"
+#include "nn/session.hpp"
 
 namespace mev::attack {
 
@@ -12,7 +13,7 @@ FgsmAddOnly::FgsmAddOnly(FgsmConfig config) : config_(config) {
     throw std::invalid_argument("FgsmAddOnly: theta must be non-negative");
 }
 
-AttackResult FgsmAddOnly::craft(nn::Network& model,
+AttackResult FgsmAddOnly::craft(const nn::Network& model,
                                 const math::Matrix& x) const {
   const std::size_t n = x.rows(), m = x.cols();
   AttackResult result;
@@ -22,8 +23,11 @@ AttackResult FgsmAddOnly::craft(nn::Network& model,
   result.l2_perturbation.assign(n, 0.0);
   if (n == 0) return result;
 
+  nn::InferenceSession session(model, n);
+  // input_gradient returns a reference into the session; copy before the
+  // final predict reuses the buffers.
   const math::Matrix grad =
-      model.input_gradient(x, config_.target_class);
+      session.input_gradient(x, config_.target_class);
   for (std::size_t i = 0; i < n; ++i) {
     std::size_t changed = 0;
     for (std::size_t j = 0; j < m; ++j) {
@@ -38,7 +42,7 @@ AttackResult FgsmAddOnly::craft(nn::Network& model,
         math::l2_distance(x.row(i), result.adversarial.row(i));
   }
 
-  const auto preds = model.predict(result.adversarial);
+  const auto preds = session.predict(result.adversarial);
   for (std::size_t i = 0; i < n; ++i)
     result.evaded[i] = preds[i] == config_.target_class;
   return result;

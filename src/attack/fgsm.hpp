@@ -22,7 +22,8 @@ class FgsmAddOnly final : public EvasionAttack {
  public:
   explicit FgsmAddOnly(FgsmConfig config);
 
-  AttackResult craft(nn::Network& model, const math::Matrix& x) const override;
+  AttackResult craft(const nn::Network& model,
+                     const math::Matrix& x) const override;
   std::string name() const override { return "fgsm-add-only"; }
 
   const FgsmConfig& config() const noexcept { return config_; }

@@ -18,6 +18,8 @@
 //          is the paper's "adding 2 features").
 #pragma once
 
+#include <span>
+
 #include "attack/attack.hpp"
 
 namespace mev::attack {
@@ -39,7 +41,12 @@ class Jsma final : public EvasionAttack {
  public:
   explicit Jsma(JsmaConfig config);
 
-  AttackResult craft(nn::Network& model, const math::Matrix& x) const override;
+  /// Session-based crafting. The sample batch is split into contiguous
+  /// shards crafted in parallel (OpenMP), one InferenceSession per shard
+  /// against the shared read-only network. Every per-sample quantity is
+  /// computed row-wise, so the outcome is identical for any shard count.
+  AttackResult craft(const nn::Network& model,
+                     const math::Matrix& x) const override;
   std::string name() const override { return "jsma"; }
 
   const JsmaConfig& config() const noexcept { return config_; }
@@ -50,8 +57,10 @@ class Jsma final : public EvasionAttack {
   /// Computes the saliency map for a batch given per-class input
   /// gradients; exposed for tests and for interpretability tooling.
   /// grads[c] is batch x features (dF_c/dX). Inadmissible features get
-  /// saliency 0.
-  static math::Matrix saliency_map(const std::vector<math::Matrix>& grads,
+  /// saliency 0. Accepts the span returned by
+  /// InferenceSession::input_gradients_all directly (a std::vector of
+  /// matrices converts implicitly).
+  static math::Matrix saliency_map(std::span<const math::Matrix> grads,
                                    int target_class);
 
  private:

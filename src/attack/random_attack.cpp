@@ -7,6 +7,7 @@
 
 #include "math/linalg.hpp"
 #include "math/rng.hpp"
+#include "nn/session.hpp"
 
 namespace mev::attack {
 
@@ -17,7 +18,7 @@ RandomAddition::RandomAddition(RandomAdditionConfig config) : config_(config) {
     throw std::invalid_argument("RandomAddition: gamma must be in [0, 1]");
 }
 
-AttackResult RandomAddition::craft(nn::Network& model,
+AttackResult RandomAddition::craft(const nn::Network& model,
                                    const math::Matrix& x) const {
   const std::size_t n = x.rows(), m = x.cols();
   const auto budget = static_cast<std::size_t>(
@@ -49,7 +50,8 @@ AttackResult RandomAddition::craft(nn::Network& model,
   }
 
   if (n > 0) {
-    const auto preds = model.predict(result.adversarial);
+    nn::InferenceSession session(model, n);
+    const auto preds = session.predict(result.adversarial);
     for (std::size_t i = 0; i < n; ++i)
       result.evaded[i] = preds[i] == config_.target_class;
   }

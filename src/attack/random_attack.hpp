@@ -22,7 +22,8 @@ class RandomAddition final : public EvasionAttack {
  public:
   explicit RandomAddition(RandomAdditionConfig config);
 
-  AttackResult craft(nn::Network& model, const math::Matrix& x) const override;
+  AttackResult craft(const nn::Network& model,
+                     const math::Matrix& x) const override;
   std::string name() const override { return "random-addition"; }
 
   const RandomAdditionConfig& config() const noexcept { return config_; }

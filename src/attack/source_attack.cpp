@@ -5,17 +5,18 @@
 #include <stdexcept>
 
 #include "data/dataset.hpp"
+#include "nn/session.hpp"
 
 namespace mev::attack {
 
-std::size_t select_api_to_add(nn::Network& craft_model,
+std::size_t select_api_to_add(const nn::Network& craft_model,
                               std::span<const float> features,
                               std::span<const float> per_call_delta) {
   if (!per_call_delta.empty() && per_call_delta.size() != features.size())
     throw std::invalid_argument("select_api_to_add: delta length mismatch");
   const math::Matrix x = math::Matrix::row_vector(features);
-  const math::Matrix grad =
-      craft_model.input_gradient(x, data::kCleanLabel);
+  nn::InferenceSession session(craft_model, 1);
+  const math::Matrix& grad = session.input_gradient(x, data::kCleanLabel);
   // Add-only: the best feature maximizes (gradient into the clean class) x
   // (total feature movement a realistic insertion budget can buy, capped
   // by the feature's headroom) among features that can still grow.
@@ -56,7 +57,7 @@ std::vector<float> per_call_feature_delta(
   return delta;
 }
 
-LiveTestResult run_live_test(nn::Network& target_model,
+LiveTestResult run_live_test(const nn::Network& target_model,
                              const features::FeaturePipeline& pipeline,
                              const data::ApiLog& malware_log,
                              std::size_t api_feature_index,
@@ -70,12 +71,13 @@ LiveTestResult run_live_test(nn::Network& target_model,
   result.api_name = vocab.name(api_feature_index);
   result.points.reserve(max_insertions + 1);
 
+  nn::InferenceSession session(target_model, 1);
   for (std::size_t k = 0; k <= max_insertions; ++k) {
     data::ApiLog modified = malware_log;
     modified.append_calls(result.api_name, k);
     const auto feats = pipeline.features_from_log(modified);
-    const math::Matrix probs =
-        target_model.predict_proba(math::Matrix::row_vector(feats));
+    const math::Matrix& probs =
+        session.predict_proba(math::Matrix::row_vector(feats));
     LiveTestPoint point;
     point.insertions = k;
     point.malware_confidence = probs(0, data::kMalwareLabel);
@@ -88,15 +90,17 @@ LiveTestResult run_live_test(nn::Network& target_model,
   return result;
 }
 
-LiveTestResult run_live_test(nn::Network& target_model,
-                             nn::Network& craft_model,
+LiveTestResult run_live_test(const nn::Network& target_model,
+                             const nn::Network& craft_model,
                              const features::FeaturePipeline& pipeline,
                              const data::ApiLog& malware_log,
                              std::size_t max_insertions) {
   const auto counts = pipeline.extractor().extract(malware_log);
   const auto feats = pipeline.features_from_counts_row(counts);
   const auto delta = per_call_feature_delta(pipeline, counts);
-  const math::Matrix grad = craft_model.input_gradient(
+  nn::InferenceSession craft_session(craft_model, 1);
+  // Copy: the candidate loop below reuses craft_session's buffers.
+  const math::Matrix grad = craft_session.input_gradient(
       math::Matrix::row_vector(feats), data::kCleanLabel);
 
   // Shortlist candidates by saliency, then SIMULATE the insertion against
@@ -132,7 +136,7 @@ LiveTestResult run_live_test(nn::Network& target_model,
     std::vector<float> bumped(counts.begin(), counts.end());
     bumped[c.feature] += static_cast<float>(max_insertions);
     const auto bumped_feats = pipeline.features_from_counts_row(bumped);
-    const math::Matrix probs = craft_model.predict_proba(
+    const math::Matrix& probs = craft_session.predict_proba(
         math::Matrix::row_vector(bumped_feats));
     if (probs(0, data::kMalwareLabel) < best_confidence) {
       best_confidence = probs(0, data::kMalwareLabel);

@@ -38,7 +38,7 @@ struct LiveTestResult {
 /// `features`), the saliency is gradient * per_call_delta — the change in
 /// clean probability achievable by ONE actual API call, which is what a
 /// source-level attacker can buy. Returns the feature index.
-std::size_t select_api_to_add(nn::Network& craft_model,
+std::size_t select_api_to_add(const nn::Network& craft_model,
                               std::span<const float> features,
                               std::span<const float> per_call_delta = {});
 
@@ -52,15 +52,15 @@ std::vector<float> per_call_feature_delta(
 /// Runs the live test: for k = 0..max_insertions, appends the API k times
 /// to a copy of the log, re-extracts features through `pipeline`, and
 /// records the target model's malware confidence.
-LiveTestResult run_live_test(nn::Network& target_model,
+LiveTestResult run_live_test(const nn::Network& target_model,
                              const features::FeaturePipeline& pipeline,
                              const data::ApiLog& malware_log,
                              std::size_t api_feature_index,
                              std::size_t max_insertions = 8);
 
 /// Convenience overload that first selects the API with `craft_model`.
-LiveTestResult run_live_test(nn::Network& target_model,
-                             nn::Network& craft_model,
+LiveTestResult run_live_test(const nn::Network& target_model,
+                             const nn::Network& craft_model,
                              const features::FeaturePipeline& pipeline,
                              const data::ApiLog& malware_log,
                              std::size_t max_insertions = 8);

@@ -1,17 +1,19 @@
 #include "attack/transfer.hpp"
 
 #include "data/dataset.hpp"
+#include "nn/session.hpp"
 
 namespace mev::attack {
 
-TransferResult evaluate_transfer(nn::Network& target_model,
+TransferResult evaluate_transfer(const nn::Network& target_model,
                                  const AttackResult& crafted) {
   TransferResult result;
   result.total = crafted.size();
   result.craft_success_rate = crafted.success_rate();
   if (result.total == 0) return result;
 
-  const auto preds = target_model.predict(crafted.adversarial);
+  nn::InferenceSession session(target_model, crafted.adversarial.rows());
+  const auto preds = session.predict(crafted.adversarial);
   std::size_t detected = 0;
   for (int p : preds)
     if (p == data::kMalwareLabel) ++detected;

@@ -15,8 +15,9 @@ struct TransferResult {
   std::size_t total = 0;
 };
 
-/// Evaluates crafted examples against a (different) target model.
-TransferResult evaluate_transfer(nn::Network& target_model,
+/// Evaluates crafted examples against a (different) target model. The
+/// target is read-only (scored through a local InferenceSession).
+TransferResult evaluate_transfer(const nn::Network& target_model,
                                  const AttackResult& crafted);
 
 }  // namespace mev::attack

@@ -8,7 +8,7 @@ namespace mev::core {
 
 std::vector<int> DetectorOracle::label_counts(const math::Matrix& counts) {
   record_queries(counts.rows());
-  const auto verdicts = detector_->scan_counts(counts);
+  const auto verdicts = detector_->scan_counts(session_, counts);
   std::vector<int> labels(verdicts.size());
   for (std::size_t i = 0; i < verdicts.size(); ++i)
     labels[i] = verdicts[i].predicted_class;
@@ -66,7 +66,9 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
 
     // 3. Jacobian-based augmentation: push each point along the sign of
     //    the substitute's gradient for its ORACLE label, realize to
-    //    integer counts, and append.
+    //    integer counts, and append. The session is created after this
+    //    round's retraining (retraining replaces the layer objects).
+    nn::InferenceSession substitute_session(*result.substitute);
     math::Matrix augmented = counts;
     for (int cls : {data::kCleanLabel, data::kMalwareLabel}) {
       std::vector<std::size_t> rows_of_cls;
@@ -74,8 +76,9 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
         if (labels[i] == cls) rows_of_cls.push_back(i);
       if (rows_of_cls.empty()) continue;
       const math::Matrix subset = features.gather_rows(rows_of_cls);
+      // Copy out of the session buffer: the next class iteration reuses it.
       const math::Matrix grad =
-          result.substitute->input_gradient(subset, cls);
+          substitute_session.input_gradient(subset, cls);
       math::Matrix moved = subset;
       for (std::size_t i = 0; i < moved.rows(); ++i)
         for (std::size_t j = 0; j < moved.cols(); ++j) {

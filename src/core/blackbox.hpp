@@ -46,14 +46,17 @@ class CountOracle {
   std::size_t queries_ = 0;
 };
 
-/// Wraps a MalwareDetector as the oracle.
+/// Wraps a MalwareDetector as the oracle. Each oracle owns its inference
+/// session, so several oracles can query one shared detector concurrently.
 class DetectorOracle final : public CountOracle {
  public:
-  explicit DetectorOracle(MalwareDetector& detector) : detector_(&detector) {}
+  explicit DetectorOracle(const MalwareDetector& detector)
+      : detector_(&detector), session_(detector.make_session()) {}
   std::vector<int> label_counts(const math::Matrix& counts) override;
 
  private:
-  MalwareDetector* detector_;
+  const MalwareDetector* detector_;
+  nn::InferenceSession session_;
 };
 
 struct BlackBoxConfig {

@@ -16,18 +16,44 @@ MalwareDetector::MalwareDetector(features::FeaturePipeline pipeline,
         "MalwareDetector: pipeline/network dimension mismatch");
 }
 
+nn::InferenceSession MalwareDetector::make_session(
+    std::size_t max_batch) const {
+  return nn::InferenceSession(*network_, max_batch);
+}
+
+nn::InferenceSession& MalwareDetector::scratch() {
+  if (scratch_ == nullptr)
+    scratch_ = std::make_unique<nn::InferenceSession>(*network_);
+  return *scratch_;
+}
+
 Verdict MalwareDetector::scan(const data::ApiLog& log) {
+  return scan(scratch(), log);
+}
+
+Verdict MalwareDetector::scan(nn::InferenceSession& session,
+                              const data::ApiLog& log) const {
   const auto feats = pipeline_.features_from_log(log);
-  return scan_features(math::Matrix::row_vector(feats)).front();
+  return scan_features(session, math::Matrix::row_vector(feats)).front();
 }
 
 std::vector<Verdict> MalwareDetector::scan_counts(const math::Matrix& counts) {
-  return scan_features(pipeline_.features_from_counts(counts));
+  return scan_counts(scratch(), counts);
+}
+
+std::vector<Verdict> MalwareDetector::scan_counts(
+    nn::InferenceSession& session, const math::Matrix& counts) const {
+  return scan_features(session, pipeline_.features_from_counts(counts));
 }
 
 std::vector<Verdict> MalwareDetector::scan_features(
     const math::Matrix& features) {
-  const math::Matrix probs = network_->predict_proba(features);
+  return scan_features(scratch(), features);
+}
+
+std::vector<Verdict> MalwareDetector::scan_features(
+    nn::InferenceSession& session, const math::Matrix& features) const {
+  const math::Matrix& probs = session.predict_proba(features);
   std::vector<Verdict> verdicts(features.rows());
   for (std::size_t i = 0; i < features.rows(); ++i) {
     verdicts[i].malware_confidence = probs(i, data::kMalwareLabel);

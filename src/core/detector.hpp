@@ -1,6 +1,12 @@
 // MalwareDetector: the deployable unit the paper attacks — the feature
 // pipeline (log -> counts -> normalized features) plus the DNN, behind one
 // API that accepts either raw logs or pre-extracted count vectors.
+//
+// Threading model: the detector (pipeline + network) is read-only during
+// scanning. The scan overloads that take an nn::InferenceSession are
+// thread-safe when each thread passes its own session (make_session());
+// the session-less overloads route through one internal scratch session
+// and must not be called concurrently on a shared detector.
 #pragma once
 
 #include <memory>
@@ -11,6 +17,7 @@
 #include "data/dataset.hpp"
 #include "features/pipeline.hpp"
 #include "nn/network.hpp"
+#include "nn/session.hpp"
 #include "nn/trainer.hpp"
 
 namespace mev::core {
@@ -30,14 +37,23 @@ class MalwareDetector {
   MalwareDetector(features::FeaturePipeline pipeline,
                   std::shared_ptr<nn::Network> network);
 
+  /// Creates an inference session bound to this detector's network; one
+  /// per thread for concurrent scanning.
+  nn::InferenceSession make_session(std::size_t max_batch = 0) const;
+
   /// End-to-end verdict for one log file.
   Verdict scan(const data::ApiLog& log);
+  Verdict scan(nn::InferenceSession& session, const data::ApiLog& log) const;
 
   /// Verdicts for raw count rows.
   std::vector<Verdict> scan_counts(const math::Matrix& counts);
+  std::vector<Verdict> scan_counts(nn::InferenceSession& session,
+                                   const math::Matrix& counts) const;
 
   /// Verdicts for already-normalized feature rows.
   std::vector<Verdict> scan_features(const math::Matrix& features);
+  std::vector<Verdict> scan_features(nn::InferenceSession& session,
+                                     const math::Matrix& features) const;
 
   /// Normalized features for a log / counts — the representation attacks
   /// perturb.
@@ -47,12 +63,17 @@ class MalwareDetector {
   const features::FeaturePipeline& pipeline() const noexcept {
     return pipeline_;
   }
+  const nn::Network& network() const noexcept { return *network_; }
   nn::Network& network() noexcept { return *network_; }
   std::shared_ptr<nn::Network> network_ptr() noexcept { return network_; }
 
  private:
+  nn::InferenceSession& scratch();
+
   features::FeaturePipeline pipeline_;
   std::shared_ptr<nn::Network> network_;
+  /// Lazily-created session backing the session-less scan overloads.
+  std::unique_ptr<nn::InferenceSession> scratch_;
 };
 
 struct DetectorTrainingResult {

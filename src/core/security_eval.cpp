@@ -1,10 +1,12 @@
 #include "core/security_eval.hpp"
 
+#include <exception>
 #include <stdexcept>
 
 #include "attack/transfer.hpp"
 #include "data/dataset.hpp"
 #include "math/linalg.hpp"
+#include "nn/session.hpp"
 
 namespace mev::core {
 
@@ -49,8 +51,8 @@ FeatureSpaceMap FeatureSpaceMap::identity() {
   return map;
 }
 
-SweepResult run_security_sweep(nn::Network& craft_model,
-                               nn::Network& target_model,
+SweepResult run_security_sweep(const nn::Network& craft_model,
+                               const nn::Network& target_model,
                                const math::Matrix& malware_features,
                                const SweepConfig& sweep,
                                const FeatureSpaceMap& map,
@@ -70,63 +72,86 @@ SweepResult run_security_sweep(nn::Network& craft_model,
 
   const math::Matrix craft_inputs = map.to_craft_space(malware_features);
 
-  for (double value : sweep.grid) {
-    attack::JsmaConfig jsma_cfg;
-    jsma_cfg.target_class = data::kCleanLabel;
-    // Security curves measure detection at a FIXED attack strength, so the
-    // full budget is always spent; stopping at the craft model's boundary
-    // would understate transferability (the crafted point must sit past
-    // the substitute's boundary to cross the target's).
-    jsma_cfg.early_stop = false;
-    if (sweep.parameter == SweepParameter::kGamma) {
-      jsma_cfg.gamma = static_cast<float>(value);
-      jsma_cfg.theta = static_cast<float>(sweep.fixed_theta);
-    } else {
-      jsma_cfg.theta = static_cast<float>(value);
-      jsma_cfg.gamma = static_cast<float>(sweep.fixed_gamma);
-    }
-    const attack::Jsma jsma(jsma_cfg);
-    const attack::AttackResult crafted = jsma.craft(craft_model, craft_inputs);
+  // Grid points are independent: pre-size the curves and fill by index so
+  // the loop can run in parallel (dynamic schedule — per-point cost grows
+  // with the swept attack strength).
+  const std::size_t grid_size = sweep.grid.size();
+  result.target_curve.points.resize(grid_size);
+  result.craft_curve.points.resize(grid_size);
+  if (clean_features != nullptr) result.distances.resize(grid_size);
 
-    // Deploy in target space.
-    const math::Matrix deployed = map.to_target_space(crafted.adversarial);
-    const auto target_preds = target_model.predict(deployed);
-    std::size_t detected = 0;
-    for (int p : target_preds)
-      if (p == data::kMalwareLabel) ++detected;
+  std::exception_ptr error;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1) if (grid_size > 1)
+#endif
+  for (std::size_t gi = 0; gi < grid_size; ++gi) {
+    try {
+      const double value = sweep.grid[gi];
+      attack::JsmaConfig jsma_cfg;
+      jsma_cfg.target_class = data::kCleanLabel;
+      // Security curves measure detection at a FIXED attack strength, so
+      // the full budget is always spent; stopping at the craft model's
+      // boundary would understate transferability (the crafted point must
+      // sit past the substitute's boundary to cross the target's).
+      jsma_cfg.early_stop = false;
+      if (sweep.parameter == SweepParameter::kGamma) {
+        jsma_cfg.gamma = static_cast<float>(value);
+        jsma_cfg.theta = static_cast<float>(sweep.fixed_theta);
+      } else {
+        jsma_cfg.theta = static_cast<float>(value);
+        jsma_cfg.gamma = static_cast<float>(sweep.fixed_gamma);
+      }
+      const attack::Jsma jsma(jsma_cfg);
+      const attack::AttackResult crafted =
+          jsma.craft(craft_model, craft_inputs);
 
-    eval::CurvePoint target_point;
-    target_point.attack_strength = value;
-    target_point.detection_rate =
-        target_preds.empty()
-            ? 0.0
-            : static_cast<double>(detected) /
-                  static_cast<double>(target_preds.size());
-    // Perturbation statistics are reported in TARGET feature space so the
-    // white-box and grey-box numbers are comparable.
-    double l2_sum = 0.0;
-    for (std::size_t i = 0; i < deployed.rows(); ++i)
-      l2_sum += math::l2_distance(malware_features.row(i), deployed.row(i));
-    target_point.mean_l2 =
-        deployed.rows() == 0
-            ? 0.0
-            : l2_sum / static_cast<double>(deployed.rows());
-    target_point.mean_features = crafted.mean_features_changed();
-    result.target_curve.points.push_back(target_point);
+      // Deploy in target space.
+      const math::Matrix deployed = map.to_target_space(crafted.adversarial);
+      nn::InferenceSession target_session(target_model, deployed.rows());
+      const auto target_preds = target_session.predict(deployed);
+      std::size_t detected = 0;
+      for (int p : target_preds)
+        if (p == data::kMalwareLabel) ++detected;
 
-    eval::CurvePoint craft_point = target_point;
-    craft_point.detection_rate = 1.0 - crafted.success_rate();
-    craft_point.mean_l2 = crafted.mean_l2();
-    result.craft_curve.points.push_back(craft_point);
+      eval::CurvePoint target_point;
+      target_point.attack_strength = value;
+      target_point.detection_rate =
+          target_preds.empty()
+              ? 0.0
+              : static_cast<double>(detected) /
+                    static_cast<double>(target_preds.size());
+      // Perturbation statistics are reported in TARGET feature space so the
+      // white-box and grey-box numbers are comparable.
+      double l2_sum = 0.0;
+      for (std::size_t i = 0; i < deployed.rows(); ++i)
+        l2_sum += math::l2_distance(malware_features.row(i), deployed.row(i));
+      target_point.mean_l2 =
+          deployed.rows() == 0
+              ? 0.0
+              : l2_sum / static_cast<double>(deployed.rows());
+      target_point.mean_features = crafted.mean_features_changed();
+      result.target_curve.points[gi] = target_point;
 
-    if (clean_features != nullptr) {
-      eval::DistanceCurvePoint dp;
-      dp.attack_strength = value;
-      dp.distances = eval::l2_distance_analysis(malware_features, deployed,
-                                                *clean_features);
-      result.distances.push_back(dp);
+      eval::CurvePoint craft_point = target_point;
+      craft_point.detection_rate = 1.0 - crafted.success_rate();
+      craft_point.mean_l2 = crafted.mean_l2();
+      result.craft_curve.points[gi] = craft_point;
+
+      if (clean_features != nullptr) {
+        eval::DistanceCurvePoint dp;
+        dp.attack_strength = value;
+        dp.distances = eval::l2_distance_analysis(malware_features, deployed,
+                                                  *clean_features);
+        result.distances[gi] = dp;
+      }
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+      if (error == nullptr) error = std::current_exception();
     }
   }
+  if (error) std::rethrow_exception(error);
   return result;
 }
 

@@ -53,6 +53,9 @@ struct SweepResult {
 /// (identity for white-box / exact-feature grey-box; a re-extraction for
 /// the binary-feature attacker). The crafted CRAFT-space perturbation is
 /// mapped back with `target_features_of` before scoring the target.
+/// Grid points are evaluated in parallel, so `to_target_space` must be
+/// safe to call concurrently (pure function of its input — true of
+/// identity() and the grey-box maps, which only read captured state).
 struct FeatureSpaceMap {
   std::function<math::Matrix(const math::Matrix&)> to_craft_space;
   std::function<math::Matrix(const math::Matrix&)> to_target_space;
@@ -60,8 +63,11 @@ struct FeatureSpaceMap {
   static FeatureSpaceMap identity();
 };
 
+/// Runs the γ/θ sweep. Both models are read-only; the grid points are
+/// independent and evaluated in parallel (OpenMP), each with its own
+/// inference sessions against the shared networks.
 SweepResult run_security_sweep(
-    nn::Network& craft_model, nn::Network& target_model,
+    const nn::Network& craft_model, const nn::Network& target_model,
     const math::Matrix& malware_features, const SweepConfig& sweep,
     const FeatureSpaceMap& map = FeatureSpaceMap::identity(),
     const math::Matrix* clean_features = nullptr);

@@ -21,15 +21,17 @@ NetworkClassifier::NetworkClassifier(std::shared_ptr<nn::Network> net,
     : net_(std::move(net)), name_(std::move(name)) {
   if (net_ == nullptr)
     throw std::invalid_argument("NetworkClassifier: null network");
+  session_ = std::make_unique<nn::InferenceSession>(*net_);
 }
 
 std::vector<int> NetworkClassifier::classify(const math::Matrix& features) {
-  return net_->predict(features);
+  const auto preds = session_->predict(features);
+  return {preds.begin(), preds.end()};
 }
 
 std::vector<double> NetworkClassifier::malware_confidence(
     const math::Matrix& features) {
-  const math::Matrix probs = net_->predict_proba(features);
+  const math::Matrix& probs = session_->predict_proba(features);
   std::vector<double> conf(probs.rows());
   for (std::size_t i = 0; i < probs.rows(); ++i)
     conf[i] = probs(i, data::kMalwareLabel);

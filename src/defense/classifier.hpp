@@ -12,6 +12,7 @@
 
 #include "math/matrix.hpp"
 #include "nn/network.hpp"
+#include "nn/session.hpp"
 
 namespace mev::defense {
 
@@ -29,6 +30,8 @@ class Classifier {
 };
 
 /// Wraps a plain network (no defense, adversarially trained, distilled...).
+/// Owns its inference session, so several classifiers may share one
+/// network; a single classifier instance is not safe to call concurrently.
 class NetworkClassifier final : public Classifier {
  public:
   /// Takes shared ownership so classifiers can outlive their builders.
@@ -43,6 +46,7 @@ class NetworkClassifier final : public Classifier {
 
  private:
   std::shared_ptr<nn::Network> net_;
+  std::unique_ptr<nn::InferenceSession> session_;
   std::string name_;
 };
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "data/dataset.hpp"
+#include "nn/session.hpp"
 
 namespace mev::defense {
 
@@ -16,16 +17,18 @@ DimReductionClassifier::DimReductionClassifier(
   if (net_->input_dim() != pca_.k())
     throw std::invalid_argument(
         "DimReductionClassifier: network/PCA dimension mismatch");
+  session_ = std::make_unique<nn::InferenceSession>(*net_);
 }
 
 std::vector<int> DimReductionClassifier::classify(
     const math::Matrix& features) {
-  return net_->predict(pca_.transform(features));
+  const auto preds = session_->predict(pca_.transform(features));
+  return {preds.begin(), preds.end()};
 }
 
 std::vector<double> DimReductionClassifier::malware_confidence(
     const math::Matrix& features) {
-  const math::Matrix probs = net_->predict_proba(pca_.transform(features));
+  const math::Matrix& probs = session_->predict_proba(pca_.transform(features));
   std::vector<double> conf(probs.rows());
   for (std::size_t i = 0; i < probs.rows(); ++i)
     conf[i] = probs(i, data::kMalwareLabel);

@@ -37,6 +37,7 @@ class DimReductionClassifier final : public Classifier {
  private:
   math::Pca pca_;
   std::shared_ptr<nn::Network> net_;
+  std::unique_ptr<nn::InferenceSession> session_;
 };
 
 /// Fits PCA on the training features and trains the reduced classifier.

@@ -7,6 +7,7 @@
 #include "data/dataset.hpp"
 #include "math/linalg.hpp"
 #include "math/stats.hpp"
+#include "nn/session.hpp"
 
 namespace mev::defense {
 
@@ -56,12 +57,15 @@ FeatureSqueezing::FeatureSqueezing(std::shared_ptr<nn::Network> model,
     throw std::invalid_argument("FeatureSqueezing: null squeezer");
   if (threshold_ < 0.0)
     throw std::invalid_argument("FeatureSqueezing: negative threshold");
+  session_ = std::make_unique<nn::InferenceSession>(*model_);
 }
 
 std::vector<double> FeatureSqueezing::scores(const math::Matrix& features) {
-  const math::Matrix p_original = model_->predict_proba(features);
-  const math::Matrix p_squeezed =
-      model_->predict_proba(squeezer_->squeeze(features));
+  // Copy the first probability matrix: the second predict_proba call
+  // reuses the session buffer.
+  const math::Matrix p_original = session_->predict_proba(features);
+  const math::Matrix& p_squeezed =
+      session_->predict_proba(squeezer_->squeeze(features));
   std::vector<double> out(features.rows());
   for (std::size_t i = 0; i < features.rows(); ++i)
     out[i] = math::l1_distance(p_original.row(i), p_squeezed.row(i));
@@ -78,20 +82,22 @@ std::vector<bool> FeatureSqueezing::is_adversarial(
 
 std::vector<int> FeatureSqueezing::classify(const math::Matrix& features) {
   const auto flagged = is_adversarial(features);
-  auto preds = model_->predict(features);
+  const auto session_preds = session_->predict(features);
+  std::vector<int> preds(session_preds.begin(), session_preds.end());
   for (std::size_t i = 0; i < preds.size(); ++i)
     if (flagged[i]) preds[i] = data::kMalwareLabel;
   return preds;
 }
 
 double FeatureSqueezing::calibrate_threshold(
-    nn::Network& model, const Squeezer& squeezer,
+    const nn::Network& model, const Squeezer& squeezer,
     const math::Matrix& legitimate_features, double percentile) {
   if (legitimate_features.rows() == 0)
     throw std::invalid_argument("calibrate_threshold: empty calibration set");
-  const math::Matrix p_original = model.predict_proba(legitimate_features);
-  const math::Matrix p_squeezed =
-      model.predict_proba(squeezer.squeeze(legitimate_features));
+  nn::InferenceSession session(model, legitimate_features.rows());
+  const math::Matrix p_original = session.predict_proba(legitimate_features);
+  const math::Matrix& p_squeezed =
+      session.predict_proba(squeezer.squeeze(legitimate_features));
   std::vector<double> s(legitimate_features.rows());
   for (std::size_t i = 0; i < s.size(); ++i)
     s[i] = math::l1_distance(p_original.row(i), p_squeezed.row(i));

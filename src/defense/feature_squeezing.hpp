@@ -70,13 +70,14 @@ class FeatureSqueezing final : public Classifier {
   /// Picks the threshold as the `percentile`-th percentile of scores on
   /// legitimate (clean + malware) calibration data, so roughly
   /// (100 - percentile)% of legitimate traffic is flagged.
-  static double calibrate_threshold(nn::Network& model,
+  static double calibrate_threshold(const nn::Network& model,
                                     const Squeezer& squeezer,
                                     const math::Matrix& legitimate_features,
                                     double percentile = 95.0);
 
  private:
   std::shared_ptr<nn::Network> model_;
+  std::unique_ptr<nn::InferenceSession> session_;
   std::unique_ptr<Squeezer> squeezer_;
   double threshold_;
 };

@@ -103,6 +103,16 @@ void Matrix::fill(float value) noexcept {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  data_.resize(rows * cols);
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::reserve(std::size_t rows, std::size_t cols) {
+  data_.reserve(rows * cols);
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -179,9 +189,28 @@ Matrix operator*(Matrix lhs, float scalar) { return lhs *= scalar; }
 Matrix operator*(float scalar, Matrix rhs) { return rhs *= scalar; }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(a, b, c);
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_at_b_into(a, b, c);
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_a_bt_into(a, b, c);
+  return c;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n);
+  c.resize(m, n);
+  c.fill(0.0f);
   // i-k-j loop order: the inner loop streams both B and C rows, which is
   // cache-friendly for row-major storage; OpenMP parallelizes over rows.
 #pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
@@ -195,33 +224,35 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
       for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
     }
   }
-  return c;
 }
 
-Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c,
+                      bool accumulate) {
   require(a.rows() == b.rows(), "matmul_at_b: row mismatch");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
-  Matrix c(m, n);
-#pragma omp parallel if (m * n * k > 1u << 16)
-  {
-#pragma omp for schedule(static)
-    for (std::size_t i = 0; i < m; ++i) {
-      float* ci = c.data() + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float aki = a(kk, i);
-        if (aki == 0.0f) continue;
-        const float* bk = b.data() + kk * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
-      }
+  if (accumulate) {
+    require(c.rows() == m && c.cols() == n,
+            "matmul_at_b_into: accumulate shape mismatch");
+  } else {
+    c.resize(m, n);
+    c.fill(0.0f);
+  }
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aki = a(kk, i);
+      if (aki == 0.0f) continue;
+      const float* bk = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
     }
   }
-  return c;
 }
 
-Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c) {
   require(a.cols() == b.cols(), "matmul_a_bt: col mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix c(m, n);
+  c.resize(m, n);
 #pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
   for (std::size_t i = 0; i < m; ++i) {
     const float* ai = a.data() + i * k;
@@ -233,7 +264,26 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
       ci[j] = s;
     }
   }
-  return c;
+}
+
+void gather_rows_into(const Matrix& src, std::span<const std::size_t> indices,
+                      Matrix& out) {
+  out.resize(indices.size(), src.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= src.rows()) throw std::out_of_range("gather_rows_into");
+    const auto row = src.row(indices[i]);
+    std::copy(row.begin(), row.end(), out.data() + i * out.cols());
+  }
+}
+
+void add_column_sums(const Matrix& m, Matrix& acc) {
+  require(acc.rows() == 1 && acc.cols() == m.cols(),
+          "add_column_sums: shape mismatch");
+  float* s = acc.data();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) s[c] += row[c];
+  }
 }
 
 std::vector<float> matvec(const Matrix& a, std::span<const float> x) {

@@ -81,13 +81,31 @@ class Matrix {
   /// Hadamard (elementwise) product.
   Matrix& hadamard(const Matrix& rhs);
 
-  /// Applies f to every element in place.
+  /// Applies f to every element in place. Type-erased overload for cold
+  /// call sites; hot paths should use the templated apply_fn below, which
+  /// inlines the functor.
   Matrix& apply(const std::function<float(float)>& f);
+
+  /// Applies f to every element in place with the functor inlined.
+  template <typename F>
+  Matrix& apply_fn(F&& f) {
+    for (auto& x : data_) x = f(x);
+    return *this;
+  }
 
   /// Clamps every element to [lo, hi].
   Matrix& clamp(float lo, float hi) noexcept;
 
   void fill(float value) noexcept;
+
+  /// Reshapes to rows x cols without shrinking capacity: growing past the
+  /// high-water mark allocates, everything after that is allocation-free.
+  /// Element values are unspecified after a resize that changes the total
+  /// element count (workspaces overwrite them anyway).
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Pre-allocates capacity for a rows x cols matrix without reshaping.
+  void reserve(std::size_t rows, std::size_t cols);
 
   Matrix transposed() const;
 
@@ -133,6 +151,30 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 
 /// C = A * B^T without materializing B^T.
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+// Destination-passing variants: `c` is resized (capacity-preserving) and
+// overwritten, so a warm workspace makes them allocation-free. `c` must
+// not alias `a` or `b`.
+
+/// C = A * B.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B (or C += A^T * B when `accumulate`; shapes must already
+/// match in that case). The accumulate form is the gradient-accumulation
+/// kernel for dense-layer weight gradients.
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c,
+                      bool accumulate = false);
+
+/// C = A * B^T.
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Gathers the given rows of `src` into `out` (resized, overwritten).
+/// `out` must not alias `src`.
+void gather_rows_into(const Matrix& src, std::span<const std::size_t> indices,
+                      Matrix& out);
+
+/// acc(0, j) += sum over rows of m(:, j). `acc` must be 1 x m.cols().
+void add_column_sums(const Matrix& m, Matrix& acc);
 
 /// y = A * x for a vector x (x.size() == A.cols()).
 std::vector<float> matvec(const Matrix& a, std::span<const float> x);

@@ -5,24 +5,47 @@
 
 namespace mev::nn {
 
+namespace {
+
+// Templated elementwise kernels: the functor is a concrete lambda, so the
+// compiler inlines and vectorizes the loop body. (Matrix::apply with a
+// std::function stays available for cold call sites; the forward/backward
+// hot path must not pay a type-erased call per element.)
+template <typename F>
+inline void elementwise(math::Matrix& m, F&& f) {
+  float* p = m.data();
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = f(p[i]);
+}
+
+/// grad[i] = f(grad[i], ref[i]) — derivative kernels keyed on the cached
+/// forward values (pre-activation z or activation output a).
+template <typename F>
+inline void elementwise_grad(math::Matrix& grad, const math::Matrix& ref,
+                             F&& f) {
+  float* g = grad.data();
+  const float* r = ref.data();
+  const std::size_t n = grad.size();
+  for (std::size_t i = 0; i < n; ++i) g[i] = f(g[i], r[i]);
+}
+
+}  // namespace
+
 void apply_activation(Activation act, math::Matrix& z) {
-  float* p = z.data();
-  const std::size_t n = z.size();
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      for (std::size_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+      elementwise(z, [](float x) { return x > 0.0f ? x : 0.0f; });
       return;
     case Activation::kSigmoid:
-      for (std::size_t i = 0; i < n; ++i) p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+      elementwise(z, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
       return;
     case Activation::kTanh:
-      for (std::size_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+      elementwise(z, [](float x) { return std::tanh(x); });
       return;
     case Activation::kLeakyRelu:
-      for (std::size_t i = 0; i < n; ++i)
-        p[i] = p[i] > 0.0f ? p[i] : 0.01f * p[i];
+      elementwise(z, [](float x) { return x > 0.0f ? x : 0.01f * x; });
       return;
   }
   throw std::invalid_argument("apply_activation: unknown activation");
@@ -32,26 +55,25 @@ void apply_activation_grad(Activation act, const math::Matrix& z,
                            const math::Matrix& a, math::Matrix& grad) {
   if (!grad.same_shape(z) || !grad.same_shape(a))
     throw std::invalid_argument("apply_activation_grad: shape mismatch");
-  float* g = grad.data();
-  const float* zp = z.data();
-  const float* ap = a.data();
-  const std::size_t n = grad.size();
   switch (act) {
     case Activation::kIdentity:
       return;
     case Activation::kRelu:
-      for (std::size_t i = 0; i < n; ++i)
-        if (zp[i] <= 0.0f) g[i] = 0.0f;
+      elementwise_grad(grad, z,
+                       [](float g, float zi) { return zi <= 0.0f ? 0.0f : g; });
       return;
     case Activation::kSigmoid:
-      for (std::size_t i = 0; i < n; ++i) g[i] *= ap[i] * (1.0f - ap[i]);
+      elementwise_grad(grad, a,
+                       [](float g, float ai) { return g * ai * (1.0f - ai); });
       return;
     case Activation::kTanh:
-      for (std::size_t i = 0; i < n; ++i) g[i] *= 1.0f - ap[i] * ap[i];
+      elementwise_grad(grad, a,
+                       [](float g, float ai) { return g * (1.0f - ai * ai); });
       return;
     case Activation::kLeakyRelu:
-      for (std::size_t i = 0; i < n; ++i)
-        if (zp[i] <= 0.0f) g[i] *= 0.01f;
+      elementwise_grad(grad, z, [](float g, float zi) {
+        return zi <= 0.0f ? 0.01f * g : g;
+      });
       return;
   }
   throw std::invalid_argument("apply_activation_grad: unknown activation");

@@ -7,11 +7,7 @@ namespace mev::nn {
 
 DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
                        math::Rng& rng)
-    : weights_(in, out),
-      bias_(1, out),
-      weight_grad_(in, out),
-      bias_grad_(1, out),
-      activation_(act) {
+    : weights_(in, out), bias_(1, out), activation_(act) {
   if (in == 0 || out == 0)
     throw std::invalid_argument("DenseLayer: zero dimension");
   // He initialization for relu-family activations, Glorot otherwise.
@@ -26,47 +22,50 @@ DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
 }
 
 DenseLayer::DenseLayer(math::Matrix weights, math::Matrix bias, Activation act)
-    : weights_(std::move(weights)),
-      bias_(std::move(bias)),
-      weight_grad_(weights_.rows(), weights_.cols()),
-      bias_grad_(1, weights_.cols()),
-      activation_(act) {
+    : weights_(std::move(weights)), bias_(std::move(bias)), activation_(act) {
   if (bias_.rows() != 1 || bias_.cols() != weights_.cols())
     throw std::invalid_argument("DenseLayer: bias/weight shape mismatch");
 }
 
-math::Matrix DenseLayer::forward(const math::Matrix& x, bool /*training*/) {
+void DenseLayer::forward(const math::Matrix& x, LayerWorkspace& ws,
+                         bool /*training*/) const {
   if (x.cols() != weights_.rows())
     throw std::invalid_argument("DenseLayer::forward: dimension mismatch");
-  input_ = x;
-  pre_activation_ = math::matmul(x, weights_);
-  math::add_row_broadcast(pre_activation_, bias_.row(0));
-  output_ = pre_activation_;
-  apply_activation(activation_, output_);
-  return output_;
+  math::matmul_into(x, weights_, ws.pre_activation);
+  math::add_row_broadcast(ws.pre_activation, bias_.row(0));
+  ws.output = ws.pre_activation;
+  apply_activation(activation_, ws.output);
 }
 
-math::Matrix DenseLayer::backward(const math::Matrix& grad_output) {
-  if (!grad_output.same_shape(output_))
+void DenseLayer::backward(math::Matrix& grad_output, const math::Matrix& input,
+                          LayerWorkspace& ws,
+                          bool accumulate_param_grads) const {
+  if (!grad_output.same_shape(ws.output))
     throw std::invalid_argument("DenseLayer::backward: shape mismatch");
-  math::Matrix grad_z = grad_output;
-  apply_activation_grad(activation_, pre_activation_, output_, grad_z);
+  // grad_output becomes dLoss/dPreActivation in place.
+  apply_activation_grad(activation_, ws.pre_activation, ws.output, grad_output);
 
-  weight_grad_ += math::matmul_at_b(input_, grad_z);
-  const auto col_grad = math::column_sums(grad_z);
-  for (std::size_t j = 0; j < col_grad.size(); ++j)
-    bias_grad_(0, j) += col_grad[j];
+  if (accumulate_param_grads) {
+    math::matmul_at_b_into(input, grad_output, ws.param_grads[0],
+                           /*accumulate=*/true);
+    math::add_column_sums(grad_output, ws.param_grads[1]);
+  }
 
-  return math::matmul_a_bt(grad_z, weights_);
+  math::matmul_a_bt_into(grad_output, weights_, ws.grad_input);
 }
 
-std::vector<ParamRef> DenseLayer::params() {
-  return {{&weights_, &weight_grad_}, {&bias_, &bias_grad_}};
+void DenseLayer::init_workspace(LayerWorkspace& ws) const {
+  ws.param_grads.clear();
+  ws.param_grads.emplace_back(weights_.rows(), weights_.cols());
+  ws.param_grads.emplace_back(1, bias_.cols());
 }
 
-void DenseLayer::zero_grad() {
-  weight_grad_.fill(0.0f);
-  bias_grad_.fill(0.0f);
+std::vector<math::Matrix*> DenseLayer::param_values() {
+  return {&weights_, &bias_};
+}
+
+std::vector<const math::Matrix*> DenseLayer::param_values() const {
+  return {&weights_, &bias_};
 }
 
 std::unique_ptr<Layer> DenseLayer::clone() const {
@@ -79,30 +78,31 @@ DropoutLayer::DropoutLayer(std::size_t dim, float rate, std::uint64_t seed)
     throw std::invalid_argument("DropoutLayer: rate must be in [0, 1)");
 }
 
-math::Matrix DropoutLayer::forward(const math::Matrix& x, bool training) {
+void DropoutLayer::forward(const math::Matrix& x, LayerWorkspace& ws,
+                           bool training) const {
   if (x.cols() != dim_)
     throw std::invalid_argument("DropoutLayer::forward: dimension mismatch");
   if (!training || rate_ == 0.0f) {
-    mask_ = math::Matrix();
-    return x;
+    ws.mask.resize(0, 0);  // flags the pass as inference for backward
+    ws.output = x;
+    return;
   }
   const float keep = 1.0f - rate_;
   const float scale = 1.0f / keep;
-  mask_ = math::Matrix(x.rows(), x.cols());
-  math::Matrix out = x;
-  for (std::size_t i = 0; i < mask_.size(); ++i) {
+  ws.mask.resize(x.rows(), x.cols());
+  ws.output = x;
+  for (std::size_t i = 0; i < ws.mask.size(); ++i) {
     const float m = rng_.bernoulli(keep) ? scale : 0.0f;
-    mask_.data()[i] = m;
-    out.data()[i] *= m;
+    ws.mask.data()[i] = m;
+    ws.output.data()[i] *= m;
   }
-  return out;
 }
 
-math::Matrix DropoutLayer::backward(const math::Matrix& grad_output) {
-  if (mask_.empty()) return grad_output;  // was an inference pass
-  math::Matrix grad = grad_output;
-  grad.hadamard(mask_);
-  return grad;
+void DropoutLayer::backward(math::Matrix& grad_output,
+                            const math::Matrix& /*input*/, LayerWorkspace& ws,
+                            bool /*accumulate_param_grads*/) const {
+  ws.grad_input = grad_output;
+  if (!ws.mask.empty()) ws.grad_input.hadamard(ws.mask);
 }
 
 std::unique_ptr<Layer> DropoutLayer::clone() const {

@@ -1,8 +1,11 @@
 // Layer abstraction: dense (affine + activation) and dropout layers.
 //
-// Layers cache whatever the backward pass needs during forward; a Layer is
-// therefore stateful across a forward/backward pair and not thread-safe.
-// Clone a network per thread for concurrent inference.
+// Layers are READ-ONLY during forward/backward: every cache the backward
+// pass needs (pre-activations, outputs, dropout masks) and every gradient
+// accumulator lives in a LayerWorkspace owned by an InferenceSession, not
+// in the layer. One Network can therefore be shared across threads, each
+// thread owning its own session (see nn/session.hpp). The single
+// exception is DropoutLayer's training-mode rng draw, documented below.
 #pragma once
 
 #include <memory>
@@ -16,30 +19,57 @@
 namespace mev::nn {
 
 /// A mutable view of one parameter tensor and its gradient accumulator,
-/// handed to optimizers.
+/// handed to optimizers. The value points into a Network's layer, the
+/// gradient into a session workspace (see InferenceSession::bind_params).
 struct ParamRef {
   math::Matrix* value = nullptr;
   math::Matrix* grad = nullptr;
+};
+
+/// Per-layer scratch buffers, owned by an InferenceSession (one per layer
+/// per session). All matrices are resized capacity-preservingly per batch,
+/// so the steady state allocates nothing.
+struct LayerWorkspace {
+  math::Matrix pre_activation;  // dense: z = x*W + b (batch x out)
+  math::Matrix output;          // layer output (batch x out)
+  math::Matrix mask;            // dropout keep mask (training only)
+  math::Matrix grad_input;      // backward result dLoss/dInput (batch x in)
+  /// Parameter-gradient accumulators, one per parameter tensor in the
+  /// order of Layer::param_values(). Sized by Layer::init_workspace.
+  std::vector<math::Matrix> param_grads;
 };
 
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Forward pass on a batch (rows are samples). `training` enables
-  /// stochastic behaviour (dropout).
-  virtual math::Matrix forward(const math::Matrix& x, bool training) = 0;
+  /// Forward pass on a batch (rows are samples) into ws.output. Reads
+  /// layer parameters only; mutable state lives in `ws`. `training`
+  /// enables stochastic behaviour (dropout).
+  virtual void forward(const math::Matrix& x, LayerWorkspace& ws,
+                       bool training) const = 0;
 
-  /// Backward pass: receives dLoss/dOutput, accumulates parameter
-  /// gradients, returns dLoss/dInput. Must follow a forward call with the
-  /// matching batch.
-  virtual math::Matrix backward(const math::Matrix& grad_output) = 0;
+  /// Backward pass: receives dLoss/dOutput (clobbered as scratch space),
+  /// writes dLoss/dInput into ws.grad_input. Must follow a forward call
+  /// with the matching batch in the same workspace; may be called many
+  /// times per forward (e.g. one per output class). When
+  /// `accumulate_param_grads` is set, parameter gradients are accumulated
+  /// into ws.param_grads and `input` must be the matrix handed to the
+  /// matching forward call; otherwise all parameter work is skipped
+  /// (the attack-gradient fast path).
+  virtual void backward(math::Matrix& grad_output, const math::Matrix& input,
+                        LayerWorkspace& ws,
+                        bool accumulate_param_grads) const = 0;
 
-  /// Parameter/gradient pairs (empty for parameterless layers).
-  virtual std::vector<ParamRef> params() { return {}; }
+  /// Sizes (and zeroes) ws.param_grads to match this layer's parameters.
+  virtual void init_workspace(LayerWorkspace& ws) const {
+    ws.param_grads.clear();
+  }
 
-  /// Zeroes accumulated gradients.
-  virtual void zero_grad() {}
+  /// Parameter tensors in the order matching LayerWorkspace::param_grads
+  /// (empty for parameterless layers).
+  virtual std::vector<math::Matrix*> param_values() { return {}; }
+  virtual std::vector<const math::Matrix*> param_values() const { return {}; }
 
   virtual std::size_t input_dim() const = 0;
   virtual std::size_t output_dim() const = 0;
@@ -59,10 +89,14 @@ class DenseLayer final : public Layer {
   /// `bias` must be 1 x weights.cols().
   DenseLayer(math::Matrix weights, math::Matrix bias, Activation act);
 
-  math::Matrix forward(const math::Matrix& x, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
-  std::vector<ParamRef> params() override;
-  void zero_grad() override;
+  void forward(const math::Matrix& x, LayerWorkspace& ws,
+               bool training) const override;
+  void backward(math::Matrix& grad_output, const math::Matrix& input,
+                LayerWorkspace& ws,
+                bool accumulate_param_grads) const override;
+  void init_workspace(LayerWorkspace& ws) const override;
+  std::vector<math::Matrix*> param_values() override;
+  std::vector<const math::Matrix*> param_values() const override;
 
   std::size_t input_dim() const override { return weights_.rows(); }
   std::size_t output_dim() const override { return weights_.cols(); }
@@ -76,27 +110,29 @@ class DenseLayer final : public Layer {
   math::Matrix& mutable_bias() noexcept { return bias_; }
 
  private:
-  math::Matrix weights_;      // in x out
-  math::Matrix bias_;         // 1 x out
-  math::Matrix weight_grad_;  // in x out
-  math::Matrix bias_grad_;    // 1 x out
+  math::Matrix weights_;  // in x out
+  math::Matrix bias_;     // 1 x out
   Activation activation_;
-
-  // Forward-pass caches.
-  math::Matrix input_;
-  math::Matrix pre_activation_;
-  math::Matrix output_;
 };
 
 /// Inverted dropout: active only in training mode; scales kept units by
 /// 1/(1-rate) so inference needs no rescaling.
+///
+/// Thread-safety: inference-mode forward touches no mutable state. The
+/// TRAINING-mode forward draws from the layer-owned rng (kept in the layer
+/// so the dropout stream is deterministic per network, matching the
+/// pre-session behaviour) and is therefore the one operation that must not
+/// run concurrently on a shared network.
 class DropoutLayer final : public Layer {
  public:
   /// `dim` is the (equal) input/output width; rate in [0, 1).
   DropoutLayer(std::size_t dim, float rate, std::uint64_t seed);
 
-  math::Matrix forward(const math::Matrix& x, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  void forward(const math::Matrix& x, LayerWorkspace& ws,
+               bool training) const override;
+  void backward(math::Matrix& grad_output, const math::Matrix& input,
+                LayerWorkspace& ws,
+                bool accumulate_param_grads) const override;
 
   std::size_t input_dim() const override { return dim_; }
   std::size_t output_dim() const override { return dim_; }
@@ -109,8 +145,7 @@ class DropoutLayer final : public Layer {
   std::size_t dim_;
   float rate_;
   std::uint64_t seed_;
-  math::Rng rng_;
-  math::Matrix mask_;
+  mutable math::Rng rng_;  // training-mode draws only; see class comment
 };
 
 }  // namespace mev::nn

@@ -7,6 +7,7 @@
 
 #include "math/linalg.hpp"
 #include "nn/loss.hpp"
+#include "nn/session.hpp"
 
 namespace mev::nn {
 
@@ -51,6 +52,9 @@ math::Matrix read_matrix(std::istream& is) {
 
 }  // namespace
 
+Network::Network() = default;
+Network::~Network() = default;
+
 Network::Network(const Network& other) {
   layers_.reserve(other.layers_.size());
   for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
@@ -59,8 +63,22 @@ Network::Network(const Network& other) {
 Network& Network::operator=(const Network& other) {
   if (this == &other) return *this;
   layers_.clear();
+  scratch_.reset();
   layers_.reserve(other.layers_.size());
   for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+  return *this;
+}
+
+Network::Network(Network&& other) noexcept
+    : layers_(std::move(other.layers_)) {
+  other.scratch_.reset();
+}
+
+Network& Network::operator=(Network&& other) noexcept {
+  if (this == &other) return *this;
+  layers_ = std::move(other.layers_);
+  scratch_.reset();
+  other.scratch_.reset();
   return *this;
 }
 
@@ -69,6 +87,13 @@ void Network::add(std::unique_ptr<Layer> layer) {
   if (!layers_.empty() && layers_.back()->output_dim() != layer->input_dim())
     throw std::invalid_argument("Network::add: layer dimension mismatch");
   layers_.push_back(std::move(layer));
+  scratch_.reset();  // workspace shapes are stale
+}
+
+InferenceSession& Network::scratch() {
+  if (scratch_ == nullptr)
+    scratch_ = std::make_unique<InferenceSession>(*this);
+  return *scratch_;
 }
 
 std::size_t Network::input_dim() const {
@@ -84,87 +109,50 @@ std::size_t Network::output_dim() const {
 std::size_t Network::num_parameters() const {
   std::size_t n = 0;
   for (const auto& layer : layers_)
-    for (const auto& p : const_cast<Layer&>(*layer).params())
-      n += p.value->size();
+    for (const auto* p : layer->param_values()) n += p->size();
   return n;
 }
 
 math::Matrix Network::forward(const math::Matrix& x, bool training) {
   if (layers_.empty()) throw std::logic_error("Network::forward: empty");
-  math::Matrix activations = x;
-  for (auto& layer : layers_)
-    activations = layer->forward(activations, training);
-  return activations;
+  return scratch().forward(x, training);
 }
 
 math::Matrix Network::predict_proba(const math::Matrix& x, float temperature) {
-  return softmax_rows(forward(x, /*training=*/false), temperature);
+  if (layers_.empty()) throw std::logic_error("Network::predict_proba: empty");
+  return scratch().predict_proba(x, temperature);
 }
 
 std::vector<int> Network::predict(const math::Matrix& x) {
-  const math::Matrix logits = forward(x, /*training=*/false);
-  std::vector<int> labels(logits.rows());
-  for (std::size_t i = 0; i < logits.rows(); ++i)
-    labels[i] = static_cast<int>(math::argmax(logits.row(i)));
-  return labels;
+  if (layers_.empty()) throw std::logic_error("Network::predict: empty");
+  const auto labels = scratch().predict(x);
+  return {labels.begin(), labels.end()};
 }
 
 math::Matrix Network::backward(const math::Matrix& grad_logits) {
   if (layers_.empty()) throw std::logic_error("Network::backward: empty");
-  math::Matrix grad = grad_logits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    grad = (*it)->backward(grad);
-  return grad;
+  return scratch().backward(grad_logits, /*accumulate_param_grads=*/true);
 }
 
 math::Matrix Network::input_gradient(const math::Matrix& x, int target_class) {
-  const std::size_t classes = output_dim();
-  if (target_class < 0 || static_cast<std::size_t>(target_class) >= classes)
-    throw std::invalid_argument("input_gradient: class out of range");
-  const math::Matrix logits = forward(x, /*training=*/false);
-  const math::Matrix probs = softmax_rows(logits);
-
-  // dF_c/dlogit_j = p_c (delta_cj - p_j): the softmax Jacobian row.
-  math::Matrix grad_logits(logits.rows(), classes);
-  const auto c = static_cast<std::size_t>(target_class);
-  for (std::size_t i = 0; i < logits.rows(); ++i) {
-    const float pc = probs(i, c);
-    for (std::size_t j = 0; j < classes; ++j)
-      grad_logits(i, j) = pc * ((j == c ? 1.0f : 0.0f) - probs(i, j));
-  }
-  math::Matrix grad_input = backward(grad_logits);
-  zero_grad();  // discard parameter gradients from this bookkeeping pass
-  return grad_input;
+  if (layers_.empty()) throw std::logic_error("Network::input_gradient: empty");
+  return scratch().input_gradient(x, target_class);
 }
 
 std::vector<math::Matrix> Network::input_gradients_all(const math::Matrix& x) {
-  const std::size_t classes = output_dim();
-  const math::Matrix logits = forward(x, /*training=*/false);
-  const math::Matrix probs = softmax_rows(logits);
-  std::vector<math::Matrix> grads;
-  grads.reserve(classes);
-  for (std::size_t c = 0; c < classes; ++c) {
-    math::Matrix grad_logits(logits.rows(), classes);
-    for (std::size_t i = 0; i < logits.rows(); ++i) {
-      const float pc = probs(i, c);
-      for (std::size_t j = 0; j < classes; ++j)
-        grad_logits(i, j) = pc * ((j == c ? 1.0f : 0.0f) - probs(i, j));
-    }
-    grads.push_back(backward(grad_logits));
-  }
-  zero_grad();
-  return grads;
+  if (layers_.empty())
+    throw std::logic_error("Network::input_gradients_all: empty");
+  const auto grads = scratch().input_gradients_all(x);
+  return {grads.begin(), grads.end()};
 }
 
 std::vector<ParamRef> Network::params() {
-  std::vector<ParamRef> all;
-  for (auto& layer : layers_)
-    for (auto& p : layer->params()) all.push_back(p);
-  return all;
+  return scratch().bind_params(*this);
 }
 
 void Network::zero_grad() {
-  for (auto& layer : layers_) layer->zero_grad();
+  if (layers_.empty()) return;
+  scratch().zero_param_grads();
 }
 
 std::string Network::architecture_string() const {

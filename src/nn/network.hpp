@@ -2,8 +2,16 @@
 // detector (4-layer DNN) and the substitute model (Table IV: 5-layer,
 // 491-1200-1500-1300-2).
 //
-// Besides training, the network exposes input gradients ∂F_i(X)/∂X_j
-// (Eq. 1 of the paper), which is what the JSMA saliency map consumes.
+// A Network is logically CONST during evaluation: all forward caches and
+// gradient accumulators live in InferenceSession workspaces
+// (nn/session.hpp), so one network can be shared across threads with one
+// session per thread. Besides training, the network exposes input
+// gradients dF_i(X)/dX_j (Eq. 1 of the paper), which is what the JSMA
+// saliency map consumes.
+//
+// The member evaluation methods below (forward, predict, ...) are a
+// convenience API over an internal scratch session; they are NOT
+// thread-safe on a shared instance — use explicit sessions for that.
 #pragma once
 
 #include <iosfwd>
@@ -17,15 +25,21 @@
 
 namespace mev::nn {
 
+class InferenceSession;
+
 class Network {
  public:
-  Network() = default;
+  Network();
+  ~Network();
   Network(const Network& other);
   Network& operator=(const Network& other);
-  Network(Network&&) noexcept = default;
-  Network& operator=(Network&&) noexcept = default;
+  // Moves drop the scratch session (it holds a pointer to the moved-from
+  // object); any external sessions bound to either side are invalidated.
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&& other) noexcept;
 
   /// Appends a layer; its input_dim must match the current output_dim.
+  /// Invalidates any session bound to this network.
   void add(std::unique_ptr<Layer> layer);
 
   std::size_t num_layers() const noexcept { return layers_.size(); }
@@ -47,20 +61,23 @@ class Network {
   /// Argmax class per row.
   std::vector<int> predict(const math::Matrix& x);
 
-  /// Backward pass from dLoss/dLogits; accumulates parameter gradients and
-  /// returns dLoss/dInput. Must follow a forward() on the same batch.
-  /// May be called multiple times per forward (e.g. one per output class).
+  /// Backward pass from dLoss/dLogits; accumulates parameter gradients
+  /// (into the scratch session's accumulators — see params()) and returns
+  /// dLoss/dInput. Must follow a forward() on the same batch. May be
+  /// called multiple times per forward (e.g. one per output class).
   math::Matrix backward(const math::Matrix& grad_logits);
 
   /// Gradient of the softmax probability of `target_class` with respect to
   /// the input, per sample (batch x input_dim). Runs its own forward pass
-  /// in inference mode; parameter gradients are zeroed afterwards.
+  /// in inference mode; parameter gradients are untouched.
   math::Matrix input_gradient(const math::Matrix& x, int target_class);
 
   /// Gradients of ALL class probabilities: result[c] is batch x input_dim.
   /// Cheaper than calling input_gradient per class (single forward).
   std::vector<math::Matrix> input_gradients_all(const math::Matrix& x);
 
+  /// Parameter/gradient pairs for an optimizer; gradients live in the
+  /// internal scratch session.
   std::vector<ParamRef> params();
   void zero_grad();
 
@@ -68,7 +85,12 @@ class Network {
   std::string architecture_string() const;
 
  private:
+  InferenceSession& scratch();
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Lazily created workspace backing the legacy evaluation methods; never
+  // copied or moved with the network.
+  std::unique_ptr<InferenceSession> scratch_;
 };
 
 struct MlpConfig {

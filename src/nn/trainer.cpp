@@ -7,6 +7,7 @@
 
 #include "math/rng.hpp"
 #include "nn/loss.hpp"
+#include "nn/session.hpp"
 
 namespace mev::nn {
 
@@ -41,13 +42,17 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
     throw std::invalid_argument("train: batch_size must be positive");
 
   auto optimizer = make_optimizer(config);
-  auto params = net.params();
+  // The session owns all activation and gradient buffers, reused across
+  // batches; the network itself is only touched by the optimizer step.
+  InferenceSession session(net, std::min(n, config.batch_size));
+  auto params = session.bind_params(net);
   math::Rng rng(config.shuffle_seed);
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
   TrainHistory history;
+  math::Matrix batch_x;
   std::size_t epochs_since_best = 0;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     rng.shuffle(order);
@@ -57,13 +62,13 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
       const std::size_t end = std::min(start + config.batch_size, n);
       const std::span<const std::size_t> batch_idx(order.data() + start,
                                                    end - start);
-      const math::Matrix batch_x = x.gather_rows(batch_idx);
-      net.zero_grad();
-      const math::Matrix logits = net.forward(batch_x, /*training=*/true);
+      math::gather_rows_into(x, batch_idx, batch_x);
+      session.zero_param_grads();
+      const math::Matrix& logits = session.forward(batch_x, /*training=*/true);
       LossResult loss = loss_fn(logits, batch_idx);
       epoch_loss += loss.loss;
       ++batches;
-      net.backward(loss.grad_logits);
+      session.backward(loss.grad_logits, /*accumulate_param_grads=*/true);
       optimizer->step(params);
     }
 
@@ -123,12 +128,13 @@ TrainHistory train_soft(Network& net, const math::Matrix& x,
       });
 }
 
-double accuracy(Network& net, const math::Matrix& x,
+double accuracy(const Network& net, const math::Matrix& x,
                 const std::vector<int>& labels) {
   if (labels.size() != x.rows())
     throw std::invalid_argument("accuracy: label count mismatch");
   if (labels.empty()) return 0.0;
-  const auto predictions = net.predict(x);
+  InferenceSession session(net, x.rows());
+  const auto predictions = session.predict(x);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < labels.size(); ++i)
     if (predictions[i] == labels[i]) ++correct;

@@ -63,7 +63,7 @@ TrainHistory train_soft(Network& net, const math::Matrix& x,
                         const LabeledData* validation = nullptr);
 
 /// Fraction of samples whose argmax prediction matches the label.
-double accuracy(Network& net, const math::Matrix& x,
+double accuracy(const Network& net, const math::Matrix& x,
                 const std::vector<int>& labels);
 
 }  // namespace mev::nn

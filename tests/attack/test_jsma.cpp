@@ -84,14 +84,16 @@ TEST(Jsma, SaliencyMapZeroesInadmissibleFeatures) {
   // Two classes, two features: feature 0 helps the target, feature 1 hurts.
   math::Matrix g0{{0.5f, -0.5f}};
   math::Matrix g1{{-0.5f, 0.5f}};
-  const math::Matrix s = Jsma::saliency_map({g0, g1}, 0);
+  const std::vector<math::Matrix> grads{g0, g1};
+  const math::Matrix s = Jsma::saliency_map(grads, 0);
   EXPECT_GT(s(0, 0), 0.0f);
   EXPECT_EQ(s(0, 1), 0.0f);
 }
 
 TEST(Jsma, SaliencyMapTargetOutOfRangeThrows) {
   math::Matrix g(1, 2);
-  EXPECT_THROW(Jsma::saliency_map({g, g}, 5), std::invalid_argument);
+  const std::vector<math::Matrix> grads{g, g};
+  EXPECT_THROW(Jsma::saliency_map(grads, 5), std::invalid_argument);
   EXPECT_THROW(Jsma::saliency_map({}, 0), std::invalid_argument);
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "core/experiment_config.hpp"
 #include "data/synthetic.hpp"
@@ -90,6 +92,49 @@ TEST(Detector, DetectsMostMalwareAndPassesMostClean) {
   // rates.
   EXPECT_GT(static_cast<double>(tp) / pos, 0.7);
   EXPECT_GT(static_cast<double>(tn) / neg, 0.4);
+}
+
+TEST(Detector, SessionOverloadMatchesLegacyScan) {
+  auto& f = fixture();
+  auto& detector = *f.trained.detector;  // legacy overloads are non-const
+  nn::InferenceSession session = detector.make_session();
+  const auto legacy = detector.scan_counts(f.trained.test_features);
+  const auto via_session =
+      detector.scan_counts(session, f.trained.test_features);
+  ASSERT_EQ(legacy.size(), via_session.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].predicted_class, via_session[i].predicted_class);
+    EXPECT_EQ(legacy[i].malware_confidence, via_session[i].malware_confidence);
+  }
+}
+
+TEST(Detector, ConcurrentScanCountsOnSharedNetwork) {
+  // One shared detector/network, one session per thread: every thread must
+  // reproduce the serial verdicts exactly.
+  auto& f = fixture();
+  MalwareDetector& detector = *f.trained.detector;
+  const math::Matrix& counts = f.trained.test_features;
+  const auto want = detector.scan_features(counts);
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::vector<Verdict>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      nn::InferenceSession session = detector.make_session(counts.rows());
+      for (int repeat = 0; repeat < 10; ++repeat)
+        got[t] = detector.scan_features(session, counts);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), want.size()) << "thread " << t;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[t][i].predicted_class, want[i].predicted_class);
+      EXPECT_EQ(got[t][i].malware_confidence, want[i].malware_confidence);
+    }
+  }
 }
 
 TEST(Detector, ConstructorRejectsMismatchedPipeline) {

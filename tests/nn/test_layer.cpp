@@ -7,13 +7,22 @@
 namespace mev::nn {
 namespace {
 
+/// One-shot forward through a fresh workspace (the session owns workspaces
+/// in production; tests drive layers directly).
+math::Matrix forward_of(const Layer& layer, const math::Matrix& x,
+                        bool training = false) {
+  LayerWorkspace ws;
+  layer.init_workspace(ws);
+  layer.forward(x, ws, training);
+  return ws.output;
+}
+
 TEST(DenseLayer, ForwardKnownValues) {
   // y = x * W + b with identity activation.
   math::Matrix w{{1, 0}, {0, 2}};
   math::Matrix b{{10, 20}};
   DenseLayer layer(std::move(w), std::move(b), Activation::kIdentity);
-  const math::Matrix x{{3, 4}};
-  const math::Matrix y = layer.forward(x, false);
+  const math::Matrix y = forward_of(layer, math::Matrix{{3, 4}});
   EXPECT_EQ(y(0, 0), 13.0f);
   EXPECT_EQ(y(0, 1), 28.0f);
 }
@@ -22,14 +31,29 @@ TEST(DenseLayer, ForwardAppliesActivation) {
   math::Matrix w{{1}, {1}};
   math::Matrix b{{-10}};
   DenseLayer layer(std::move(w), std::move(b), Activation::kRelu);
-  const math::Matrix x{{1, 2}};
-  EXPECT_EQ(layer.forward(x, false)(0, 0), 0.0f);
+  EXPECT_EQ(forward_of(layer, math::Matrix{{1, 2}})(0, 0), 0.0f);
+}
+
+TEST(DenseLayer, ForwardIsConstOnLayer) {
+  // The layer is read-only during forward: two workspaces on one layer
+  // produce identical results in either order.
+  math::Rng rng(7);
+  const DenseLayer layer(3, 2, Activation::kTanh, rng);
+  const math::Matrix x{{0.5f, -1.0f, 2.0f}};
+  LayerWorkspace a, b;
+  layer.init_workspace(a);
+  layer.init_workspace(b);
+  layer.forward(x, a, false);
+  layer.forward(x, b, false);
+  EXPECT_EQ(a.output, b.output);
 }
 
 TEST(DenseLayer, DimensionMismatchThrows) {
   math::Rng rng(1);
   DenseLayer layer(3, 2, Activation::kRelu, rng);
-  EXPECT_THROW(layer.forward(math::Matrix(1, 4), false),
+  LayerWorkspace ws;
+  layer.init_workspace(ws);
+  EXPECT_THROW(layer.forward(math::Matrix(1, 4), ws, false),
                std::invalid_argument);
 }
 
@@ -53,27 +77,29 @@ TEST(DenseLayer, ParameterGradientsMatchFiniteDifference) {
     x.data()[i] = static_cast<float>(rng.normal());
 
   // Loss = sum of outputs; upstream gradient of ones.
-  const auto loss = [&](DenseLayer& l) {
-    return l.forward(x, false).sum();
-  };
-  layer.zero_grad();
-  layer.forward(x, false);
-  layer.backward(math::Matrix(2, 3, 1.0f));
-  auto params = layer.params();
-  ASSERT_EQ(params.size(), 2u);
+  LayerWorkspace ws;
+  layer.init_workspace(ws);
+  layer.forward(x, ws, false);
+  math::Matrix upstream(2, 3, 1.0f);
+  layer.backward(upstream, x, ws, /*accumulate_param_grads=*/true);
+
+  auto values = layer.param_values();
+  ASSERT_EQ(values.size(), 2u);
+  ASSERT_EQ(ws.param_grads.size(), 2u);
 
   const float eps = 1e-2f;
-  for (const auto& p : params) {
-    for (std::size_t i = 0; i < std::min<std::size_t>(p.value->size(), 6);
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    math::Matrix* value = values[k];
+    for (std::size_t i = 0; i < std::min<std::size_t>(value->size(), 6);
          ++i) {
-      const float original = p.value->data()[i];
-      p.value->data()[i] = original + eps;
-      const double up = loss(layer);
-      p.value->data()[i] = original - eps;
-      const double down = loss(layer);
-      p.value->data()[i] = original;
+      const float original = value->data()[i];
+      value->data()[i] = original + eps;
+      const double up = forward_of(layer, x).sum();
+      value->data()[i] = original - eps;
+      const double down = forward_of(layer, x).sum();
+      value->data()[i] = original;
       const double fd = (up - down) / (2 * eps);
-      EXPECT_NEAR(p.grad->data()[i], fd, 2e-2);
+      EXPECT_NEAR(ws.param_grads[k].data()[i], fd, 2e-2);
     }
   }
 }
@@ -84,8 +110,12 @@ TEST(DenseLayer, InputGradientMatchesFiniteDifference) {
   math::Matrix x(1, 3);
   for (std::size_t i = 0; i < 3; ++i)
     x.data()[i] = static_cast<float>(rng.normal());
-  layer.forward(x, false);
-  const math::Matrix gin = layer.backward(math::Matrix(1, 2, 1.0f));
+
+  LayerWorkspace ws;
+  layer.init_workspace(ws);
+  layer.forward(x, ws, false);
+  math::Matrix upstream(1, 2, 1.0f);
+  layer.backward(upstream, x, ws, /*accumulate_param_grads=*/false);
 
   const float eps = 1e-2f;
   for (std::size_t j = 0; j < 3; ++j) {
@@ -93,9 +123,9 @@ TEST(DenseLayer, InputGradientMatchesFiniteDifference) {
     xp(0, j) += eps;
     xm(0, j) -= eps;
     const double fd =
-        (layer.forward(xp, false).sum() - layer.forward(xm, false).sum()) /
+        (forward_of(layer, xp).sum() - forward_of(layer, xm).sum()) /
         (2 * eps);
-    EXPECT_NEAR(gin(0, j), fd, 2e-2);
+    EXPECT_NEAR(ws.grad_input(0, j), fd, 2e-2);
   }
 }
 
@@ -103,14 +133,35 @@ TEST(DenseLayer, GradientsAccumulateAcrossBackwards) {
   math::Rng rng(5);
   DenseLayer layer(2, 2, Activation::kIdentity, rng);
   const math::Matrix x{{1, 1}};
-  layer.zero_grad();
-  layer.forward(x, false);
-  layer.backward(math::Matrix(1, 2, 1.0f));
-  const float once = layer.params()[0].grad->data()[0];
-  layer.backward(math::Matrix(1, 2, 1.0f));
-  EXPECT_NEAR(layer.params()[0].grad->data()[0], 2 * once, 1e-5);
-  layer.zero_grad();
-  EXPECT_EQ(layer.params()[0].grad->data()[0], 0.0f);
+  LayerWorkspace ws;
+  layer.init_workspace(ws);
+  layer.forward(x, ws, false);
+  math::Matrix upstream(1, 2, 1.0f);
+  layer.backward(upstream, x, ws, true);
+  const float once = ws.param_grads[0].data()[0];
+  upstream = math::Matrix(1, 2, 1.0f);  // backward clobbers its input
+  layer.backward(upstream, x, ws, true);
+  EXPECT_NEAR(ws.param_grads[0].data()[0], 2 * once, 1e-5);
+  ws.param_grads[0].fill(0.0f);
+  EXPECT_EQ(ws.param_grads[0].data()[0], 0.0f);
+}
+
+TEST(DenseLayer, SkippingParamGradsLeavesAccumulatorsZero) {
+  // The attack-gradient fast path must not touch the accumulators.
+  math::Rng rng(8);
+  DenseLayer layer(3, 2, Activation::kRelu, rng);
+  const math::Matrix x{{1, 2, 3}};
+  LayerWorkspace ws;
+  layer.init_workspace(ws);
+  layer.forward(x, ws, false);
+  math::Matrix upstream(1, 2, 1.0f);
+  layer.backward(upstream, x, ws, /*accumulate_param_grads=*/false);
+  for (const auto& g : ws.param_grads)
+    for (std::size_t i = 0; i < g.size(); ++i)
+      EXPECT_EQ(g.data()[i], 0.0f);
+  // The input gradient is still produced.
+  EXPECT_EQ(ws.grad_input.rows(), 1u);
+  EXPECT_EQ(ws.grad_input.cols(), 3u);
 }
 
 TEST(DenseLayer, CloneIsDeepCopy) {
@@ -127,13 +178,13 @@ TEST(DenseLayer, CloneIsDeepCopy) {
 TEST(DropoutLayer, InferenceModePassesThrough) {
   DropoutLayer drop(3, 0.5f, 1);
   const math::Matrix x{{1, 2, 3}};
-  EXPECT_EQ(drop.forward(x, false), x);
+  EXPECT_EQ(forward_of(drop, x, false), x);
 }
 
 TEST(DropoutLayer, TrainingZeroesRoughlyRateFraction) {
   DropoutLayer drop(1000, 0.4f, 2);
   const math::Matrix x(1, 1000, 1.0f);
-  const math::Matrix y = drop.forward(x, true);
+  const math::Matrix y = forward_of(drop, x, true);
   std::size_t zeros = 0;
   for (std::size_t i = 0; i < y.size(); ++i)
     if (y.data()[i] == 0.0f) ++zeros;
@@ -146,14 +197,29 @@ TEST(DropoutLayer, TrainingZeroesRoughlyRateFraction) {
 TEST(DropoutLayer, BackwardUsesSameMask) {
   DropoutLayer drop(100, 0.5f, 3);
   const math::Matrix x(1, 100, 1.0f);
-  const math::Matrix y = drop.forward(x, true);
-  const math::Matrix g = drop.backward(math::Matrix(1, 100, 1.0f));
+  LayerWorkspace ws;
+  drop.init_workspace(ws);
+  drop.forward(x, ws, true);
+  const math::Matrix y = ws.output;
+  math::Matrix upstream(1, 100, 1.0f);
+  drop.backward(upstream, x, ws, false);
   for (std::size_t i = 0; i < 100; ++i) {
     if (y.data()[i] == 0.0f)
-      EXPECT_EQ(g.data()[i], 0.0f);
+      EXPECT_EQ(ws.grad_input.data()[i], 0.0f);
     else
-      EXPECT_GT(g.data()[i], 0.0f);
+      EXPECT_GT(ws.grad_input.data()[i], 0.0f);
   }
+}
+
+TEST(DropoutLayer, InferenceBackwardIsIdentity) {
+  DropoutLayer drop(4, 0.5f, 5);
+  const math::Matrix x{{1, 2, 3, 4}};
+  LayerWorkspace ws;
+  drop.init_workspace(ws);
+  drop.forward(x, ws, false);  // inference: no mask recorded
+  math::Matrix upstream{{5, 6, 7, 8}};
+  drop.backward(upstream, x, ws, false);
+  EXPECT_EQ(ws.grad_input, (math::Matrix{{5, 6, 7, 8}}));
 }
 
 TEST(DropoutLayer, InvalidRateThrows) {
