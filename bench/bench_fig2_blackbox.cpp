@@ -130,8 +130,10 @@ int main(int argc, char** argv) {
     arch.seed = env.config.seed ^ 0xAB1A;
     const auto outcome = attack_with_architecture(env, arch, false);
     std::string name;
-    for (std::size_t i = 0; i < dims.size(); ++i)
-      name += (i ? "-" : "") + std::to_string(dims[i]);
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (i) name += '-';
+      name += std::to_string(dims[i]);
+    }
     ab.row({name, eval::Table::fmt(outcome.final_agreement),
             eval::Table::fmt(outcome.target_detection),
             eval::Table::fmt(1.0 - outcome.target_detection)});

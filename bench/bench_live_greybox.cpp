@@ -21,7 +21,6 @@ int main(int argc, char** argv) {
 
   std::cerr << "# training the substitute (exact features)...\n";
   const data::CountDataset attacker_data = bench::attacker_dataset(env);
-  const auto& vocab = data::ApiVocab::instance();
   auto sub =
       core::train_substitute_exact_features(attacker_data, env.config,
                                            env.detector().pipeline());

@@ -1,0 +1,105 @@
+// Microbenchmarks for the resilience layer's clean-path overhead: what the
+// retry/breaker decorator and the query cache cost when the oracle is
+// healthy (the common case — fault handling should be pay-as-you-go).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/query_cache.hpp"
+#include "runtime/resilient_oracle.hpp"
+
+using namespace mev;
+
+namespace {
+
+/// Minimal oracle: a threshold on feature 0, no model evaluation — so the
+/// measurements isolate decorator overhead, not oracle cost.
+class ThresholdOracle final : public runtime::CountOracle {
+ public:
+  std::vector<int> label_counts(const math::Matrix& counts) override {
+    record_queries(counts.rows());
+    std::vector<int> labels(counts.rows());
+    for (std::size_t i = 0; i < counts.rows(); ++i)
+      labels[i] = counts(i, 0) > 5.0f ? 1 : 0;
+    return labels;
+  }
+};
+
+math::Matrix random_counts(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  math::Rng rng(seed);
+  math::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.poisson(5.0));
+  return m;
+}
+
+void BM_RawOracle(benchmark::State& state) {
+  ThresholdOracle oracle;
+  const math::Matrix counts =
+      random_counts(static_cast<std::size_t>(state.range(0)), 64, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(oracle.label_counts(counts));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RawOracle)->Arg(64)->Arg(512);
+
+void BM_ResilientOracleCleanPath(benchmark::State& state) {
+  ThresholdOracle inner;
+  runtime::FakeClock clock;
+  runtime::ResilientOracle oracle(inner, {}, {}, &clock);
+  const math::Matrix counts =
+      random_counts(static_cast<std::size_t>(state.range(0)), 64, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(oracle.label_counts(counts));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResilientOracleCleanPath)->Arg(64)->Arg(512);
+
+void BM_ResilientOracleUnderFaults(benchmark::State& state) {
+  ThresholdOracle inner;
+  runtime::FakeClock clock;
+  runtime::FaultInjectingOracle flaky(inner, runtime::FaultProfile::flaky(),
+                                      &clock);
+  runtime::ResilientOracle oracle(flaky, {}, {}, &clock);
+  const math::Matrix counts =
+      random_counts(static_cast<std::size_t>(state.range(0)), 64, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(oracle.label_counts(counts));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResilientOracleUnderFaults)->Arg(64)->Arg(512);
+
+void BM_QueryCacheMissPath(benchmark::State& state) {
+  const math::Matrix counts =
+      random_counts(static_cast<std::size_t>(state.range(0)), 64, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ThresholdOracle inner;
+    runtime::CachingOracle oracle(inner);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(oracle.label_counts(counts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueryCacheMissPath)->Arg(64)->Arg(512);
+
+void BM_QueryCacheHitPath(benchmark::State& state) {
+  ThresholdOracle inner;
+  runtime::CachingOracle oracle(inner);
+  const math::Matrix counts =
+      random_counts(static_cast<std::size_t>(state.range(0)), 64, 2);
+  (void)oracle.label_counts(counts);  // warm the cache
+  for (auto _ : state)
+    benchmark::DoNotOptimize(oracle.label_counts(counts));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueryCacheHitPath)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -52,7 +52,6 @@ DefenseRow evaluate(defense::Classifier& clf, const math::Matrix& clean,
 
 int main(int argc, char** argv) {
   auto env = bench::make_environment(bench::parse_scale(argc, argv));
-  const auto& vocab = data::ApiVocab::instance();
 
   // --- grey-box adversarial examples at the paper's defense operating
   //     point (theta=0.1, gamma=0.02) --------------------------------------

@@ -2,9 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <optional>
 #include <stdexcept>
+#include <string>
+
+#include "core/persistence.hpp"
+#include "runtime/atomic_file.hpp"
+#include "runtime/query_cache.hpp"
 
 namespace mev::core {
+
+namespace {
+
+template <typename T>
+void append_bytes(std::string& out, const T& v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.append(p, sizeof(T));
+}
+
+/// Fingerprint of everything that determines the run's trajectory: the
+/// config fields the loop reads plus the seed set itself. A checkpoint
+/// written under one fingerprint refuses to resume under another.
+std::uint64_t run_fingerprint(const BlackBoxConfig& config,
+                              const math::Matrix& seed_counts) {
+  std::string bytes;
+  append_bytes(bytes, config.augmentation_rounds);
+  append_bytes(bytes, config.lambda);
+  for (std::size_t dim : config.substitute_architecture.dims)
+    append_bytes(bytes, dim);
+  append_bytes(bytes, config.substitute_architecture.hidden_activation);
+  append_bytes(bytes, config.substitute_architecture.dropout);
+  append_bytes(bytes, config.substitute_architecture.seed);
+  append_bytes(bytes, config.training_per_round.epochs);
+  append_bytes(bytes, config.training_per_round.batch_size);
+  append_bytes(bytes, config.training_per_round.learning_rate);
+  append_bytes(bytes, config.training_per_round.optimizer);
+  append_bytes(bytes, config.training_per_round.temperature);
+  append_bytes(bytes, config.training_per_round.shuffle_seed);
+  append_bytes(bytes, config.max_dataset_rows);
+  append_bytes(bytes, config.use_query_cache);
+  append_bytes(bytes, seed_counts.rows());
+  append_bytes(bytes, seed_counts.cols());
+  bytes.append(reinterpret_cast<const char*>(seed_counts.data()),
+               seed_counts.size() * sizeof(float));
+  return runtime::fnv1a64(bytes);
+}
+
+}  // namespace
 
 std::vector<int> DetectorOracle::label_counts(const math::Matrix& counts) {
   record_queries(counts.rows());
@@ -17,6 +63,12 @@ std::vector<int> DetectorOracle::label_counts(const math::Matrix& counts) {
 
 math::Matrix realize_counts(const features::CountTransform& transform,
                             const math::Matrix& features) {
+  if (!transform.fitted())
+    throw std::invalid_argument("realize_counts: transform is not fitted");
+  if (features.cols() != transform.dim())
+    throw std::invalid_argument(
+        "realize_counts: feature dim " + std::to_string(features.cols()) +
+        " does not match transform dim " + std::to_string(transform.dim()));
   math::Matrix counts(features.rows(), features.cols());
   for (std::size_t r = 0; r < features.rows(); ++r)
     for (std::size_t c = 0; c < features.cols(); ++c)
@@ -33,18 +85,97 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
   if (config.substitute_architecture.dims.empty() ||
       config.substitute_architecture.dims.front() != seed_counts.cols())
     throw std::invalid_argument(
-        "run_blackbox_framework: substitute input dim mismatch");
+        "run_blackbox_framework: substitute input dim " +
+        std::to_string(config.substitute_architecture.dims.empty()
+                           ? 0
+                           : config.substitute_architecture.dims.front()) +
+        " does not match seed feature dim " +
+        std::to_string(seed_counts.cols()));
+  if (config.max_dataset_rows < seed_counts.rows())
+    throw std::invalid_argument(
+        "run_blackbox_framework: max_dataset_rows " +
+        std::to_string(config.max_dataset_rows) + " is below the seed size " +
+        std::to_string(seed_counts.rows()));
+
+  // Dedup repeat submissions through a caching decorator when asked; all
+  // query accounting below goes through `query` so cached runs report the
+  // reduced (post-dedup) budget.
+  std::optional<runtime::CachingOracle> caching;
+  CountOracle* query = &oracle;
+  if (config.use_query_cache) {
+    caching.emplace(oracle);
+    query = &*caching;
+  }
+  const auto* resilient = dynamic_cast<const runtime::ResilientOracle*>(&oracle);
+
+  const std::uint64_t fingerprint = run_fingerprint(config, seed_counts);
+  const bool checkpointing = !config.checkpoint_path.empty();
 
   BlackBoxResult result;
-  result.attacker_transform.fit(seed_counts);
+  math::Matrix counts;
+  std::size_t start_round = 0;
+  // Queries completed before this process took over (from a checkpoint),
+  // and this oracle's count when the run started — cumulative stats stay
+  // comparable across interruptions and pre-used oracles.
+  std::size_t query_offset = 0;
+  const std::size_t query_base = query->queries();
 
-  math::Matrix counts = seed_counts;  // the attacker's growing sample set
-  result.substitute = std::make_shared<nn::Network>(
-      nn::make_mlp(config.substitute_architecture));
+  if (checkpointing && config.resume &&
+      std::filesystem::exists(config.checkpoint_path)) {
+    BlackBoxCheckpoint ckpt =
+        load_blackbox_checkpoint(config.checkpoint_path);
+    if (ckpt.config_fingerprint != fingerprint)
+      throw std::runtime_error(
+          "run_blackbox_framework: checkpoint " + config.checkpoint_path +
+          " was written by a different config or seed set");
+    result.substitute = std::make_shared<nn::Network>(std::move(ckpt.substitute));
+    result.attacker_transform = std::move(ckpt.attacker_transform);
+    result.rounds = std::move(ckpt.rounds);
+    result.resumed = true;
+    result.resumed_from_round = ckpt.next_round;
+    if (ckpt.finished) {
+      result.total_queries = ckpt.total_queries;
+      return result;
+    }
+    counts = std::move(ckpt.counts);
+    start_round = ckpt.next_round;
+    query_offset = ckpt.total_queries;
+    if (caching) caching->cache().import_entries(ckpt.cache_rows,
+                                                 ckpt.cache_labels);
+  } else {
+    result.attacker_transform.fit(seed_counts);
+    counts = seed_counts;  // the attacker's growing sample set
+    result.substitute = std::make_shared<nn::Network>(
+        nn::make_mlp(config.substitute_architecture));
+  }
 
-  for (std::size_t round = 0; round <= config.augmentation_rounds; ++round) {
+  const auto queries_so_far = [&] {
+    return query_offset + (query->queries() - query_base);
+  };
+  const auto write_checkpoint = [&](std::size_t next_round, bool finished) {
+    BlackBoxCheckpoint ckpt;
+    ckpt.config_fingerprint = fingerprint;
+    ckpt.next_round = next_round;
+    ckpt.finished = finished;
+    ckpt.total_queries = queries_so_far();
+    ckpt.counts = counts;
+    ckpt.rounds = result.rounds;
+    ckpt.substitute = *result.substitute;
+    ckpt.attacker_transform = result.attacker_transform;
+    if (caching)
+      caching->cache().export_entries(ckpt.cache_rows, ckpt.cache_labels);
+    save_blackbox_checkpoint(ckpt, config.checkpoint_path);
+  };
+
+  for (std::size_t round = start_round; round <= config.augmentation_rounds;
+       ++round) {
     // 1. Oracle labels for the current sample set.
-    const std::vector<int> labels = oracle.label_counts(counts);
+    const std::vector<int> labels = query->label_counts(counts);
+    if (labels.size() != counts.rows())
+      throw std::runtime_error(
+          "run_blackbox_framework: oracle returned " +
+          std::to_string(labels.size()) + " labels for " +
+          std::to_string(counts.rows()) + " rows");
     const math::Matrix features = result.attacker_transform.apply(counts);
 
     // 2. (Re)train the substitute from scratch on the labelled set; a fresh
@@ -56,13 +187,18 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
 
     BlackBoxRoundStats stats;
     stats.dataset_rows = counts.rows();
-    stats.oracle_queries = oracle.queries();
+    stats.oracle_queries = queries_so_far();
     stats.oracle_agreement =
         nn::accuracy(*result.substitute, features, labels);
+    if (resilient != nullptr) stats.resilience = resilient->stats();
+    if (caching) stats.cache_hits = caching->hits();
     result.rounds.push_back(stats);
 
-    if (round == config.augmentation_rounds) break;
-    if (counts.rows() * 2 > config.max_dataset_rows) break;
+    if (round == config.augmentation_rounds ||
+        counts.rows() * 2 > config.max_dataset_rows) {
+      if (checkpointing) write_checkpoint(round + 1, /*finished=*/true);
+      break;
+    }
 
     // 3. Jacobian-based augmentation: push each point along the sign of
     //    the substitute's gradient for its ORACLE label, realize to
@@ -93,9 +229,12 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
         augmented.append_row(new_counts.row(i));
     }
     counts = std::move(augmented);
+
+    // 4. Round complete: persist everything needed to restart from here.
+    if (checkpointing) write_checkpoint(round + 1, /*finished=*/false);
   }
 
-  result.total_queries = oracle.queries();
+  result.total_queries = queries_so_far();
   return result;
 }
 

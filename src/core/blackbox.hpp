@@ -14,9 +14,17 @@
 // Every feature-space point is REALIZED back into an integer API-count
 // vector before querying the oracle (the attacker can only submit actual
 // samples), via the attacker transform's inverse.
+//
+// The oracle interface lives in src/runtime/ together with the resilience
+// decorators for flaky oracles (retry/backoff, circuit breaking, fault
+// injection, query caching — see runtime/resilient_oracle.hpp). Pass a
+// runtime::ResilientOracle here and the per-round stats pick up its
+// retry/breaker counters; set BlackBoxConfig::checkpoint_path and an
+// interrupted run resumes bit-identically from the last completed round.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -25,26 +33,14 @@
 #include "features/transform.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
+#include "runtime/oracle.hpp"
+#include "runtime/resilient_oracle.hpp"
 
 namespace mev::core {
 
-/// A label-only view of the target system.
-class CountOracle {
- public:
-  virtual ~CountOracle() = default;
-
-  /// Labels raw count rows (0 clean / 1 malware). Each call counts
-  /// row-count queries.
-  virtual std::vector<int> label_counts(const math::Matrix& counts) = 0;
-
-  std::size_t queries() const noexcept { return queries_; }
-
- protected:
-  void record_queries(std::size_t n) noexcept { queries_ += n; }
-
- private:
-  std::size_t queries_ = 0;
-};
+/// The label-only oracle interface, re-exported from the runtime layer so
+/// existing core-level oracles and call sites are unaffected by the move.
+using runtime::CountOracle;
 
 /// Wraps a MalwareDetector as the oracle. Each oracle owns its inference
 /// session, so several oracles can query one shared detector concurrently.
@@ -64,14 +60,34 @@ struct BlackBoxConfig {
   float lambda = 0.1f;                 // augmentation step size
   nn::MlpConfig substitute_architecture;  // input dim must match vocab size
   nn::TrainConfig training_per_round;
-  /// Stop augmenting when the dataset reaches this many rows.
+  /// Stop augmenting when the dataset reaches this many rows. Must be at
+  /// least the seed row count.
   std::size_t max_dataset_rows = 8192;
+
+  /// Dedup repeat oracle submissions across rounds through a
+  /// runtime::CachingOracle wrapped around the supplied oracle. Labels —
+  /// and therefore the trained substitute — are unchanged; only
+  /// oracle_queries/cache_hits in the stats differ.
+  bool use_query_cache = false;
+
+  /// When non-empty, a crash-safe checkpoint is written here (atomic
+  /// rename, checksummed) after every completed round.
+  std::string checkpoint_path;
+  /// When checkpoint_path exists on disk, continue from it instead of
+  /// starting over. The checkpoint stores a fingerprint of the config and
+  /// seed set; resuming with a different setup throws std::runtime_error.
+  bool resume = true;
 };
 
 struct BlackBoxRoundStats {
   std::size_t dataset_rows = 0;
   std::size_t oracle_queries = 0;   // cumulative
   double oracle_agreement = 0.0;    // substitute vs oracle on this round's set
+  /// Cumulative retry/breaker counters when the supplied oracle is a
+  /// runtime::ResilientOracle; all-zero otherwise.
+  runtime::ResilienceStats resilience;
+  /// Cumulative cache hits when use_query_cache is set; 0 otherwise.
+  std::size_t cache_hits = 0;
 };
 
 struct BlackBoxResult {
@@ -79,10 +95,15 @@ struct BlackBoxResult {
   features::CountTransform attacker_transform;  // fit on the seed counts
   std::vector<BlackBoxRoundStats> rounds;
   std::size_t total_queries = 0;
+  /// Whether this run continued from a checkpoint, and from which round.
+  bool resumed = false;
+  std::size_t resumed_from_round = 0;
 };
 
 /// Inverts the attacker's count transform feature-wise, producing the
 /// smallest integer count vector whose features dominate `features`.
+/// Throws std::invalid_argument when the transform is unfitted or its
+/// dimension does not match `features`.
 math::Matrix realize_counts(const features::CountTransform& transform,
                             const math::Matrix& features);
 

@@ -80,7 +80,9 @@ SweepResult run_security_sweep(const nn::Network& craft_model,
   result.craft_curve.points.resize(grid_size);
   if (clean_features != nullptr) result.distances.resize(grid_size);
 
-  std::exception_ptr error;
+  // One error slot per grid point — written without synchronization since
+  // each parallel iteration touches only its own index.
+  std::vector<std::exception_ptr> errors(grid_size);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 1) if (grid_size > 1)
 #endif
@@ -145,13 +147,30 @@ SweepResult run_security_sweep(const nn::Network& craft_model,
         result.distances[gi] = dp;
       }
     } catch (...) {
-#ifdef _OPENMP
-#pragma omp critical
-#endif
-      if (error == nullptr) error = std::current_exception();
+      errors[gi] = std::current_exception();
     }
   }
-  if (error) std::rethrow_exception(error);
+
+  // Per-point failure isolation: record what failed, keep what succeeded.
+  std::size_t failed = 0;
+  for (std::size_t gi = 0; gi < grid_size; ++gi) {
+    if (errors[gi] == nullptr) continue;
+    if (!sweep.isolate_failures) std::rethrow_exception(errors[gi]);
+    ++failed;
+    SweepResult::FailedPoint point;
+    point.index = gi;
+    point.attack_strength = sweep.grid[gi];
+    try {
+      std::rethrow_exception(errors[gi]);
+    } catch (const std::exception& e) {
+      point.message = e.what();
+    } catch (...) {
+      point.message = "unknown error";
+    }
+    result.failed_points.push_back(std::move(point));
+  }
+  if (failed == grid_size)  // nothing usable came back; surface the cause
+    std::rethrow_exception(errors.front());
   return result;
 }
 

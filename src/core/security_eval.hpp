@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "attack/jsma.hpp"
@@ -26,6 +27,13 @@ struct SweepConfig {
   std::vector<double> grid;   // swept values
   double fixed_theta = 0.1;   // used when sweeping gamma
   double fixed_gamma = 0.025; // used when sweeping theta
+
+  /// Per-point failure isolation: a grid point that throws is recorded in
+  /// SweepResult::failed_points (its curve entries stay zero) instead of
+  /// aborting the whole sweep. If EVERY point fails the first error is
+  /// rethrown — a fully failed sweep is fatal either way. Set to false to
+  /// rethrow the first failure immediately.
+  bool isolate_failures = true;
 
   /// Paper Fig. 3(a) grid: theta=0.1, gamma in [0 : 0.005 : 0.030].
   static SweepConfig fig3a();
@@ -47,6 +55,14 @@ struct SweepResult {
   /// Fig. 5 distance analysis per grid point (only filled when clean
   /// features are supplied).
   std::vector<eval::DistanceCurvePoint> distances;
+
+  /// Grid points that threw (only populated with isolate_failures).
+  struct FailedPoint {
+    std::size_t index = 0;        // position in SweepConfig::grid
+    double attack_strength = 0.0; // the swept value at that point
+    std::string message;
+  };
+  std::vector<FailedPoint> failed_points;
 };
 
 /// `craft_features_of` maps TARGET-space feature rows to CRAFT-space rows

@@ -1,9 +1,11 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "math/rng.hpp"
 #include "nn/loss.hpp"
@@ -74,6 +76,10 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
 
     EpochStats stats;
     stats.train_loss = epoch_loss / static_cast<double>(batches);
+    if (!std::isfinite(stats.train_loss))
+      throw std::runtime_error(
+          "train: non-finite loss at epoch " + std::to_string(epoch) +
+          " — training diverged (check learning rate and input scaling)");
     if (validation != nullptr)
       stats.val_accuracy = accuracy(net, validation->x, validation->labels);
     history.epochs.push_back(stats);
@@ -100,7 +106,16 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
 TrainHistory train(Network& net, const LabeledData& train_data,
                    const TrainConfig& config, const LabeledData* validation) {
   if (train_data.labels.size() != train_data.x.rows())
-    throw std::invalid_argument("train: label count mismatch");
+    throw std::invalid_argument(
+        "train: " + std::to_string(train_data.labels.size()) +
+        " labels for " + std::to_string(train_data.x.rows()) + " rows");
+  const int num_classes = static_cast<int>(net.output_dim());
+  for (std::size_t i = 0; i < train_data.labels.size(); ++i)
+    if (train_data.labels[i] < 0 || train_data.labels[i] >= num_classes)
+      throw std::invalid_argument(
+          "train: label " + std::to_string(train_data.labels[i]) +
+          " at row " + std::to_string(i) + " is outside [0, " +
+          std::to_string(num_classes) + ")");
   return run_training(
       net, train_data.x, train_data.x.rows(), config, validation,
       [&](const math::Matrix& logits, std::span<const std::size_t> idx) {

@@ -1,0 +1,65 @@
+#include "runtime/circuit_breaker.hpp"
+
+namespace mev::runtime {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config,
+                               Clock& clock)
+    : config_(config), clock_(&clock) {
+  if (config_.failure_threshold == 0) config_.failure_threshold = 1;
+  if (config_.half_open_successes == 0) config_.half_open_successes = 1;
+}
+
+bool CircuitBreaker::allow() {
+  if (state_ == BreakerState::kOpen &&
+      clock_->now_ms() - opened_at_ms_ >= config_.open_cooldown_ms) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+  return state_ != BreakerState::kOpen;
+}
+
+void CircuitBreaker::record_success() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_successes_ >= config_.half_open_successes) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      break;  // success cannot be observed while open; ignore
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) trip();
+      break;
+    case BreakerState::kHalfOpen:
+      trip();  // the trial call failed; back to open
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+std::uint64_t CircuitBreaker::cooldown_remaining_ms() {
+  if (state_ != BreakerState::kOpen) return 0;
+  const std::uint64_t elapsed = clock_->now_ms() - opened_at_ms_;
+  return elapsed >= config_.open_cooldown_ms
+             ? 0
+             : config_.open_cooldown_ms - elapsed;
+}
+
+void CircuitBreaker::trip() {
+  state_ = BreakerState::kOpen;
+  opened_at_ms_ = clock_->now_ms();
+  consecutive_failures_ = 0;
+  ++trips_;
+}
+
+}  // namespace mev::runtime

@@ -1,0 +1,73 @@
+// Circuit breaker (closed / open / half-open) guarding the oracle.
+//
+//   closed    -- normal operation; `failure_threshold` consecutive
+//                failures trip it open.
+//   open      -- calls are refused (allow() == false) until
+//                `open_cooldown_ms` of clock time has passed.
+//   half-open -- after the cooldown one trial call is let through;
+//                `half_open_successes` successes close the breaker, any
+//                failure re-trips it.
+//
+// Single-threaded like the rest of the oracle stack (one breaker per
+// oracle per thread); all timing goes through the injected Clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/clock.hpp"
+
+namespace mev::runtime {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+inline const char* to_string(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures (while closed) that trip the breaker.
+  std::size_t failure_threshold = 5;
+  /// How long the breaker stays open before admitting a trial call.
+  std::uint64_t open_cooldown_ms = 1000;
+  /// Successes required in half-open state to close again.
+  std::size_t half_open_successes = 1;
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(const CircuitBreakerConfig& config, Clock& clock);
+
+  /// Whether a call may proceed now. Transitions open -> half-open once
+  /// the cooldown has elapsed.
+  bool allow();
+
+  void record_success();
+  void record_failure();
+
+  BreakerState state() const noexcept { return state_; }
+  /// Times the breaker has transitioned to open (including re-trips from
+  /// half-open).
+  std::size_t trips() const noexcept { return trips_; }
+  /// Milliseconds until an open breaker admits a trial call (0 when not
+  /// open or already due).
+  std::uint64_t cooldown_remaining_ms();
+
+ private:
+  void trip();
+
+  CircuitBreakerConfig config_;
+  Clock* clock_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t half_open_successes_ = 0;
+  std::size_t trips_ = 0;
+  std::uint64_t opened_at_ms_ = 0;
+};
+
+}  // namespace mev::runtime

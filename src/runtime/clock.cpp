@@ -1,0 +1,29 @@
+#include "runtime/clock.hpp"
+
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+namespace mev::runtime {
+
+std::uint64_t SystemClock::now_ms() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(t).count());
+}
+
+void SystemClock::sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+std::uint64_t FakeClock::total_slept_ms() const noexcept {
+  return std::accumulate(sleeps_.begin(), sleeps_.end(),
+                         std::uint64_t{0});
+}
+
+}  // namespace mev::runtime

@@ -1,0 +1,58 @@
+// Injectable monotonic clock. Every time-dependent piece of the runtime
+// layer (backoff sleeps, circuit-breaker cooldowns, deadline budgets,
+// injected timeout latency) goes through a Clock so tests drive time with
+// a FakeClock — the retry/breaker suites never really sleep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mev::runtime {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds since an arbitrary epoch.
+  virtual std::uint64_t now_ms() = 0;
+
+  /// Blocks (or simulates blocking) for `ms` milliseconds.
+  virtual void sleep_ms(std::uint64_t ms) = 0;
+};
+
+/// std::chrono::steady_clock + std::this_thread::sleep_for.
+class SystemClock final : public Clock {
+ public:
+  std::uint64_t now_ms() override;
+  void sleep_ms(std::uint64_t ms) override;
+
+  /// Shared process-wide instance (stateless, safe to share).
+  static SystemClock& instance();
+};
+
+/// Manual clock for tests: sleep_ms advances time instantly and records
+/// the requested duration.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_ms = 0) : now_(start_ms) {}
+
+  std::uint64_t now_ms() override { return now_; }
+  void sleep_ms(std::uint64_t ms) override {
+    now_ += ms;
+    sleeps_.push_back(ms);
+  }
+
+  /// Advances time without recording a sleep.
+  void advance(std::uint64_t ms) { now_ += ms; }
+
+  const std::vector<std::uint64_t>& sleeps() const noexcept {
+    return sleeps_;
+  }
+  std::uint64_t total_slept_ms() const noexcept;
+
+ private:
+  std::uint64_t now_;
+  std::vector<std::uint64_t> sleeps_;
+};
+
+}  // namespace mev::runtime

@@ -1,0 +1,105 @@
+#include "runtime/query_cache.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/oracle_error.hpp"
+
+namespace mev::runtime {
+
+std::size_t QueryCache::RowHash::operator()(
+    const std::vector<float>& v) const noexcept {
+  // FNV-1a over the raw float bytes; count vectors are exact integers so
+  // bitwise equality is the right notion of "same sample".
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (float f : v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (bits >> shift) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<int> QueryCache::lookup(std::span<const float> row) const {
+  const std::vector<float> key(row.begin(), row.end());
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void QueryCache::insert(std::span<const float> row, int label) {
+  std::vector<float> key(row.begin(), row.end());
+  const auto [it, inserted] = entries_.try_emplace(std::move(key), label);
+  if (inserted)
+    order_.push_back(&*it);
+  else
+    it->second = label;
+}
+
+void QueryCache::export_entries(math::Matrix& rows,
+                                std::vector<int>& labels) const {
+  labels.clear();
+  rows = math::Matrix();
+  if (order_.empty()) return;
+  rows = math::Matrix(order_.size(), order_.front()->first.size());
+  labels.reserve(order_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    rows.set_row(i, order_[i]->first);
+    labels.push_back(order_[i]->second);
+  }
+}
+
+void QueryCache::import_entries(const math::Matrix& rows,
+                                const std::vector<int>& labels) {
+  if (rows.rows() != labels.size())
+    throw std::invalid_argument(
+        "QueryCache::import_entries: " + std::to_string(rows.rows()) +
+        " rows vs " + std::to_string(labels.size()) + " labels");
+  for (std::size_t i = 0; i < rows.rows(); ++i) insert(rows.row(i), labels[i]);
+}
+
+std::vector<int> CachingOracle::label_counts(const math::Matrix& counts) {
+  std::vector<int> labels(counts.rows(), 0);
+  // First-occurrence order of uncached rows, deduplicated within the batch.
+  std::vector<std::size_t> unique_rows;
+  std::vector<std::vector<std::size_t>> destinations;
+  QueryCache batch_seen;
+  for (std::size_t i = 0; i < counts.rows(); ++i) {
+    if (const auto cached = cache_.lookup(counts.row(i))) {
+      labels[i] = *cached;
+      ++hits_;
+      continue;
+    }
+    if (const auto seen = batch_seen.lookup(counts.row(i))) {
+      destinations[static_cast<std::size_t>(*seen)].push_back(i);
+      ++hits_;
+      continue;
+    }
+    batch_seen.insert(counts.row(i), static_cast<int>(unique_rows.size()));
+    unique_rows.push_back(i);
+    destinations.push_back({i});
+  }
+  if (unique_rows.empty()) return labels;
+
+  math::Matrix misses(unique_rows.size(), counts.cols());
+  for (std::size_t u = 0; u < unique_rows.size(); ++u)
+    misses.set_row(u, counts.row(unique_rows[u]));
+  const std::vector<int> got = inner_->label_counts(misses);
+  if (got.size() != misses.rows())
+    throw GarbledResponseError(
+        "CachingOracle: inner oracle returned " + std::to_string(got.size()) +
+        " labels for " + std::to_string(misses.rows()) + " rows");
+  misses_ += unique_rows.size();
+  record_queries(unique_rows.size());
+  for (std::size_t u = 0; u < unique_rows.size(); ++u) {
+    cache_.insert(misses.row(u), got[u]);
+    for (std::size_t dest : destinations[u]) labels[dest] = got[u];
+  }
+  return labels;
+}
+
+}  // namespace mev::runtime

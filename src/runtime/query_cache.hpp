@@ -1,0 +1,68 @@
+// Realized-count query cache. The black-box loop re-submits every
+// previously-labeled sample each augmentation round (the dataset only
+// ever grows), and Jacobian augmentation frequently realizes distinct
+// feature points back to the SAME integer count vector — so an exact
+// row-level cache is both a robustness win (fewer chances to fail) and a
+// large query-budget win. Valid because the oracle is assumed
+// deterministic: a label-only detector maps equal rows to equal labels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "runtime/oracle.hpp"
+
+namespace mev::runtime {
+
+class QueryCache {
+ public:
+  std::optional<int> lookup(std::span<const float> row) const;
+  /// Inserts or overwrites the label for `row`.
+  void insert(std::span<const float> row, int label);
+
+  std::size_t size() const noexcept { return order_.size(); }
+
+  /// Dumps all entries in insertion order (for checkpointing).
+  void export_entries(math::Matrix& rows, std::vector<int>& labels) const;
+  /// Bulk-inserts previously exported entries.
+  void import_entries(const math::Matrix& rows,
+                      const std::vector<int>& labels);
+
+ private:
+  struct RowHash {
+    std::size_t operator()(const std::vector<float>& v) const noexcept;
+  };
+  std::unordered_map<std::vector<float>, int, RowHash> entries_;
+  // Insertion order; unordered_map node pointers are stable.
+  std::vector<const std::pair<const std::vector<float>, int>*> order_;
+};
+
+/// CountOracle decorator that answers repeat rows from the cache and
+/// forwards only first-occurrence rows to the inner oracle (deduplicated
+/// within the batch too, preserving first-occurrence order). queries()
+/// counts only rows actually submitted to the inner oracle, so the delta
+/// against an uncached run is the budget saved.
+class CachingOracle final : public CountOracle {
+ public:
+  explicit CachingOracle(CountOracle& inner) : inner_(&inner) {}
+
+  std::vector<int> label_counts(const math::Matrix& counts) override;
+
+  std::size_t hits() const noexcept { return hits_; }
+  std::size_t misses() const noexcept { return misses_; }
+  QueryCache& cache() noexcept { return cache_; }
+  const QueryCache& cache() const noexcept { return cache_; }
+
+ private:
+  CountOracle* inner_;
+  QueryCache cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace mev::runtime

@@ -1,0 +1,79 @@
+// ResilientOracle — the production decorator for a flaky label oracle.
+// Composes, per batch:
+//
+//   1. a CircuitBreaker gate (waits out open cooldowns, bounded by the
+//      deadline budgets);
+//   2. a retry loop with exponential backoff + deterministic jitter
+//      (RetryPolicy), treating OracleError::transient() failures and
+//      wrong-length responses as retryable;
+//   3. batch bisection: a multi-row batch that exhausts its attempts is
+//      split in half and each half retried independently, so one poisoned
+//      row (or an oracle with a batch-size cap) cannot sink the whole
+//      submission. A single row that exhausts its attempts throws
+//      PermanentOracleError.
+//
+// Permanent errors propagate immediately; DeadlineExceededError is thrown
+// when a backoff or cooldown wait would cross the per-call or per-run
+// budget. queries() counts LOGICAL rows successfully labeled — identical
+// to what a fault-free oracle would report — while stats() exposes the
+// cost of getting there (attempts, retries, backoff time, trips).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "runtime/circuit_breaker.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/oracle.hpp"
+#include "runtime/oracle_error.hpp"
+#include "runtime/retry.hpp"
+
+namespace mev::runtime {
+
+struct ResilienceStats {
+  std::size_t calls = 0;            // outer label_counts() calls
+  std::size_t attempts = 0;         // inner submissions (incl. retries)
+  std::size_t retries = 0;          // attempts beyond the first per batch
+  std::size_t timeouts = 0;
+  std::size_t garbled_batches = 0;  // wrong-length or garbled responses
+  std::size_t breaker_trips = 0;
+  std::size_t bisections = 0;       // batch splits after exhausted attempts
+  std::size_t failed_queries = 0;   // rows abandoned as permanently failed
+  std::uint64_t backoff_ms = 0;     // total time spent waiting
+};
+
+class ResilientOracle final : public CountOracle {
+ public:
+  /// `clock` defaults to the shared SystemClock; tests inject a FakeClock
+  /// so backoff and cooldown waits are simulated, not slept.
+  explicit ResilientOracle(CountOracle& inner, RetryPolicy retry = {},
+                           CircuitBreakerConfig breaker = {},
+                           Clock* clock = nullptr);
+
+  std::vector<int> label_counts(const math::Matrix& counts) override;
+
+  /// Cumulative counters; breaker_trips is filled from the breaker.
+  ResilienceStats stats() const;
+  const CircuitBreaker& breaker() const noexcept { return breaker_; }
+  const RetryPolicy& policy() const noexcept { return retry_; }
+
+ private:
+  std::vector<int> label_batch(const math::Matrix& counts,
+                               std::uint64_t call_deadline_ms);
+  /// Sleeps `ms`, first checking it fits the deadline budgets.
+  void wait(std::uint64_t ms, std::uint64_t call_deadline_ms);
+  void wait_for_breaker(std::uint64_t call_deadline_ms);
+
+  CountOracle* inner_;
+  RetryPolicy retry_;
+  Clock* clock_;
+  CircuitBreaker breaker_;
+  math::Rng jitter_rng_;
+  ResilienceStats stats_;
+  std::uint64_t run_started_ms_ = 0;
+  bool run_started_ = false;
+};
+
+}  // namespace mev::runtime

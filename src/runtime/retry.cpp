@@ -1,0 +1,30 @@
+#include "runtime/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mev::runtime {
+
+RetryPolicy RetryPolicy::none() {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  p.initial_backoff_ms = 0;
+  p.jitter = 0.0;
+  return p;
+}
+
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy,
+                               std::size_t retry_index,
+                               math::Rng& jitter_rng) {
+  double delay = static_cast<double>(policy.initial_backoff_ms) *
+                 std::pow(policy.backoff_multiplier,
+                          static_cast<double>(retry_index));
+  delay = std::min(delay, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter > 0.0) {
+    const double j = std::clamp(policy.jitter, 0.0, 1.0);
+    delay *= jitter_rng.uniform(1.0 - j, 1.0 + j);
+  }
+  return static_cast<std::uint64_t>(std::llround(std::max(delay, 0.0)));
+}
+
+}  // namespace mev::runtime

@@ -102,7 +102,9 @@ TEST(FgsmAddOnly, OnlyMovesTowardTargetAndUp) {
     for (std::size_t j = 0; j < 6; ++j) {
       const float delta = r.adversarial(i, j) - x(i, j);
       EXPECT_GE(delta, 0.0f);
-      if (grad(i, j) <= 0.0f) EXPECT_EQ(delta, 0.0f);
+      if (grad(i, j) <= 0.0f) {
+        EXPECT_EQ(delta, 0.0f);
+      }
     }
   }
 }

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <sstream>
 #include <stdexcept>
+
+#include "runtime/fault_injection.hpp"
 
 namespace mev::core {
 namespace {
@@ -95,6 +99,201 @@ TEST(BlackBox, RealizeCountsInvertsTransform) {
   const math::Matrix features = t.apply(counts);
   const math::Matrix realized = realize_counts(t, features);
   EXPECT_EQ(realized, counts);
+}
+
+std::string network_bytes(const nn::Network& net) {
+  std::ostringstream os;
+  nn::save_network(net, os);
+  return os.str();
+}
+
+void expect_same_result(const BlackBoxResult& a, const BlackBoxResult& b) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].dataset_rows, b.rounds[i].dataset_rows) << i;
+    EXPECT_EQ(a.rounds[i].oracle_queries, b.rounds[i].oracle_queries) << i;
+    EXPECT_EQ(a.rounds[i].oracle_agreement, b.rounds[i].oracle_agreement)
+        << i;
+  }
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  ASSERT_NE(a.substitute, nullptr);
+  ASSERT_NE(b.substitute, nullptr);
+  EXPECT_EQ(network_bytes(*a.substitute), network_bytes(*b.substitute));
+}
+
+TEST(BlackBox, MaxRowsBelowSeedThrows) {
+  ThresholdOracle oracle;
+  auto cfg = config(4);
+  cfg.max_dataset_rows = 8;
+  EXPECT_THROW(run_blackbox_framework(oracle, seed_counts(16, 4, 2), cfg),
+               std::invalid_argument);
+}
+
+TEST(BlackBox, OracleResponseSizeMismatchThrows) {
+  class ShortOracle final : public CountOracle {
+   public:
+    std::vector<int> label_counts(const math::Matrix& counts) override {
+      return std::vector<int>(counts.rows() - 1, 0);
+    }
+  };
+  ShortOracle oracle;
+  EXPECT_THROW(
+      run_blackbox_framework(oracle, seed_counts(16, 4, 2), config(4)),
+      std::runtime_error);
+}
+
+TEST(BlackBox, RealizeCountsValidatesInputs) {
+  features::CountTransform unfitted;
+  EXPECT_THROW(realize_counts(unfitted, math::Matrix(2, 5)),
+               std::invalid_argument);
+  features::CountTransform t;
+  t.fit(seed_counts(12, 5, 7));
+  EXPECT_THROW(realize_counts(t, math::Matrix(2, 4)), std::invalid_argument);
+}
+
+// The run-level acceptance matrix: a resilient stack over a faulty oracle
+// must produce a BIT-IDENTICAL BlackBoxResult (substitute weights, round
+// stats, query totals) under every built-in fault profile.
+TEST(BlackBox, FaultProfilesLeaveResultBitIdentical) {
+  const math::Matrix seeds = seed_counts(16, 4, 2);
+  const auto cfg = config(4);
+  ThresholdOracle clean;
+  const auto reference = run_blackbox_framework(clean, seeds, cfg);
+
+  for (const auto& profile : runtime::FaultProfile::builtin_profiles()) {
+    SCOPED_TRACE(profile.name);
+    ThresholdOracle inner;
+    runtime::FakeClock clock;
+    runtime::FaultInjectingOracle flaky(inner, profile, &clock);
+    runtime::CircuitBreakerConfig breaker;
+    breaker.open_cooldown_ms = 50;
+    runtime::ResilientOracle resilient(flaky, {}, breaker, &clock);
+    const auto result = run_blackbox_framework(resilient, seeds, cfg);
+    expect_same_result(result, reference);
+    // The per-round stats surface what resilience cost: under a profile
+    // that injects faults, the final round reports the recovery work.
+    EXPECT_EQ(result.rounds.back().resilience.calls, result.rounds.size());
+    // All waiting was simulated on the fake clock (backoff plus any
+    // injected timeout latency) — the test itself never slept.
+    EXPECT_GE(clock.total_slept_ms(), resilient.stats().backoff_ms);
+  }
+}
+
+TEST(BlackBox, CheckpointResumeIsBitIdentical) {
+  /// Simulates a crash: dies (plain std::runtime_error, not a retryable
+  /// OracleError) once the query budget is spent.
+  class CrashingOracle final : public CountOracle {
+   public:
+    explicit CrashingOracle(std::size_t budget) : budget_(budget) {}
+    std::vector<int> label_counts(const math::Matrix& counts) override {
+      if (queries() + counts.rows() > budget_)
+        throw std::runtime_error("simulated crash");
+      record_queries(counts.rows());
+      std::vector<int> labels(counts.rows());
+      for (std::size_t i = 0; i < counts.rows(); ++i)
+        labels[i] = counts(i, 0) > 5.0f ? 1 : 0;
+      return labels;
+    }
+
+   private:
+    std::size_t budget_;
+  };
+
+  const math::Matrix seeds = seed_counts(16, 4, 2);
+  auto cfg = config(4);
+  cfg.checkpoint_path = ::testing::TempDir() + "/mev_bb_resume.ckpt";
+  std::filesystem::remove(cfg.checkpoint_path);
+
+  ThresholdOracle clean;
+  auto reference_cfg = cfg;
+  reference_cfg.checkpoint_path.clear();
+  const auto reference = run_blackbox_framework(clean, seeds, reference_cfg);
+
+  // Round 0 queries 16 rows and checkpoints; round 1 needs 32 more and
+  // dies mid-query. The checkpoint on disk holds the end-of-round-0 state.
+  CrashingOracle crashing(20);
+  EXPECT_THROW(run_blackbox_framework(crashing, seeds, cfg),
+               std::runtime_error);
+  ASSERT_TRUE(std::filesystem::exists(cfg.checkpoint_path));
+
+  ThresholdOracle fresh;
+  const auto resumed = run_blackbox_framework(fresh, seeds, cfg);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.resumed_from_round, 1u);
+  expect_same_result(resumed, reference);
+  // The resumed process did not repeat round 0's queries.
+  EXPECT_EQ(fresh.queries(), reference.total_queries - 16u);
+  std::filesystem::remove(cfg.checkpoint_path);
+}
+
+TEST(BlackBox, FinishedCheckpointShortCircuits) {
+  const math::Matrix seeds = seed_counts(16, 4, 2);
+  auto cfg = config(4);
+  cfg.checkpoint_path = ::testing::TempDir() + "/mev_bb_done.ckpt";
+  std::filesystem::remove(cfg.checkpoint_path);
+
+  ThresholdOracle first;
+  const auto full = run_blackbox_framework(first, seeds, cfg);
+  ThresholdOracle second;
+  const auto replay = run_blackbox_framework(second, seeds, cfg);
+  EXPECT_TRUE(replay.resumed);
+  EXPECT_EQ(second.queries(), 0u);  // nothing left to do
+  expect_same_result(replay, full);
+  std::filesystem::remove(cfg.checkpoint_path);
+}
+
+TEST(BlackBox, ResumeRejectsMismatchedConfig) {
+  const math::Matrix seeds = seed_counts(16, 4, 2);
+  auto cfg = config(4);
+  cfg.checkpoint_path = ::testing::TempDir() + "/mev_bb_mismatch.ckpt";
+  std::filesystem::remove(cfg.checkpoint_path);
+  ThresholdOracle oracle;
+  (void)run_blackbox_framework(oracle, seeds, cfg);
+
+  auto other = cfg;
+  other.lambda = 0.2f;
+  ThresholdOracle oracle2;
+  EXPECT_THROW(run_blackbox_framework(oracle2, seeds, other),
+               std::runtime_error);
+  std::filesystem::remove(cfg.checkpoint_path);
+}
+
+TEST(BlackBox, QueryCacheCutsQueriesNotLabels) {
+  const math::Matrix seeds = seed_counts(16, 4, 2);
+  const auto cfg = config(4);
+  ThresholdOracle plain;
+  const auto uncached = run_blackbox_framework(plain, seeds, cfg);
+
+  auto cached_cfg = cfg;
+  cached_cfg.use_query_cache = true;
+  ThresholdOracle inner;
+  const auto cached = run_blackbox_framework(inner, seeds, cached_cfg);
+
+  // Same labels reach training, so the substitute is bit-identical...
+  EXPECT_EQ(network_bytes(*cached.substitute),
+            network_bytes(*uncached.substitute));
+  ASSERT_EQ(cached.rounds.size(), uncached.rounds.size());
+  for (std::size_t i = 0; i < cached.rounds.size(); ++i) {
+    EXPECT_EQ(cached.rounds[i].dataset_rows, uncached.rounds[i].dataset_rows);
+    EXPECT_EQ(cached.rounds[i].oracle_agreement,
+              uncached.rounds[i].oracle_agreement);
+  }
+  // ...but repeat submissions were deduped: later rounds re-query only new
+  // rows, so the budget shrinks and the hits show up in the stats.
+  EXPECT_LT(cached.total_queries, uncached.total_queries);
+  EXPECT_LT(inner.queries(), plain.queries());
+  EXPECT_GT(cached.rounds.back().cache_hits, 0u);
+}
+
+TEST(BlackBox, ResilienceStatsAreZeroForPlainOracles) {
+  ThresholdOracle oracle;
+  const auto result =
+      run_blackbox_framework(oracle, seed_counts(16, 4, 2), config(4));
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.resilience.retries, 0u);
+    EXPECT_EQ(round.resilience.calls, 0u);
+    EXPECT_EQ(round.cache_hits, 0u);
+  }
 }
 
 TEST(BlackBox, AgreementTendsUpward) {

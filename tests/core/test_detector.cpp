@@ -66,10 +66,11 @@ TEST(Detector, VerdictConsistentWithConfidence) {
   const auto verdicts =
       f.trained.detector->scan_features(f.trained.test_features);
   for (const auto& v : verdicts) {
-    if (v.malware_confidence > 0.5)
+    if (v.malware_confidence > 0.5) {
       EXPECT_TRUE(v.is_malware());
-    else if (v.malware_confidence < 0.5)
+    } else if (v.malware_confidence < 0.5) {
       EXPECT_FALSE(v.is_malware());
+    }
   }
 }
 

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/experiment_config.hpp"
 #include "data/synthetic.hpp"
+#include "runtime/atomic_file.hpp"
 
 namespace mev::core {
 namespace {
@@ -81,6 +84,110 @@ TEST(Persistence, CorruptTransformThrows) {
     ts << "mystery\n";
   }
   EXPECT_THROW(load_detector(prefix, f.vocab), std::runtime_error);
+}
+
+TEST(Persistence, TruncatedNetworkIsRejected) {
+  auto& f = fixture();
+  const std::string prefix = ::testing::TempDir() + "/mev_detector_trunc";
+  save_detector(*f.trained.detector, prefix);
+  const auto size = std::filesystem::file_size(prefix + ".net");
+  std::filesystem::resize_file(prefix + ".net", size / 2);
+  EXPECT_THROW(load_detector(prefix, f.vocab), std::runtime_error);
+}
+
+TEST(Persistence, FlippedByteFailsChecksum) {
+  auto& f = fixture();
+  const std::string prefix = ::testing::TempDir() + "/mev_detector_flip";
+  save_detector(*f.trained.detector, prefix);
+  // Flip one byte deep inside the payload (past the 24-byte header).
+  std::fstream file(prefix + ".net",
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(64);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(64);
+  file.write(&byte, 1);
+  file.close();
+  EXPECT_THROW(load_detector(prefix, f.vocab), std::runtime_error);
+}
+
+TEST(Persistence, WrongMagicIsRejected) {
+  auto& f = fixture();
+  const std::string prefix = ::testing::TempDir() + "/mev_detector_magic";
+  save_detector(*f.trained.detector, prefix);
+  // A well-formed envelope of the wrong type must not load as a network.
+  const std::string payload =
+      runtime::read_envelope(prefix + ".transform", 0x4d455654u, 1,
+                            "feature transform");
+  runtime::write_envelope_atomic(prefix + ".net", 0x4d455654u, 1, payload);
+  EXPECT_THROW(load_detector(prefix, f.vocab), std::runtime_error);
+}
+
+TEST(Persistence, SaveLeavesNoTempFiles) {
+  auto& f = fixture();
+  const std::string dir = ::testing::TempDir() + "/mev_notmp";
+  std::filesystem::create_directories(dir);
+  save_detector(*f.trained.detector, dir + "/det");
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+}
+
+TEST(Persistence, CheckpointRoundTrips) {
+  BlackBoxCheckpoint ckpt;
+  ckpt.config_fingerprint = 0xfeedbeefu;
+  ckpt.next_round = 3;
+  ckpt.finished = false;
+  ckpt.total_queries = 112;
+  ckpt.counts = math::Matrix(4, 3);
+  for (std::size_t i = 0; i < ckpt.counts.size(); ++i)
+    ckpt.counts.data()[i] = static_cast<float>(i);
+  BlackBoxRoundStats stats;
+  stats.dataset_rows = 16;
+  stats.oracle_queries = 48;
+  stats.oracle_agreement = 0.875;
+  stats.resilience.retries = 7;
+  stats.resilience.backoff_ms = 1234;
+  stats.cache_hits = 5;
+  ckpt.rounds = {stats};
+  nn::MlpConfig arch;
+  arch.dims = {3, 8, 2};
+  arch.seed = 11;
+  ckpt.substitute = nn::make_mlp(arch);
+  ckpt.attacker_transform.fit(ckpt.counts);
+  ckpt.cache_rows = ckpt.counts;
+  ckpt.cache_labels = {0, 1, 1, 0};
+
+  const std::string path = ::testing::TempDir() + "/mev_ckpt_roundtrip";
+  save_blackbox_checkpoint(ckpt, path);
+  const BlackBoxCheckpoint loaded = load_blackbox_checkpoint(path);
+
+  EXPECT_EQ(loaded.config_fingerprint, ckpt.config_fingerprint);
+  EXPECT_EQ(loaded.next_round, 3u);
+  EXPECT_FALSE(loaded.finished);
+  EXPECT_EQ(loaded.total_queries, 112u);
+  EXPECT_EQ(loaded.counts, ckpt.counts);
+  ASSERT_EQ(loaded.rounds.size(), 1u);
+  EXPECT_EQ(loaded.rounds[0].dataset_rows, 16u);
+  EXPECT_EQ(loaded.rounds[0].oracle_queries, 48u);
+  EXPECT_EQ(loaded.rounds[0].oracle_agreement, 0.875);
+  EXPECT_EQ(loaded.rounds[0].resilience.retries, 7u);
+  EXPECT_EQ(loaded.rounds[0].resilience.backoff_ms, 1234u);
+  EXPECT_EQ(loaded.rounds[0].cache_hits, 5u);
+  EXPECT_EQ(loaded.cache_rows, ckpt.cache_rows);
+  EXPECT_EQ(loaded.cache_labels, ckpt.cache_labels);
+  EXPECT_TRUE(loaded.attacker_transform.fitted());
+  EXPECT_EQ(loaded.attacker_transform.dim(), 3u);
+
+  std::ostringstream a, b;
+  nn::save_network(ckpt.substitute, a);
+  nn::save_network(loaded.substitute, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Persistence, MissingCheckpointThrows) {
+  EXPECT_THROW(load_blackbox_checkpoint("/nonexistent/ckpt"),
+               std::runtime_error);
 }
 
 }  // namespace

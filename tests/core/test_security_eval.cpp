@@ -154,6 +154,43 @@ TEST(SecuritySweep, CurveMetadataNamed) {
   EXPECT_EQ(r.craft_curve.name, "craft model");
 }
 
+TEST(SecuritySweep, FailedPointsAreIsolated) {
+  auto& f = fixture();
+  SweepConfig sweep;
+  sweep.parameter = SweepParameter::kGamma;
+  sweep.grid = {-1.0, 0.1};  // negative gamma is rejected by Jsma
+  sweep.fixed_theta = 0.5;
+  const SweepResult r = run_security_sweep(f.net, f.net, f.malware, sweep);
+  ASSERT_EQ(r.failed_points.size(), 1u);
+  EXPECT_EQ(r.failed_points[0].index, 0u);
+  EXPECT_DOUBLE_EQ(r.failed_points[0].attack_strength, -1.0);
+  EXPECT_NE(r.failed_points[0].message.find("gamma"), std::string::npos);
+  // The healthy grid point was still evaluated.
+  ASSERT_EQ(r.target_curve.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.target_curve.points[1].attack_strength, 0.1);
+  EXPECT_GT(r.target_curve.points[1].detection_rate, 0.0);
+}
+
+TEST(SecuritySweep, IsolationOffRethrowsFirstFailure) {
+  auto& f = fixture();
+  SweepConfig sweep;
+  sweep.parameter = SweepParameter::kGamma;
+  sweep.grid = {-1.0, 0.1};
+  sweep.fixed_theta = 0.5;
+  sweep.isolate_failures = false;
+  EXPECT_THROW(run_security_sweep(f.net, f.net, f.malware, sweep),
+               std::invalid_argument);
+}
+
+TEST(SecuritySweep, FullyFailedSweepIsFatal) {
+  auto& f = fixture();
+  SweepConfig sweep;
+  sweep.parameter = SweepParameter::kGamma;
+  sweep.grid = {-1.0, -2.0};  // every point invalid
+  EXPECT_THROW(run_security_sweep(f.net, f.net, f.malware, sweep),
+               std::invalid_argument);
+}
+
 TEST(FeatureSpaceMapIdentity, PassesThrough) {
   const FeatureSpaceMap map = FeatureSpaceMap::identity();
   const math::Matrix m{{1, 2}};

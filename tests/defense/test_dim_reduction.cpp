@@ -56,10 +56,11 @@ TEST(DimReduction, ConfidencesMatchClasses) {
   const auto classes = clf->classify(probe);
   const auto conf = clf->malware_confidence(probe);
   for (std::size_t i = 0; i < 20; ++i) {
-    if (classes[i] == data::kMalwareLabel)
+    if (classes[i] == data::kMalwareLabel) {
       EXPECT_GE(conf[i], 0.5);
-    else
+    } else {
       EXPECT_LE(conf[i], 0.5);
+    }
   }
 }
 

@@ -147,8 +147,11 @@ TEST(FeatureSqueezing, FlaggedRowsAreClassifiedMalware) {
   const math::Matrix probe = f.legit.slice_rows(0, 10);
   const auto flagged = fs.is_adversarial(probe);
   const auto classes = fs.classify(probe);
-  for (std::size_t i = 0; i < 10; ++i)
-    if (flagged[i]) EXPECT_EQ(classes[i], data::kMalwareLabel);
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (flagged[i]) {
+      EXPECT_EQ(classes[i], data::kMalwareLabel);
+    }
+  }
 }
 
 TEST(FeatureSqueezing, HugeThresholdNeverFlags) {

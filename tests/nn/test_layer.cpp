@@ -190,8 +190,11 @@ TEST(DropoutLayer, TrainingZeroesRoughlyRateFraction) {
     if (y.data()[i] == 0.0f) ++zeros;
   EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.4, 0.06);
   // Kept units are scaled by 1/(1-rate).
-  for (std::size_t i = 0; i < y.size(); ++i)
-    if (y.data()[i] != 0.0f) EXPECT_NEAR(y.data()[i], 1.0f / 0.6f, 1e-5);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] != 0.0f) {
+      EXPECT_NEAR(y.data()[i], 1.0f / 0.6f, 1e-5);
+    }
+  }
 }
 
 TEST(DropoutLayer, BackwardUsesSameMask) {
@@ -204,10 +207,11 @@ TEST(DropoutLayer, BackwardUsesSameMask) {
   math::Matrix upstream(1, 100, 1.0f);
   drop.backward(upstream, x, ws, false);
   for (std::size_t i = 0; i < 100; ++i) {
-    if (y.data()[i] == 0.0f)
+    if (y.data()[i] == 0.0f) {
       EXPECT_EQ(ws.grad_input.data()[i], 0.0f);
-    else
+    } else {
       EXPECT_GT(ws.grad_input.data()[i], 0.0f);
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace mev::nn {
@@ -142,6 +143,27 @@ TEST(Trainer, InvalidInputsThrow) {
   LabeledData ok = blobs(10, 12);
   cfg.batch_size = 0;
   EXPECT_THROW(train(net, ok, cfg), std::invalid_argument);
+}
+
+TEST(Trainer, OutOfRangeLabelsThrow) {
+  Network net = blob_net();
+  LabeledData data = blobs(10, 14);
+  data.labels[3] = 7;  // only classes 0 and 1 exist
+  TrainConfig cfg;
+  EXPECT_THROW(train(net, data, cfg), std::invalid_argument);
+  data.labels[3] = -1;
+  EXPECT_THROW(train(net, data, cfg), std::invalid_argument);
+}
+
+TEST(Trainer, DivergedTrainingThrows) {
+  Network net = blob_net();
+  LabeledData data = blobs(40, 15);
+  // A non-finite activation poisons the loss; the trainer must fail loudly
+  // instead of silently returning NaN weights.
+  data.x(0, 0) = std::numeric_limits<float>::infinity();
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  EXPECT_THROW(train(net, data, cfg), std::runtime_error);
 }
 
 TEST(Trainer, AccuracyChecksSizes) {

@@ -1,0 +1,125 @@
+#include "runtime/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mev::runtime {
+namespace {
+
+CircuitBreakerConfig config() {
+  CircuitBreakerConfig c;
+  c.failure_threshold = 3;
+  c.open_cooldown_ms = 100;
+  c.half_open_successes = 2;
+  return c;
+}
+
+TEST(CircuitBreaker, StartsClosedAndAllows) {
+  FakeClock clock;
+  CircuitBreaker breaker(config(), clock);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  FakeClock clock;
+  CircuitBreaker breaker(config(), clock);
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveFailureCount) {
+  FakeClock clock;
+  CircuitBreaker breaker(config(), clock);
+  breaker.record_failure();
+  breaker.record_failure();
+  breaker.record_success();
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, CooldownLeadsToHalfOpen) {
+  FakeClock clock;
+  CircuitBreaker breaker(config(), clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.cooldown_remaining_ms(), 100u);
+  clock.advance(60);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.cooldown_remaining_ms(), 40u);
+  clock.advance(40);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.cooldown_remaining_ms(), 0u);
+}
+
+TEST(CircuitBreaker, HalfOpenClosesAfterRequiredSuccesses) {
+  FakeClock clock;
+  CircuitBreaker breaker(config(), clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  clock.advance(100);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // needs 2 successes
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopens) {
+  FakeClock clock;
+  CircuitBreaker breaker(config(), clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  clock.advance(100);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  // A fresh cooldown starts from the re-trip.
+  EXPECT_FALSE(breaker.allow());
+  clock.advance(100);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreaker, CloseAfterRecoveryRequiresThresholdAgain) {
+  FakeClock clock;
+  CircuitBreaker breaker(config(), clock);
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  clock.advance(100);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  breaker.record_success();
+  ASSERT_EQ(breaker.state(), BreakerState::kClosed);
+  // One failure is not enough to re-trip after closing.
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, ZeroThresholdsAreClampedToOne) {
+  FakeClock clock;
+  CircuitBreakerConfig c;
+  c.failure_threshold = 0;
+  c.half_open_successes = 0;
+  c.open_cooldown_ms = 10;
+  CircuitBreaker breaker(c, clock);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  clock.advance(10);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(to_string(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(to_string(BreakerState::kOpen), "open");
+  EXPECT_STREQ(to_string(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace mev::runtime

@@ -1,0 +1,112 @@
+#include "runtime/query_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/oracle_error.hpp"
+
+namespace mev::runtime {
+namespace {
+
+class CountingOracle final : public CountOracle {
+ public:
+  std::vector<int> label_counts(const math::Matrix& counts) override {
+    record_queries(counts.rows());
+    ++calls;
+    std::vector<int> labels(counts.rows());
+    for (std::size_t i = 0; i < counts.rows(); ++i)
+      labels[i] = counts(i, 0) > 5.0f ? 1 : 0;
+    return labels;
+  }
+  std::size_t calls = 0;
+};
+
+TEST(QueryCache, LookupMissThenHit) {
+  QueryCache cache;
+  const std::vector<float> row{1, 2, 3};
+  EXPECT_FALSE(cache.lookup(row).has_value());
+  cache.insert(row, 1);
+  ASSERT_TRUE(cache.lookup(row).has_value());
+  EXPECT_EQ(*cache.lookup(row), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCache, InsertOverwrites) {
+  QueryCache cache;
+  const std::vector<float> row{1, 2};
+  cache.insert(row, 0);
+  cache.insert(row, 1);
+  EXPECT_EQ(*cache.lookup(row), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCache, ExportImportRoundTripPreservesOrder) {
+  QueryCache cache;
+  cache.insert(std::vector<float>{3, 3}, 1);
+  cache.insert(std::vector<float>{1, 1}, 0);
+  cache.insert(std::vector<float>{2, 2}, 1);
+  math::Matrix rows;
+  std::vector<int> labels;
+  cache.export_entries(rows, labels);
+  ASSERT_EQ(rows.rows(), 3u);
+  EXPECT_EQ(rows(0, 0), 3.0f);  // insertion order
+  EXPECT_EQ(rows(1, 0), 1.0f);
+  EXPECT_EQ(rows(2, 0), 2.0f);
+  EXPECT_EQ(labels, (std::vector<int>{1, 0, 1}));
+
+  QueryCache restored;
+  restored.import_entries(rows, labels);
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(*restored.lookup(std::vector<float>{1, 1}), 0);
+}
+
+TEST(QueryCache, ImportRejectsMismatchedSizes) {
+  QueryCache cache;
+  EXPECT_THROW(cache.import_entries(math::Matrix(2, 2), {1}),
+               std::invalid_argument);
+}
+
+TEST(CachingOracle, RepeatRowsAreAnsweredFromCache) {
+  CountingOracle inner;
+  CachingOracle oracle(inner);
+  math::Matrix batch(3, 2);
+  batch(0, 0) = 9;  // malware
+  batch(1, 0) = 1;  // clean
+  batch(2, 0) = 9;  // duplicate of row 0 within the batch
+  const auto first = oracle.label_counts(batch);
+  EXPECT_EQ(first, (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(inner.queries(), 2u);  // deduped within the batch
+  EXPECT_EQ(oracle.hits(), 1u);
+  EXPECT_EQ(oracle.misses(), 2u);
+
+  const auto second = oracle.label_counts(batch);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(inner.queries(), 2u);  // fully served from cache
+  EXPECT_EQ(inner.calls, 1u);
+  EXPECT_EQ(oracle.hits(), 4u);
+  EXPECT_EQ(oracle.queries(), 2u);  // counts only real submissions
+}
+
+TEST(CachingOracle, MatchesUncachedLabelsExactly) {
+  CountingOracle plain, wrapped_inner;
+  CachingOracle cached(wrapped_inner);
+  math::Matrix batch(16, 3);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch.data()[i] = static_cast<float>(i % 7);
+  EXPECT_EQ(cached.label_counts(batch), plain.label_counts(batch));
+}
+
+TEST(CachingOracle, PropagatesInnerSizeMismatch) {
+  class ShortOracle final : public CountOracle {
+   public:
+    std::vector<int> label_counts(const math::Matrix& counts) override {
+      return std::vector<int>(counts.rows() - 1, 0);
+    }
+  };
+  ShortOracle inner;
+  CachingOracle oracle(inner);
+  EXPECT_THROW(oracle.label_counts(math::Matrix(4, 2)),
+               GarbledResponseError);
+}
+
+}  // namespace
+}  // namespace mev::runtime

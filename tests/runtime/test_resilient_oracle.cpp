@@ -1,0 +1,279 @@
+#include "runtime/resilient_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/fault_injection.hpp"
+
+namespace mev::runtime {
+namespace {
+
+class ThresholdOracle final : public CountOracle {
+ public:
+  std::vector<int> label_counts(const math::Matrix& counts) override {
+    record_queries(counts.rows());
+    std::vector<int> labels(counts.rows());
+    for (std::size_t i = 0; i < counts.rows(); ++i)
+      labels[i] = counts(i, 0) > 5.0f ? 1 : 0;
+    return labels;
+  }
+};
+
+/// Throws a given error for the first N calls, then succeeds.
+class FailNTimesOracle final : public CountOracle {
+ public:
+  explicit FailNTimesOracle(std::size_t n) : remaining_(n) {}
+  std::vector<int> label_counts(const math::Matrix& counts) override {
+    ++calls;
+    if (remaining_ > 0) {
+      --remaining_;
+      throw TransientOracleError("not yet");
+    }
+    record_queries(counts.rows());
+    return std::vector<int>(counts.rows(), 1);
+  }
+  std::size_t calls = 0;
+
+ private:
+  std::size_t remaining_;
+};
+
+math::Matrix some_counts(std::size_t n, std::size_t d = 4) {
+  math::Matrix m(n, d);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(i % 11);
+  return m;
+}
+
+RetryPolicy fast_retry() {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.initial_backoff_ms = 10;
+  p.max_backoff_ms = 100;
+  p.jitter = 0.0;
+  return p;
+}
+
+TEST(ResilientOracle, CleanPathIsAPassThrough) {
+  ThresholdOracle inner;
+  FakeClock clock;
+  ResilientOracle oracle(inner, fast_retry(), {}, &clock);
+  ThresholdOracle reference;
+  EXPECT_EQ(oracle.label_counts(some_counts(8)),
+            reference.label_counts(some_counts(8)));
+  EXPECT_EQ(oracle.queries(), 8u);
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.backoff_ms, 0u);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(ResilientOracle, EmptyBatchShortCircuits) {
+  ThresholdOracle inner;
+  FakeClock clock;
+  ResilientOracle oracle(inner, fast_retry(), {}, &clock);
+  EXPECT_TRUE(oracle.label_counts(math::Matrix(0, 4)).empty());
+  EXPECT_EQ(oracle.stats().calls, 0u);
+}
+
+TEST(ResilientOracle, RetriesTransientFailuresWithBackoff) {
+  FailNTimesOracle inner(2);
+  FakeClock clock;
+  ResilientOracle oracle(inner, fast_retry(), {}, &clock);
+  const auto labels = oracle.label_counts(some_counts(4));
+  EXPECT_EQ(labels, std::vector<int>(4, 1));
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.attempts, 3u);
+  EXPECT_EQ(s.retries, 2u);
+  // Exponential, no jitter: 10 then 20 ms, simulated — never slept for real.
+  EXPECT_EQ(clock.sleeps(), (std::vector<std::uint64_t>{10, 20}));
+  EXPECT_EQ(s.backoff_ms, 30u);
+}
+
+TEST(ResilientOracle, PermanentErrorsPropagateWithoutRetry) {
+  class PermanentOracle final : public CountOracle {
+   public:
+    std::vector<int> label_counts(const math::Matrix&) override {
+      ++calls;
+      throw PermanentOracleError("gone");
+    }
+    std::size_t calls = 0;
+  };
+  PermanentOracle inner;
+  FakeClock clock;
+  ResilientOracle oracle(inner, fast_retry(), {}, &clock);
+  EXPECT_THROW(oracle.label_counts(some_counts(3)), PermanentOracleError);
+  EXPECT_EQ(inner.calls, 1u);
+  EXPECT_EQ(oracle.stats().failed_queries, 3u);
+}
+
+TEST(ResilientOracle, WrongLengthResponsesAreRetried) {
+  class GarbleOnceOracle final : public CountOracle {
+   public:
+    std::vector<int> label_counts(const math::Matrix& counts) override {
+      record_queries(counts.rows());
+      if (++calls == 1) return std::vector<int>(counts.rows() - 1, 0);
+      return std::vector<int>(counts.rows(), 1);
+    }
+    std::size_t calls = 0;
+  };
+  GarbleOnceOracle inner;
+  FakeClock clock;
+  ResilientOracle oracle(inner, fast_retry(), {}, &clock);
+  EXPECT_EQ(oracle.label_counts(some_counts(4)), std::vector<int>(4, 1));
+  EXPECT_EQ(oracle.stats().garbled_batches, 1u);
+  EXPECT_EQ(oracle.stats().retries, 1u);
+}
+
+TEST(ResilientOracle, BreakerTripsOnRepeatedFailureAndRecovers) {
+  FailNTimesOracle inner(4);
+  FakeClock clock;
+  CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 3;
+  breaker.open_cooldown_ms = 500;
+  ResilientOracle oracle(inner, fast_retry(), breaker, &clock);
+  // Attempt 3 trips the breaker; the retry loop then waits out the 500 ms
+  // cooldown (simulated), the half-open trial fails, reopens, waits again,
+  // and finally succeeds on attempt 5.
+  const auto labels = oracle.label_counts(some_counts(2));
+  EXPECT_EQ(labels, std::vector<int>(2, 1));
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.breaker_trips, 2u);
+  EXPECT_EQ(oracle.breaker().state(), BreakerState::kClosed);
+  EXPECT_GE(s.backoff_ms, 1000u);  // two cooldown waits
+}
+
+TEST(ResilientOracle, BisectsBatchesTheOracleRefuses) {
+  ThresholdOracle inner;
+  FakeClock clock;
+  // The oracle rejects batches above 3 rows; a 16-row submission must be
+  // bisected down to <= 3-row pieces.
+  FaultInjectingOracle flaky(inner, FaultProfile::tiny_batches(), &clock);
+  RetryPolicy retry = fast_retry();
+  retry.max_attempts = 1;  // oversized batches never succeed; skip retries
+  CircuitBreakerConfig breaker;
+  breaker.failure_threshold = 1000;  // keep the breaker out of this test
+  ResilientOracle oracle(flaky, retry, breaker, &clock);
+  const math::Matrix counts = some_counts(16);
+  ThresholdOracle reference;
+  EXPECT_EQ(oracle.label_counts(counts), reference.label_counts(counts));
+  EXPECT_GE(oracle.stats().bisections, 5u);
+  EXPECT_EQ(oracle.queries(), 16u);       // logical rows, like fault-free
+  EXPECT_GT(inner.queries(), 0u);
+}
+
+TEST(ResilientOracle, SingleRowExhaustionIsPermanent) {
+  FailNTimesOracle inner(1000);
+  FakeClock clock;
+  ResilientOracle oracle(inner, fast_retry(), {}, &clock);
+  EXPECT_THROW(oracle.label_counts(some_counts(1)), PermanentOracleError);
+  EXPECT_EQ(oracle.stats().failed_queries, 1u);
+}
+
+TEST(ResilientOracle, CallDeadlineBoundsBackoffWaiting) {
+  FailNTimesOracle inner(1000);
+  FakeClock clock;
+  RetryPolicy retry = fast_retry();
+  retry.initial_backoff_ms = 100;
+  retry.backoff_multiplier = 1.0;
+  retry.call_deadline_ms = 250;  // room for two 100 ms backoffs, not three
+  ResilientOracle oracle(inner, retry, {}, &clock);
+  EXPECT_THROW(oracle.label_counts(some_counts(1)), DeadlineExceededError);
+  EXPECT_LE(clock.now_ms(), 250u);
+}
+
+TEST(ResilientOracle, RunDeadlineSpansCalls) {
+  // Fails on every odd-numbered call, so every batch needs one retry.
+  class FlakyEveryOtherOracle final : public CountOracle {
+   public:
+    std::vector<int> label_counts(const math::Matrix& counts) override {
+      if (++calls % 2 == 1) throw TransientOracleError("hiccup");
+      record_queries(counts.rows());
+      return std::vector<int>(counts.rows(), 1);
+    }
+    std::size_t calls = 0;
+  };
+  FakeClock clock;
+  RetryPolicy retry = fast_retry();
+  retry.initial_backoff_ms = 300;
+  retry.max_backoff_ms = 300;
+  retry.backoff_multiplier = 1.0;
+  retry.run_deadline_ms = 500;
+  FlakyEveryOtherOracle inner;
+  ResilientOracle oracle(inner, retry, {}, &clock);
+  // First call retries once: 300 of the 500 ms run budget is spent.
+  EXPECT_EQ(oracle.label_counts(some_counts(2)), std::vector<int>(2, 1));
+  EXPECT_EQ(clock.now_ms(), 300u);
+  clock.advance(150);
+  // The second call's retry backoff would land at 750 ms — over budget.
+  EXPECT_THROW(oracle.label_counts(some_counts(1)), DeadlineExceededError);
+}
+
+TEST(ResilientOracle, TimeoutsAreCounted) {
+  ThresholdOracle inner;
+  FakeClock clock;
+  FaultProfile profile;
+  profile.timeout_rate = 1.0;
+  profile.seed = 3;
+  FaultInjectingOracle slow(inner, profile, &clock);
+  RetryPolicy retry = fast_retry();
+  retry.max_attempts = 3;
+  ResilientOracle oracle(slow, retry, {}, &clock);
+  EXPECT_THROW(oracle.label_counts(some_counts(1)), PermanentOracleError);
+  EXPECT_EQ(oracle.stats().timeouts, 3u);
+}
+
+// The acceptance-criteria matrix: under EVERY built-in fault profile the
+// resilient stack converges to exactly the fault-free labels.
+TEST(ResilientOracle, EquivalenceMatrixAcrossBuiltinProfiles) {
+  const math::Matrix counts = some_counts(32);
+  ThresholdOracle reference;
+  const std::vector<int> expected = reference.label_counts(counts);
+  for (const FaultProfile& profile : FaultProfile::builtin_profiles()) {
+    ThresholdOracle inner;
+    FakeClock clock;
+    FaultInjectingOracle flaky(inner, profile, &clock);
+    CircuitBreakerConfig breaker;
+    breaker.open_cooldown_ms = 50;
+    ResilientOracle oracle(flaky, fast_retry(), breaker, &clock);
+    std::vector<int> got;
+    ASSERT_NO_THROW(got = oracle.label_counts(counts)) << profile.name;
+    EXPECT_EQ(got, expected) << profile.name;
+    EXPECT_EQ(oracle.queries(), counts.rows()) << profile.name;
+    if (profile.fail_first_calls > 0 || profile.max_batch_rows > 0) {
+      EXPECT_GT(oracle.stats().retries + oracle.stats().bisections, 0u)
+          << profile.name;
+    }
+  }
+}
+
+// One independent stack per thread over a shared fake-fault scenario —
+// the concurrency model the sweep paths use (share nothing mutable).
+// Exercised under TSan by the CI stress job.
+TEST(ResilientOracle, IndependentStacksRunConcurrently) {
+  const math::Matrix counts = some_counts(24);
+  ThresholdOracle reference;
+  const std::vector<int> expected = reference.label_counts(counts);
+  constexpr int kThreads = 4;
+  std::vector<std::vector<int>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThresholdOracle inner;
+      FakeClock clock;
+      FaultProfile profile = FaultProfile::flaky();
+      profile.seed = 100 + static_cast<std::uint64_t>(t);
+      FaultInjectingOracle flaky(inner, profile, &clock);
+      ResilientOracle oracle(flaky, fast_retry(), {}, &clock);
+      for (int repeat = 0; repeat < 20; ++repeat)
+        results[static_cast<std::size_t>(t)] = oracle.label_counts(counts);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& r : results) EXPECT_EQ(r, expected);
+}
+
+}  // namespace
+}  // namespace mev::runtime

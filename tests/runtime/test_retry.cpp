@@ -1,0 +1,82 @@
+#include "runtime/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/clock.hpp"
+
+namespace mev::runtime {
+namespace {
+
+TEST(RetryPolicy, ZeroJitterGivesExactExponentialSequence) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_ms = 1000;
+  p.jitter = 0.0;
+  math::Rng rng(1);
+  EXPECT_EQ(backoff_delay_ms(p, 0, rng), 10u);
+  EXPECT_EQ(backoff_delay_ms(p, 1, rng), 20u);
+  EXPECT_EQ(backoff_delay_ms(p, 2, rng), 40u);
+  EXPECT_EQ(backoff_delay_ms(p, 3, rng), 80u);
+}
+
+TEST(RetryPolicy, DelayIsCappedAtMaxBackoff) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.backoff_multiplier = 10.0;
+  p.max_backoff_ms = 500;
+  p.jitter = 0.0;
+  math::Rng rng(1);
+  EXPECT_EQ(backoff_delay_ms(p, 5, rng), 500u);
+}
+
+TEST(RetryPolicy, JitterStaysWithinBounds) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 100;
+  p.backoff_multiplier = 1.0;
+  p.max_backoff_ms = 1000;
+  p.jitter = 0.2;
+  math::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t d = backoff_delay_ms(p, 0, rng);
+    EXPECT_GE(d, 80u);
+    EXPECT_LE(d, 120u);
+  }
+}
+
+TEST(RetryPolicy, JitterIsDeterministicPerSeed) {
+  RetryPolicy p;
+  p.jitter = 0.5;
+  math::Rng a(42), b(42), c(43);
+  std::vector<std::uint64_t> seq_a, seq_b, seq_c;
+  for (int i = 0; i < 16; ++i) {
+    seq_a.push_back(backoff_delay_ms(p, i, a));
+    seq_b.push_back(backoff_delay_ms(p, i, b));
+    seq_c.push_back(backoff_delay_ms(p, i, c));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_NE(seq_a, seq_c);
+}
+
+TEST(RetryPolicy, NoneIsSingleAttemptNoBackoff) {
+  const RetryPolicy p = RetryPolicy::none();
+  EXPECT_EQ(p.max_attempts, 1u);
+  math::Rng rng(1);
+  EXPECT_EQ(backoff_delay_ms(p, 0, rng), 0u);
+}
+
+TEST(FakeClock, SleepAdvancesTimeAndRecords) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.now_ms(), 100u);
+  clock.sleep_ms(50);
+  clock.sleep_ms(25);
+  EXPECT_EQ(clock.now_ms(), 175u);
+  ASSERT_EQ(clock.sleeps().size(), 2u);
+  EXPECT_EQ(clock.total_slept_ms(), 75u);
+  clock.advance(10);
+  EXPECT_EQ(clock.now_ms(), 185u);
+  EXPECT_EQ(clock.sleeps().size(), 2u);  // advance() is not a sleep
+}
+
+}  // namespace
+}  // namespace mev::runtime
