@@ -8,7 +8,9 @@ namespace mev::core {
 
 MalwareDetector::MalwareDetector(features::FeaturePipeline pipeline,
                                  std::shared_ptr<nn::Network> network)
-    : pipeline_(std::move(pipeline)), network_(std::move(network)) {
+    : pipeline_(std::move(pipeline)),
+      network_(std::move(network)),
+      scratch_mutex_(std::make_unique<std::mutex>()) {
   if (network_ == nullptr)
     throw std::invalid_argument("MalwareDetector: null network");
   if (network_->input_dim() != pipeline_.dim())
@@ -28,6 +30,7 @@ nn::InferenceSession& MalwareDetector::scratch() {
 }
 
 Verdict MalwareDetector::scan(const data::ApiLog& log) {
+  std::lock_guard<std::mutex> lock(*scratch_mutex_);
   return scan(scratch(), log);
 }
 
@@ -38,6 +41,7 @@ Verdict MalwareDetector::scan(nn::InferenceSession& session,
 }
 
 std::vector<Verdict> MalwareDetector::scan_counts(const math::Matrix& counts) {
+  std::lock_guard<std::mutex> lock(*scratch_mutex_);
   return scan_counts(scratch(), counts);
 }
 
@@ -48,6 +52,7 @@ std::vector<Verdict> MalwareDetector::scan_counts(
 
 std::vector<Verdict> MalwareDetector::scan_features(
     const math::Matrix& features) {
+  std::lock_guard<std::mutex> lock(*scratch_mutex_);
   return scan_features(scratch(), features);
 }
 

@@ -5,11 +5,15 @@
 // Threading model: the detector (pipeline + network) is read-only during
 // scanning. The scan overloads that take an nn::InferenceSession are
 // thread-safe when each thread passes its own session (make_session());
-// the session-less overloads route through one internal scratch session
-// and must not be called concurrently on a shared detector.
+// that is the path every concurrent caller should use (or go through
+// serve::ScoringService, which owns a session per worker). The
+// session-less overloads route through one internal scratch session; they
+// serialize on an internal mutex, so they are safe — but sequential — on
+// a shared detector, and exist for convenience in single-threaded code.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,7 +45,9 @@ class MalwareDetector {
   /// per thread for concurrent scanning.
   nn::InferenceSession make_session(std::size_t max_batch = 0) const;
 
-  /// End-to-end verdict for one log file.
+  /// End-to-end verdict for one log file. The session-less overloads
+  /// serialize on the internal scratch session; prefer the session
+  /// overloads (one session per thread) for concurrent scanning.
   Verdict scan(const data::ApiLog& log);
   Verdict scan(nn::InferenceSession& session, const data::ApiLog& log) const;
 
@@ -68,10 +74,16 @@ class MalwareDetector {
   std::shared_ptr<nn::Network> network_ptr() noexcept { return network_; }
 
  private:
+  /// Must be called with scratch_mutex_ held.
   nn::InferenceSession& scratch();
 
   features::FeaturePipeline pipeline_;
   std::shared_ptr<nn::Network> network_;
+  /// Serializes the session-less scan overloads: the lazily-created
+  /// scratch session is shared mutable state, so concurrent session-less
+  /// calls on one detector queue up here instead of racing. Heap-held so
+  /// the detector stays movable.
+  std::unique_ptr<std::mutex> scratch_mutex_;
   /// Lazily-created session backing the session-less scan overloads.
   std::unique_ptr<nn::InferenceSession> scratch_;
 };

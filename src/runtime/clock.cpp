@@ -12,6 +12,12 @@ std::uint64_t SystemClock::now_ms() {
       std::chrono::duration_cast<std::chrono::milliseconds>(t).count());
 }
 
+std::uint64_t SystemClock::now_us() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}
+
 void SystemClock::sleep_ms(std::uint64_t ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }

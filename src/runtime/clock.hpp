@@ -16,6 +16,12 @@ class Clock {
   /// Monotonic milliseconds since an arbitrary epoch.
   virtual std::uint64_t now_ms() = 0;
 
+  /// Monotonic microseconds since the same epoch. The default derives
+  /// from now_ms() so fake clocks stay consistent automatically; real
+  /// clocks override it for sub-millisecond latency accounting (the
+  /// serving layer's histograms).
+  virtual std::uint64_t now_us() { return now_ms() * 1000; }
+
   /// Blocks (or simulates blocking) for `ms` milliseconds.
   virtual void sleep_ms(std::uint64_t ms) = 0;
 };
@@ -24,6 +30,7 @@ class Clock {
 class SystemClock final : public Clock {
  public:
   std::uint64_t now_ms() override;
+  std::uint64_t now_us() override;
   void sleep_ms(std::uint64_t ms) override;
 
   /// Shared process-wide instance (stateless, safe to share).

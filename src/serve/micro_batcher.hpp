@@ -1,0 +1,70 @@
+// Dynamic micro-batching policy: coalesce queued requests into batches of
+// up to `max_batch_rows` rows, but never hold a request longer than
+// `max_queue_delay_ms` waiting for co-riders. All timing flows through
+// caller-supplied clock readings, so the policy is a plain single-threaded
+// state machine — unit-testable with runtime::FakeClock and shared by the
+// real worker pool and the manual pump() mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace mev::serve {
+
+struct BatcherConfig {
+  /// Flush as soon as pending rows reach this many. A single request
+  /// larger than the cap forms its own (oversized) batch — requests are
+  /// never split across batches.
+  std::size_t max_batch_rows = 64;
+  /// Flush a partial batch once the oldest pending request has waited
+  /// this long (0 = flush immediately, i.e. no coalescing delay).
+  std::uint64_t max_queue_delay_ms = 2;
+};
+
+/// A formed batch: whole requests, FIFO order.
+struct Batch {
+  std::vector<Request> requests;
+  std::size_t rows = 0;
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatcherConfig config);
+
+  /// Enqueues a request (FIFO). The caller has already admission-checked.
+  void add(Request request);
+
+  std::size_t pending_requests() const noexcept { return pending_.size(); }
+  std::size_t pending_rows() const noexcept { return pending_rows_; }
+  bool empty() const noexcept { return pending_.empty(); }
+
+  /// Moves every pending request whose deadline has passed into `expired`
+  /// (FIFO order). The service fails these with RejectReason::kDeadline.
+  void take_expired(std::uint64_t now_ms, std::vector<Request>& expired);
+
+  /// Forms the next batch if the flush condition holds: pending rows
+  /// >= max_batch_rows, the oldest request has waited >= max_queue_delay,
+  /// or `force` (drain/shutdown). Returns std::nullopt otherwise.
+  /// take_expired() should run first so expired requests are not scored.
+  std::optional<Batch> poll(std::uint64_t now_ms, bool force = false);
+
+  /// Milliseconds until the next action is due — the oldest pending
+  /// request hitting max_queue_delay or the earliest per-request deadline
+  /// (0 when already due); std::nullopt when nothing is pending. Drives
+  /// the worker's timed wait.
+  std::optional<std::uint64_t> ms_until_flush(std::uint64_t now_ms) const;
+
+  const BatcherConfig& config() const noexcept { return config_; }
+
+ private:
+  BatcherConfig config_;
+  std::deque<Request> pending_;
+  std::size_t pending_rows_ = 0;
+};
+
+}  // namespace mev::serve

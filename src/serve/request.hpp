@@ -1,0 +1,67 @@
+// Request/response vocabulary of the scoring service. A submission either
+// completes with one Verdict per input row or is REJECTED with an explicit
+// reason — the service never queues unboundedly and never silently drops.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "math/matrix.hpp"
+
+namespace mev::serve {
+
+/// Why a submission did not produce verdicts.
+enum class RejectReason {
+  kNone = 0,        // not rejected: verdicts are valid
+  kQueueFull,       // admission control: queued rows would exceed the bound
+  kShuttingDown,    // service stopped (or stopping without drain)
+  kDeadline,        // the request's deadline expired before scoring
+};
+
+inline const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+/// Outcome of one submission: either verdicts (one per submitted row, in
+/// submission order) or a rejection reason.
+struct ScoreResult {
+  RejectReason rejected = RejectReason::kNone;
+  std::vector<core::Verdict> verdicts;
+  /// Model snapshot version that scored this request (0 when rejected).
+  std::uint64_t model_version = 0;
+
+  bool ok() const noexcept { return rejected == RejectReason::kNone; }
+};
+
+/// Per-submission options.
+struct SubmitOptions {
+  /// Relative deadline in milliseconds measured from submission on the
+  /// service clock; 0 means no deadline. A request still queued when its
+  /// deadline passes is rejected with RejectReason::kDeadline instead of
+  /// being scored late.
+  std::uint64_t deadline_ms = 0;
+};
+
+/// One queued unit of work. Internal to the service and the batcher, but
+/// defined here so the batcher is unit-testable without the service.
+struct Request {
+  math::Matrix counts;
+  std::promise<ScoreResult> promise;
+  std::uint64_t enqueue_us = 0;   // clock->now_us() at submit (histograms)
+  std::uint64_t enqueue_ms = 0;   // clock->now_ms() at submit (batch delay)
+  std::uint64_t deadline_ms = 0;  // absolute clock ms; 0 = none
+
+  bool expired(std::uint64_t now_ms) const noexcept {
+    return deadline_ms != 0 && now_ms >= deadline_ms;
+  }
+};
+
+}  // namespace mev::serve

@@ -1,0 +1,306 @@
+#include "serve/scoring_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mev::serve {
+
+ScoringService::ScoringService(features::FeaturePipeline pipeline,
+                               std::shared_ptr<nn::Network> network,
+                               ServiceConfig config)
+    : config_(config),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &runtime::SystemClock::instance()),
+      batcher_(BatcherConfig{config.max_batch_rows,
+                             config.max_queue_delay_ms}) {
+  auto snapshot = std::make_shared<ModelSnapshot>(std::move(pipeline),
+                                                  std::move(network),
+                                                  next_version_++);
+  snapshot_ = std::move(snapshot);
+
+  worker_states_.resize(std::max<std::size_t>(config_.workers, 1));
+  if (config_.workers > 0) {
+    threads_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i)
+      threads_.emplace_back(
+          [this, i] { worker_loop(worker_states_[i]); });
+  }
+}
+
+ScoringService::~ScoringService() { shutdown(/*drain=*/true); }
+
+std::shared_ptr<const ScoringService::ModelSnapshot>
+ScoringService::current_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::future<ScoreResult> ScoringService::submit(math::Matrix counts,
+                                                SubmitOptions options) {
+  std::promise<ScoreResult> promise;
+  std::future<ScoreResult> future = promise.get_future();
+  const std::size_t rows = counts.rows();
+  const auto snapshot = current_snapshot();
+  if (rows > 0 && counts.cols() != snapshot->count_cols)
+    throw std::invalid_argument(
+        "ScoringService::submit: count rows have " +
+        std::to_string(counts.cols()) + " columns, expected " +
+        std::to_string(snapshot->count_cols));
+
+  if (rows == 0) {
+    ScoreResult result;
+    result.model_version = snapshot->version;
+    promise.set_value(std::move(result));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted_requests;
+    ++stats_.completed_requests;
+    return future;
+  }
+
+  Request request;
+  request.counts = std::move(counts);
+  request.enqueue_us = clock_->now_us();
+  request.enqueue_ms = clock_->now_ms();
+  if (options.deadline_ms != 0)
+    request.deadline_ms = request.enqueue_ms + options.deadline_ms;
+  request.promise = std::move(promise);
+
+  RejectReason reject = RejectReason::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != State::kRunning)
+      reject = RejectReason::kShuttingDown;
+    else if (batcher_.pending_rows() + rows > config_.max_queue_rows)
+      reject = RejectReason::kQueueFull;
+    else
+      batcher_.add(std::move(request));
+  }
+
+  if (reject != RejectReason::kNone) {
+    ScoreResult result;
+    result.rejected = reject;
+    request.promise.set_value(std::move(result));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (reject == RejectReason::kQueueFull) ++stats_.rejected_queue_full;
+    else ++stats_.rejected_shutting_down;
+    return future;
+  }
+
+  cv_.notify_one();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted_requests;
+    stats_.accepted_rows += rows;
+  }
+  return future;
+}
+
+ScoreResult ScoringService::score(math::Matrix counts,
+                                  SubmitOptions options) {
+  std::future<ScoreResult> future = submit(std::move(counts), options);
+  if (config_.workers == 0) {
+    // Manual-pump mode: drive the batch through ourselves.
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready)
+      pump(/*force=*/true);
+  }
+  return future.get();
+}
+
+std::uint64_t ScoringService::swap_model(features::FeaturePipeline pipeline,
+                                         std::shared_ptr<nn::Network> network) {
+  // Validation (dimension checks) happens in the detector's constructor,
+  // outside any lock — a bad swap never disturbs the running snapshot.
+  const std::size_t expected = current_snapshot()->count_cols;
+  std::uint64_t version = 0;
+  std::shared_ptr<ModelSnapshot> fresh;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    fresh = std::make_shared<ModelSnapshot>(std::move(pipeline),
+                                            std::move(network),
+                                            next_version_++);
+    if (fresh->count_cols != expected)
+      throw std::invalid_argument(
+          "ScoringService::swap_model: new pipeline expects " +
+          std::to_string(fresh->count_cols) + " count columns, service was " +
+          "built for " + std::to_string(expected));
+    version = fresh->version;
+    snapshot_ = std::move(fresh);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.model_swaps;
+  }
+  return version;
+}
+
+std::uint64_t ScoringService::model_version() const {
+  return current_snapshot()->version;
+}
+
+void ScoringService::shutdown(bool drain) {
+  std::vector<Request> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kStopped && threads_.empty()) return;
+    if (drain && !batcher_.empty()) {
+      state_ = State::kDraining;
+    } else {
+      state_ = State::kStopped;
+      // Without drain, pending requests are resolved (rejected) here —
+      // exactly-once still holds, nothing is silently dropped.
+      while (auto batch = batcher_.poll(clock_->now_ms(), /*force=*/true))
+        for (auto& request : batch->requests)
+          orphans.push_back(std::move(request));
+    }
+  }
+  cv_.notify_all();
+  reject_all(std::move(orphans), RejectReason::kShuttingDown);
+
+  if (config_.workers == 0) {
+    // Manual mode: drain synchronously on the caller's thread.
+    while (pump(/*force=*/true) > 0) {
+    }
+  }
+  join_workers();
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kStopped;
+}
+
+void ScoringService::join_workers() {
+  for (auto& thread : threads_)
+    if (thread.joinable()) thread.join();
+  threads_.clear();
+}
+
+std::size_t ScoringService::pump(bool force) {
+  if (config_.workers != 0)
+    throw std::logic_error(
+        "ScoringService::pump: only valid in manual mode (workers == 0)");
+  std::vector<Request> expired;
+  std::optional<Batch> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t now = clock_->now_ms();
+    batcher_.take_expired(now, expired);
+    batch = batcher_.poll(now, force || state_ != State::kRunning);
+  }
+  reject_all(std::move(expired), RejectReason::kDeadline);
+  if (!batch.has_value()) return 0;
+  const std::size_t rows = batch->rows;
+  score_batch(worker_states_.front(), std::move(*batch));
+  return rows;
+}
+
+void ScoringService::worker_loop(WorkerState& worker) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const std::uint64_t now = clock_->now_ms();
+    std::vector<Request> expired;
+    batcher_.take_expired(now, expired);
+    std::optional<Batch> batch =
+        batcher_.poll(now, /*force=*/state_ == State::kDraining);
+    if (!expired.empty() || batch.has_value()) {
+      lock.unlock();
+      reject_all(std::move(expired), RejectReason::kDeadline);
+      if (batch.has_value()) score_batch(worker, std::move(*batch));
+      lock.lock();
+      continue;
+    }
+    if (state_ != State::kRunning) return;  // drained (or emptied by stop)
+    const auto wait_ms = batcher_.ms_until_flush(now);
+    if (wait_ms.has_value())
+      cv_.wait_for(lock, std::chrono::milliseconds(
+                             std::max<std::uint64_t>(*wait_ms, 1)));
+    else
+      cv_.wait(lock);
+  }
+}
+
+void ScoringService::score_batch(WorkerState& worker, Batch batch) {
+  const std::uint64_t formed_us = clock_->now_us();
+  const auto snapshot = current_snapshot();
+  if (worker.pinned.get() != snapshot.get()) {
+    // Model changed under us (hot swap) or first batch: bind a fresh
+    // pre-warmed session. This is the only allocating path; between swaps
+    // the steady state reuses every buffer.
+    const std::size_t warm = config_.session_max_batch != 0
+                                 ? config_.session_max_batch
+                                 : config_.max_batch_rows;
+    worker.session = std::make_unique<nn::InferenceSession>(
+        snapshot->detector.make_session(warm));
+    worker.pinned = snapshot;
+  }
+
+  worker.batch_counts.resize(batch.rows, snapshot->count_cols);
+  std::size_t row = 0;
+  for (const auto& request : batch.requests)
+    for (std::size_t i = 0; i < request.counts.rows(); ++i)
+      worker.batch_counts.set_row(row++, request.counts.row(i));
+
+  std::vector<core::Verdict> verdicts;
+  try {
+    verdicts =
+        snapshot->detector.scan_counts(*worker.session, worker.batch_counts);
+  } catch (...) {
+    for (auto& request : batch.requests)
+      request.promise.set_exception(std::current_exception());
+    return;
+  }
+  const std::uint64_t done_us = clock_->now_us();
+
+  std::size_t offset = 0;
+  for (auto& request : batch.requests) {
+    ScoreResult result;
+    result.model_version = snapshot->version;
+    const std::size_t n = request.counts.rows();
+    result.verdicts.assign(verdicts.begin() + offset,
+                           verdicts.begin() + offset + n);
+    offset += n;
+    request.promise.set_value(std::move(result));
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.batches;
+  stats_.batch_rows.record(batch.rows);
+  stats_.completed_requests += batch.requests.size();
+  stats_.completed_rows += batch.rows;
+  for (const auto& request : batch.requests) {
+    stats_.queue_delay_us.record(formed_us - request.enqueue_us);
+    stats_.e2e_latency_us.record(done_us - request.enqueue_us);
+  }
+}
+
+void ScoringService::reject_all(std::vector<Request> requests,
+                                RejectReason reason) {
+  if (requests.empty()) return;
+  for (auto& request : requests) {
+    ScoreResult result;
+    result.rejected = reason;
+    request.promise.set_value(std::move(result));
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      stats_.rejected_queue_full += requests.size();
+      break;
+    case RejectReason::kShuttingDown:
+      stats_.rejected_shutting_down += requests.size();
+      break;
+    case RejectReason::kDeadline:
+      stats_.rejected_deadline += requests.size();
+      break;
+    case RejectReason::kNone:
+      break;
+  }
+}
+
+ServiceStats ScoringService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace mev::serve

@@ -1,0 +1,173 @@
+// ScoringService: the in-process serving layer in front of
+// core::MalwareDetector — the deployment surface the paper's black-box
+// threat model assumes (the detector as a queried cloud service).
+//
+//   submit(counts) ──▶ admission control ──▶ bounded queue ──▶
+//       micro-batcher (flush at max_batch_rows or max_queue_delay_ms)
+//       ──▶ worker pool, one pre-warmed nn::InferenceSession per worker
+//       ──▶ promise fulfilled with one Verdict per row
+//
+// Guarantees:
+//  * Bounded memory/latency: a submission is either admitted (queued rows
+//    never exceed max_queue_rows) or rejected immediately with an explicit
+//    reason — the queue never grows without bound.
+//  * Exactly-once: every admitted request is resolved exactly once —
+//    scored, deadline-rejected, or shutdown-rejected; never dropped,
+//    never double-scored (each request lives in exactly one place: the
+//    batcher, or the worker that popped it).
+//  * Parity: a batch is scored through the same
+//    MalwareDetector::scan_counts code path as sequential callers, and
+//    per-row results are independent of batch composition, so service
+//    verdicts are bit-identical to sequential scanning.
+//  * Hot swap: swap_model() atomically publishes a new (pipeline, network)
+//    snapshot (RCU-style: readers pin the snapshot with a shared_ptr, the
+//    writer publishes and never blocks scoring). Batches formed before
+//    the swap finish on the snapshot they pinned; later batches use the
+//    new one. Zero downtime, no lost or re-scored requests.
+//
+// All flush timing flows through an injectable runtime::Clock; with
+// workers = 0 the service runs in manual-pump mode (no threads), which
+// together with runtime::FakeClock makes every policy deterministic in
+// tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "features/pipeline.hpp"
+#include "nn/network.hpp"
+#include "nn/session.hpp"
+#include "runtime/clock.hpp"
+#include "serve/micro_batcher.hpp"
+#include "serve/request.hpp"
+#include "serve/stats.hpp"
+
+namespace mev::serve {
+
+struct ServiceConfig {
+  /// Worker threads. 0 = manual-pump mode: no threads are started and the
+  /// caller drives scoring with pump() — the deterministic test mode.
+  std::size_t workers = 4;
+  /// Micro-batch flush thresholds (see BatcherConfig).
+  std::size_t max_batch_rows = 64;
+  std::uint64_t max_queue_delay_ms = 2;
+  /// Admission bound: a submission is rejected with kQueueFull when the
+  /// rows already queued plus its own would exceed this.
+  std::size_t max_queue_rows = 4096;
+  /// Pre-warm each worker's session for this batch size (0 = use
+  /// max_batch_rows), so the steady state is allocation-free from the
+  /// first batch.
+  std::size_t session_max_batch = 0;
+  /// Timing source; nullptr = runtime::SystemClock::instance(). Must
+  /// outlive the service.
+  runtime::Clock* clock = nullptr;
+};
+
+class ScoringService {
+ public:
+  /// Serves `network` behind `pipeline`; dimensions are validated like
+  /// core::MalwareDetector's constructor.
+  ScoringService(features::FeaturePipeline pipeline,
+                 std::shared_ptr<nn::Network> network,
+                 ServiceConfig config = {});
+  /// Destructor drains pending work (shutdown(true)) if still running.
+  ~ScoringService();
+
+  ScoringService(const ScoringService&) = delete;
+  ScoringService& operator=(const ScoringService&) = delete;
+
+  /// Submits raw count rows (cols must equal the vocabulary size). The
+  /// future resolves with verdicts in row order, or with a rejection.
+  /// Admission (queue_full / shutting_down) is decided synchronously;
+  /// those futures are already ready on return.
+  std::future<ScoreResult> submit(math::Matrix counts,
+                                  SubmitOptions options = {});
+
+  /// Convenience synchronous call: submit + wait.
+  ScoreResult score(math::Matrix counts, SubmitOptions options = {});
+
+  /// Atomically publishes a new model snapshot for subsequent batches.
+  /// The new pipeline must accept the same count dimension as the current
+  /// one (queued requests stay scorable). Never blocks scoring; in-flight
+  /// batches finish on the snapshot they pinned. Returns the new version.
+  std::uint64_t swap_model(features::FeaturePipeline pipeline,
+                           std::shared_ptr<nn::Network> network);
+
+  /// Version of the currently-published snapshot (1 on construction).
+  std::uint64_t model_version() const;
+
+  /// Stops the service. With drain, pending requests are scored first
+  /// (partial batches flush immediately); without, they are rejected with
+  /// kShuttingDown. Subsequent submissions are rejected. Idempotent.
+  void shutdown(bool drain = true);
+
+  /// Manual-pump mode only (workers == 0): expires overdue requests, then
+  /// forms and scores at most one batch if a flush is due (or `force`).
+  /// Returns the number of rows scored.
+  std::size_t pump(bool force = false);
+
+  /// Point-in-time copy of counters and histograms.
+  ServiceStats stats() const;
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Immutable published model: pipeline + network wrapped back into a
+  /// detector so workers reuse the exact sequential scan path.
+  struct ModelSnapshot {
+    ModelSnapshot(features::FeaturePipeline p, std::shared_ptr<nn::Network> n,
+                  std::uint64_t v)
+        : detector(std::move(p), std::move(n)),
+          version(v),
+          count_cols(detector.pipeline().extractor().vocab().size()) {}
+
+    core::MalwareDetector detector;
+    std::uint64_t version;
+    std::size_t count_cols;  // expected submission width (vocab size)
+  };
+
+  enum class State { kRunning, kDraining, kStopped };
+
+  /// Per-worker scratch: the pinned snapshot, its session, and the batch
+  /// assembly buffer (all reused across batches; reallocated only on
+  /// snapshot change).
+  struct WorkerState {
+    std::shared_ptr<const ModelSnapshot> pinned;
+    std::unique_ptr<nn::InferenceSession> session;
+    math::Matrix batch_counts;
+  };
+
+  std::shared_ptr<const ModelSnapshot> current_snapshot() const;
+  void worker_loop(WorkerState& worker);
+  /// Scores one batch outside the queue lock and fulfils its promises.
+  void score_batch(WorkerState& worker, Batch batch);
+  /// Rejects requests (outside the lock) and bumps the matching counter.
+  void reject_all(std::vector<Request> requests, RejectReason reason);
+  void join_workers();
+
+  ServiceConfig config_;
+  runtime::Clock* clock_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::uint64_t next_version_ = 1;
+
+  mutable std::mutex mutex_;  // guards batcher_ + state_
+  std::condition_variable cv_;
+  MicroBatcher batcher_;
+  State state_ = State::kRunning;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+
+  std::vector<WorkerState> worker_states_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mev::serve

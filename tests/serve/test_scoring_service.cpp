@@ -1,0 +1,428 @@
+// ScoringService behavior: parity with sequential scanning (bit-identical
+// verdicts for any worker count / batch window), deterministic batching
+// and deadline policy under FakeClock (manual-pump mode), backpressure,
+// shutdown semantics, and hot-swap under concurrency.
+#include "serve/scoring_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/api_vocab.hpp"
+#include "features/transform.hpp"
+#include "math/rng.hpp"
+#include "runtime/clock.hpp"
+
+namespace mev::serve {
+namespace {
+
+constexpr std::size_t kDim = data::kNumApiFeatures;
+
+math::Matrix random_counts(std::size_t rows, std::uint64_t seed) {
+  math::Rng rng(seed);
+  math::Matrix m(rows, kDim);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.poisson(3.0));
+  return m;
+}
+
+features::FeaturePipeline make_pipeline(std::uint64_t seed) {
+  auto transform = std::make_unique<features::CountTransform>();
+  transform->fit(random_counts(64, seed));
+  return features::FeaturePipeline(data::ApiVocab::instance(),
+                                   std::move(transform));
+}
+
+std::shared_ptr<nn::Network> make_network(std::uint64_t seed) {
+  nn::MlpConfig cfg;
+  cfg.dims = {kDim, 16, 2};
+  cfg.seed = seed;
+  return std::make_shared<nn::Network>(nn::make_mlp(cfg));
+}
+
+/// An untrained (but deterministic) model is all parity tests need.
+struct Fixture {
+  features::FeaturePipeline pipeline = make_pipeline(7);
+  std::shared_ptr<nn::Network> network = make_network(11);
+  core::MalwareDetector reference{pipeline, network};
+
+  ScoringService make_service(ServiceConfig config) {
+    return ScoringService(pipeline, network, config);
+  }
+};
+
+void expect_same_verdicts(const std::vector<core::Verdict>& got,
+                          const std::vector<core::Verdict>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].predicted_class, want[i].predicted_class) << i;
+    // Bit-identical, not approximately equal: the service runs the same
+    // scan_counts code path and per-row results are independent of batch
+    // composition.
+    EXPECT_EQ(got[i].malware_confidence, want[i].malware_confidence) << i;
+  }
+}
+
+TEST(ScoringService, ManualModeParityWithSequentialScan) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_batch_rows = 8;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  const math::Matrix all = random_counts(20, 42);
+  std::vector<std::future<ScoreResult>> futures;
+  // Mixed request sizes: 1, 2, 3, ... rows — batches will straddle them.
+  std::size_t row = 0;
+  for (std::size_t n = 1; row + n <= all.rows(); ++n) {
+    futures.push_back(service.submit(all.slice_rows(row, row + n)));
+    row += n;
+  }
+  while (service.pump(/*force=*/true) > 0) {
+  }
+
+  const auto want = f.reference.scan_counts(all);
+  std::size_t offset = 0;
+  for (auto& future : futures) {
+    ScoreResult result = future.get();
+    ASSERT_TRUE(result.ok());
+    const std::vector<core::Verdict> expected(
+        want.begin() + offset, want.begin() + offset + result.verdicts.size());
+    expect_same_verdicts(result.verdicts, expected);
+    offset += result.verdicts.size();
+  }
+  EXPECT_EQ(offset, row);
+}
+
+TEST(ScoringService, ThreadedParityAnyWorkerCountAnyWindow) {
+  Fixture f;
+  const math::Matrix all = random_counts(120, 43);
+  const auto want = f.reference.scan_counts(all);
+
+  for (std::size_t workers : {1u, 4u}) {
+    for (std::uint64_t window_ms : {0u, 2u}) {
+      ServiceConfig cfg;
+      cfg.workers = workers;
+      cfg.max_batch_rows = 16;
+      cfg.max_queue_delay_ms = window_ms;
+      auto service = f.make_service(cfg);
+      std::vector<std::future<ScoreResult>> futures;
+      for (std::size_t r = 0; r < all.rows(); r += 3)
+        futures.push_back(
+            service.submit(all.slice_rows(r, std::min(r + 3, all.rows()))));
+      std::size_t offset = 0;
+      for (auto& future : futures) {
+        ScoreResult result = future.get();
+        ASSERT_TRUE(result.ok());
+        const std::vector<core::Verdict> expected(
+            want.begin() + offset,
+            want.begin() + offset + result.verdicts.size());
+        expect_same_verdicts(result.verdicts, expected);
+        offset += result.verdicts.size();
+      }
+      EXPECT_EQ(offset, all.rows());
+    }
+  }
+}
+
+TEST(ScoringService, FullBatchFlushesWithoutClockAdvance) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_batch_rows = 4;
+  cfg.max_queue_delay_ms = 100;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  auto future = service.submit(random_counts(4, 1));
+  // Batch is full: scored on the next pump with no time passing.
+  EXPECT_EQ(service.pump(), 4u);
+  EXPECT_TRUE(future.get().ok());
+}
+
+TEST(ScoringService, PartialBatchWaitsForWindowUnderFakeClock) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_batch_rows = 64;
+  cfg.max_queue_delay_ms = 5;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  auto future = service.submit(random_counts(2, 2));
+  EXPECT_EQ(service.pump(), 0u);  // window not elapsed, no flush
+  clock.advance(5);
+  EXPECT_EQ(service.pump(), 2u);  // partial batch flushed by time
+  EXPECT_TRUE(future.get().ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.completed_rows, 2u);
+}
+
+TEST(ScoringService, ExpiredDeadlineIsRejectedNotScored) {
+  Fixture f;
+  runtime::FakeClock clock(50);
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_queue_delay_ms = 100;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  SubmitOptions options;
+  options.deadline_ms = 5;
+  auto doomed = service.submit(random_counts(3, 3), options);
+  auto alive = service.submit(random_counts(2, 4));
+  clock.advance(10);  // past the deadline, inside the batch window
+  service.pump(/*force=*/true);
+
+  const ScoreResult rejected = doomed.get();
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.rejected, RejectReason::kDeadline);
+  EXPECT_TRUE(rejected.verdicts.empty());
+  EXPECT_TRUE(alive.get().ok());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.completed_requests, 1u);
+  EXPECT_EQ(stats.completed_rows, 2u);  // the doomed rows never ran
+}
+
+TEST(ScoringService, QueueFullRejectsImmediately) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_queue_rows = 8;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  auto accepted = service.submit(random_counts(8, 5));
+  auto rejected = service.submit(random_counts(1, 6));
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().rejected, RejectReason::kQueueFull);
+
+  while (service.pump(true) > 0) {
+  }
+  EXPECT_TRUE(accepted.get().ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.accepted_requests, 1u);
+}
+
+TEST(ScoringService, ShutdownDrainScoresPending) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_queue_delay_ms = 1000;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  auto pending = service.submit(random_counts(3, 7));
+  service.shutdown(/*drain=*/true);
+  EXPECT_TRUE(pending.get().ok());
+
+  auto late = service.submit(random_counts(1, 8));
+  EXPECT_EQ(late.get().rejected, RejectReason::kShuttingDown);
+  EXPECT_EQ(service.stats().rejected_shutting_down, 1u);
+}
+
+TEST(ScoringService, ShutdownWithoutDrainRejectsPending) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_queue_delay_ms = 1000;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  auto pending = service.submit(random_counts(3, 9));
+  service.shutdown(/*drain=*/false);
+  EXPECT_EQ(pending.get().rejected, RejectReason::kShuttingDown);
+  EXPECT_EQ(service.stats().completed_rows, 0u);
+}
+
+TEST(ScoringService, DestructorDrainsInFlightWork) {
+  Fixture f;
+  std::future<ScoreResult> future;
+  {
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    auto service = f.make_service(cfg);
+    future = service.submit(random_counts(5, 10));
+  }  // ~ScoringService: drain
+  EXPECT_TRUE(future.get().ok());
+}
+
+TEST(ScoringService, EmptySubmissionCompletesImmediately) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+  auto future = service.submit(math::Matrix(0, kDim));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const ScoreResult result = future.get();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.verdicts.empty());
+  EXPECT_EQ(result.model_version, 1u);
+}
+
+TEST(ScoringService, WrongColumnCountThrows) {
+  Fixture f;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  auto service = f.make_service(cfg);
+  EXPECT_THROW(service.submit(math::Matrix(1, 10)), std::invalid_argument);
+}
+
+TEST(ScoringService, HotSwapPublishesNewModelAtomically) {
+  Fixture f;
+  runtime::FakeClock clock;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+  EXPECT_EQ(service.model_version(), 1u);
+
+  const math::Matrix counts = random_counts(4, 11);
+  const ScoreResult before = service.score(counts);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.model_version, 1u);
+  expect_same_verdicts(before.verdicts, f.reference.scan_counts(counts));
+
+  // Roll out a different model (e.g. a retrained/distilled defender).
+  auto swapped_network = make_network(99);
+  EXPECT_EQ(service.swap_model(make_pipeline(7), swapped_network), 2u);
+  EXPECT_EQ(service.model_version(), 2u);
+
+  const ScoreResult after = service.score(counts);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.model_version, 2u);
+  core::MalwareDetector swapped_reference(make_pipeline(7), swapped_network);
+  expect_same_verdicts(after.verdicts, swapped_reference.scan_counts(counts));
+}
+
+TEST(ScoringService, HotSwapRejectsMismatchedModel) {
+  Fixture f;
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  auto service = f.make_service(cfg);
+  // Network input dim does not match the pipeline: detector validation.
+  nn::MlpConfig bad;
+  bad.dims = {10, 2};
+  auto bad_network = std::make_shared<nn::Network>(nn::make_mlp(bad));
+  EXPECT_THROW(service.swap_model(make_pipeline(7), std::move(bad_network)),
+               std::invalid_argument);
+}
+
+TEST(ScoringService, ConcurrentSubmitAndHotSwapExactlyOnce) {
+  Fixture f;
+  auto network_b = make_network(99);
+  core::MalwareDetector reference_b(make_pipeline(7), network_b);
+
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.max_batch_rows = 8;
+  cfg.max_queue_delay_ms = 1;
+  cfg.max_queue_rows = 1u << 20;  // no backpressure in this test
+  auto service = f.make_service(cfg);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 40;
+  std::vector<std::vector<math::Matrix>> inputs(kProducers);
+  std::vector<std::vector<std::future<ScoreResult>>> futures(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p)
+    for (std::size_t i = 0; i < kPerProducer; ++i)
+      inputs[p].push_back(random_counts(1 + (i % 3), 1000 + p * 100 + i));
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (auto& m : inputs[p]) futures[p].push_back(service.submit(m));
+    });
+
+  // Swap back and forth while traffic flows.
+  for (int swap = 0; swap < 6; ++swap) {
+    service.swap_model(make_pipeline(7),
+                       swap % 2 == 0 ? network_b : f.network);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : producers) t.join();
+
+  std::size_t completed = 0;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    for (std::size_t i = 0; i < futures[p].size(); ++i) {
+      ScoreResult result = futures[p][i].get();
+      ASSERT_TRUE(result.ok());
+      ++completed;
+      // Whichever snapshot scored it, the verdicts must match that
+      // snapshot's sequential reference bit-for-bit.
+      const auto want_a = f.reference.scan_counts(inputs[p][i]);
+      const auto want_b = reference_b.scan_counts(inputs[p][i]);
+      ASSERT_EQ(result.verdicts.size(), want_a.size());
+      bool matches_a = true, matches_b = true;
+      for (std::size_t r = 0; r < result.verdicts.size(); ++r) {
+        matches_a &= result.verdicts[r].malware_confidence ==
+                     want_a[r].malware_confidence;
+        matches_b &= result.verdicts[r].malware_confidence ==
+                     want_b[r].malware_confidence;
+      }
+      EXPECT_TRUE(matches_a || matches_b) << "p=" << p << " i=" << i;
+    }
+  EXPECT_EQ(completed, kProducers * kPerProducer);
+
+  service.shutdown();
+  const auto stats = service.stats();
+  // Exactly-once: every accepted request completed (plus nothing extra).
+  EXPECT_EQ(stats.accepted_requests, completed);
+  EXPECT_EQ(stats.completed_requests, completed);
+  EXPECT_EQ(stats.rejected_total(), 0u);
+  EXPECT_EQ(stats.model_swaps, 6u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.e2e_latency_us.count(), completed);
+}
+
+TEST(ScoringService, StatsHistogramsTrackBatchesAndLatency) {
+  Fixture f;
+  runtime::FakeClock clock(1000);
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_batch_rows = 4;
+  cfg.max_queue_delay_ms = 10;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  auto a = service.submit(random_counts(4, 21));  // full batch
+  service.pump();
+  auto b = service.submit(random_counts(2, 22));  // partial, flushed by time
+  clock.advance(10);
+  service.pump();
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.batch_rows.count(), 2u);
+  EXPECT_EQ(stats.batch_rows.max(), 4u);
+  EXPECT_EQ(stats.queue_delay_us.count(), 2u);
+  // The partial batch waited 10ms (FakeClock-derived microseconds).
+  EXPECT_EQ(stats.queue_delay_us.max(), 10000u);
+  EXPECT_EQ(stats.e2e_latency_us.count(), 2u);
+  const LatencySummary s = summarize(stats.e2e_latency_us);
+  EXPECT_LE(s.p50, s.p99);
+}
+
+}  // namespace
+}  // namespace mev::serve
