@@ -23,6 +23,7 @@
 #include "nn/loss.hpp"
 #include "nn/network.hpp"
 #include "nn/session.hpp"
+#include "obs/obs.hpp"
 
 using namespace mev;
 
@@ -175,6 +176,74 @@ void BM_JsmaCraft(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
 }
 BENCHMARK(BM_JsmaCraft)->Arg(0)->Arg(1);
+
+/// JSMA with the obs/ layer live (enabled tracer + registry in scope):
+/// compare against BM_JsmaCraft/0 to quantify instrumentation overhead
+/// (DESIGN.md §9 requires < 2%).
+void BM_JsmaCraftTraced(benchmark::State& state) {
+  nn::MlpConfig cfg;
+  cfg.dims = {491, 64, 32, 2};
+  cfg.seed = 5;
+  nn::Network net = nn::make_mlp(cfg);
+  const math::Matrix x = random_matrix(32, 491, 6);
+  attack::JsmaConfig jcfg;
+  jcfg.theta = 0.1f;
+  jcfg.gamma = 0.025f;
+  const attack::Jsma jsma(jcfg);
+  obs::Tracer tracer(obs::TracerConfig{.ring_capacity = 1 << 16});
+  obs::MetricsRegistry registry;
+  obs::Scope scope(&tracer, &registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jsma.craft(net, x));
+    tracer.clear();  // keep the ring from saturating mid-run
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_JsmaCraftTraced);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Tracer tracer(obs::TracerConfig{.ring_capacity = 1 << 16});
+  for (auto _ : state) {
+    obs::Span s = tracer.span("mev.bench.op");
+    s.arg("x", 1.0);
+    benchmark::DoNotOptimize(&s);
+    if (tracer.event_count() >= (1u << 15)) tracer.clear();
+  }
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer(
+      obs::TracerConfig{.ring_capacity = 1 << 16, .clock = nullptr,
+                        .enabled = false});
+  for (auto _ : state) {
+    obs::Span s = tracer.span("mev.bench.op");
+    s.arg("x", 1.0);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter counter = registry.counter("mev.bench.counter");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram histogram = registry.histogram("mev.bench.hist");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    histogram.record(v++ & 0xffff);
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
 
 void BM_CountTransform(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));

@@ -2,8 +2,21 @@
 // trains a substitute through a label-only oracle (Jacobian augmentation),
 // then transfers JSMA adversarial examples to the target.
 //
-//   ./blackbox_framework [tiny|fast|full]
+//   ./blackbox_framework [tiny|fast|full] [--trace out.json]
+//                        [--metrics out.prom] [--serve]
+//
+//   --trace out.json   write a Chrome trace (per-round augment/label/train
+//                      spans, trainer epochs, JSMA shards) — load it at
+//                      https://ui.perfetto.dev or chrome://tracing
+//   --metrics out.prom write a Prometheus text-format metrics snapshot
+//                      (oracle query/cache/retry counters, trainer loss,
+//                      serve latency histograms with --serve)
+//   --serve            route oracle queries through the src/serve/
+//                      ScoringService (same labels, realistic deployment)
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "attack/jsma.hpp"
 #include "attack/transfer.hpp"
@@ -14,14 +27,42 @@
 #include "data/api_vocab.hpp"
 #include "data/synthetic.hpp"
 #include "eval/report.hpp"
+#include "obs/obs.hpp"
+#include "serve/scoring_service.hpp"
+#include "serve/service_oracle.hpp"
 
 using namespace mev;
 
 int main(int argc, char** argv) {
-  const auto config =
-      core::ExperimentConfig::from_name(argc > 1 ? argv[1] : "tiny");
+  std::string scale = "tiny", trace_path, metrics_path;
+  bool use_serve = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
+    else if (arg == "--serve") use_serve = true;
+    else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: " << argv[0]
+                << " [tiny|fast|full] [--trace out.json]"
+                   " [--metrics out.prom] [--serve]\n";
+      return 2;
+    } else {
+      scale = arg;
+    }
+  }
+
+  const auto config = core::ExperimentConfig::from_name(scale);
   const auto& vocab = data::ApiVocab::instance();
   math::Rng rng(config.seed);
+
+  // Observability sinks for the whole run: tracing only costs when a
+  // --trace output was requested; the registry is always cheap to fill.
+  obs::Tracer tracer(
+      obs::TracerConfig{.ring_capacity = 1 << 16,
+                        .clock = nullptr,
+                        .enabled = !trace_path.empty()});
+  obs::MetricsRegistry registry;
+  obs::Scope obs_scope(&tracer, &registry);
 
   std::cout << "[1/3] training the (hidden) target detector...\n";
   const data::GenerativeModel generator(vocab, data::GenerativeConfig{});
@@ -29,7 +70,23 @@ int main(int argc, char** argv) {
       generator.generate_bundle(config.dataset_spec(), rng);
   auto trained = core::train_detector(bundle, config.target_architecture(),
                                       config.target_training(), vocab);
-  core::DetectorOracle oracle(*trained.detector);
+
+  // The oracle: direct detector access, or the scoring service in front of
+  // the same model with --serve (labels are bit-identical either way).
+  std::unique_ptr<serve::ScoringService> service;
+  std::unique_ptr<runtime::CountOracle> oracle_holder;
+  if (use_serve) {
+    serve::ServiceConfig serve_cfg;
+    serve_cfg.tracer = &tracer;
+    serve_cfg.metrics = &registry;
+    service = std::make_unique<serve::ScoringService>(
+        trained.detector->pipeline(), trained.detector->network_ptr(),
+        serve_cfg);
+    oracle_holder = std::make_unique<serve::ServiceOracle>(*service);
+  } else {
+    oracle_holder = std::make_unique<core::DetectorOracle>(*trained.detector);
+  }
+  runtime::CountOracle& oracle = *oracle_holder;
 
   // The attacker's own seed samples: a small set drawn from a DIFFERENT
   // generator seed (different data, per the threat model).
@@ -49,6 +106,8 @@ int main(int argc, char** argv) {
   bb_cfg.training_per_round = config.substitute_training();
   bb_cfg.training_per_round.epochs =
       std::max<std::size_t>(5, bb_cfg.training_per_round.epochs / 3);
+  bb_cfg.tracer = &tracer;
+  bb_cfg.metrics = &registry;
   const core::BlackBoxResult bb =
       core::run_blackbox_framework(oracle, seed.counts, bb_cfg);
 
@@ -103,5 +162,26 @@ int main(int argc, char** argv) {
   result.row({"substitute evasion rate",
               eval::Table::fmt(crafted.success_rate())});
   std::cout << result.render();
+
+  if (service != nullptr) service->shutdown(/*drain=*/true);
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    tracer.write_chrome_trace(os);
+    if (!os) {
+      std::cerr << "error: cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "trace written to " << trace_path
+              << " (load it at https://ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    registry.write_prometheus(os);
+    if (!os) {
+      std::cerr << "error: cannot write metrics to " << metrics_path << "\n";
+      return 1;
+    }
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
   return 0;
 }

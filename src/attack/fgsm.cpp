@@ -5,6 +5,7 @@
 
 #include "math/linalg.hpp"
 #include "nn/session.hpp"
+#include "obs/obs.hpp"
 
 namespace mev::attack {
 
@@ -22,6 +23,11 @@ AttackResult FgsmAddOnly::craft(const nn::Network& model,
   result.features_changed.assign(n, 0);
   result.l2_perturbation.assign(n, 0.0);
   if (n == 0) return result;
+
+  obs::MetricsRegistry* registry = obs::current_registry();
+  obs::Span craft_span =
+      obs::span(obs::current_tracer(), "mev.attack.fgsm.craft");
+  craft_span.arg("samples", static_cast<double>(n));
 
   nn::InferenceSession session(model, n);
   // input_gradient returns a reference into the session; copy before the
@@ -45,6 +51,21 @@ AttackResult FgsmAddOnly::craft(const nn::Network& model,
   const auto preds = session.predict(result.adversarial);
   for (std::size_t i = 0; i < n; ++i)
     result.evaded[i] = preds[i] == config_.target_class;
+
+  obs::Counter samples_counter = registry->counter(
+      "mev.attack.fgsm.samples", "samples submitted to FGSM crafting");
+  obs::Counter evaded_counter = registry->counter(
+      "mev.attack.fgsm.evaded", "samples misclassified after crafting");
+  obs::Histogram flips_histogram = registry->histogram(
+      "mev.attack.fgsm.features_changed", "features perturbed per sample");
+  std::size_t evaded_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    evaded_total += result.evaded[i] ? 1 : 0;
+    flips_histogram.record(result.features_changed[i]);
+  }
+  samples_counter.inc(n);
+  evaded_counter.inc(evaded_total);
+  craft_span.arg("evaded", static_cast<double>(evaded_total));
   return result;
 }
 

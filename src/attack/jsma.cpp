@@ -14,6 +14,7 @@
 
 #include "math/linalg.hpp"
 #include "nn/session.hpp"
+#include "obs/obs.hpp"
 
 namespace mev::attack {
 
@@ -189,6 +190,14 @@ AttackResult Jsma::craft(const nn::Network& model,
   result.features_changed.assign(n, 0);
   result.l2_perturbation.assign(n, 0.0);
   const std::size_t budget = feature_budget(m);
+  // Ambient sinks are resolved HERE, on the calling thread: thread-local
+  // Scope overrides do not propagate into the OpenMP shards below, so the
+  // tracer pointer is captured and handed to each shard explicitly.
+  obs::Tracer* tracer = obs::current_tracer();
+  obs::MetricsRegistry* registry = obs::current_registry();
+  obs::Span craft_span = obs::span(tracer, "mev.attack.jsma.craft");
+  craft_span.arg("samples", static_cast<double>(n));
+  craft_span.arg("budget", static_cast<double>(budget));
   if (n == 0 || budget == 0 || config_.theta == 0.0f) {
     // Zero-strength attack: evaded iff already misclassified.
     if (n > 0) {
@@ -217,6 +226,8 @@ AttackResult Jsma::craft(const nn::Network& model,
       const std::size_t begin = s * n / shards;
       const std::size_t end = (s + 1) * n / shards;
       if (begin == end) continue;
+      obs::Span shard_span = obs::span(tracer, "mev.attack.jsma.shard");
+      shard_span.arg("rows", static_cast<double>(end - begin));
       nn::InferenceSession session(model, end - begin);
       craft_rows(config_, budget, session, x, begin, end, result.adversarial,
                  evaded.data(), result.features_changed.data(),
@@ -231,6 +242,27 @@ AttackResult Jsma::craft(const nn::Network& model,
   if (error) std::rethrow_exception(error);
 
   result.evaded.assign(evaded.begin(), evaded.end());
+
+  // Per-sample crafting metrics, folded in on the calling thread after the
+  // shards finish (no contention on the registry from the parallel loop).
+  obs::Counter samples_counter = registry->counter(
+      "mev.attack.jsma.samples", "samples submitted to JSMA crafting");
+  obs::Counter evaded_counter = registry->counter(
+      "mev.attack.jsma.evaded", "samples misclassified after crafting");
+  obs::Counter flips_counter = registry->counter(
+      "mev.attack.jsma.features_flipped", "total features perturbed");
+  obs::Histogram flips_histogram = registry->histogram(
+      "mev.attack.jsma.features_changed", "features perturbed per sample");
+  std::size_t evaded_total = 0, flips_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    evaded_total += result.evaded[i] ? 1 : 0;
+    flips_total += result.features_changed[i];
+    flips_histogram.record(result.features_changed[i]);
+  }
+  samples_counter.inc(n);
+  evaded_counter.inc(evaded_total);
+  flips_counter.inc(flips_total);
+  craft_span.arg("evaded", static_cast<double>(evaded_total));
   return result;
 }
 

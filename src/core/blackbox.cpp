@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/persistence.hpp"
+#include "obs/obs.hpp"
 #include "runtime/atomic_file.hpp"
 #include "runtime/query_cache.hpp"
 
@@ -108,6 +109,33 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
   }
   const auto* resilient = dynamic_cast<const runtime::ResilientOracle*>(&oracle);
 
+  // Observability: resolve the sinks once, then install them as the
+  // ambient scope so the nested trainer and any attacker-side crafting
+  // emit into the same trace. Durations below use the tracer's clock so
+  // round stats match the emitted spans (and are deterministic when a
+  // FakeClock-backed tracer is injected).
+  obs::Tracer* tracer = obs::resolve(config.tracer);
+  obs::MetricsRegistry* registry = obs::resolve(config.metrics);
+  obs::Scope obs_scope(tracer, registry);
+  runtime::Clock& obs_clock = tracer->clock();
+  obs::Counter queries_counter = registry->counter(
+      "mev.core.blackbox.oracle_queries", "oracle submissions (rows)");
+  obs::Counter cache_counter = registry->counter(
+      "mev.core.blackbox.cache_hits", "oracle submissions answered by cache");
+  obs::Counter retries_counter = registry->counter(
+      "mev.core.blackbox.oracle_retries", "oracle retry attempts");
+  obs::Counter timeouts_counter = registry->counter(
+      "mev.core.blackbox.oracle_timeouts", "oracle call timeouts");
+  obs::Counter trips_counter = registry->counter(
+      "mev.core.blackbox.breaker_trips", "circuit-breaker open transitions");
+  obs::Counter rounds_counter = registry->counter(
+      "mev.core.blackbox.rounds", "completed augmentation rounds");
+  obs::Gauge agreement_gauge = registry->gauge(
+      "mev.core.blackbox.oracle_agreement",
+      "substitute/oracle agreement after the last round");
+  obs::Gauge rows_gauge = registry->gauge(
+      "mev.core.blackbox.dataset_rows", "attacker dataset rows");
+
   const std::uint64_t fingerprint = run_fingerprint(config, seed_counts);
   const bool checkpointing = !config.checkpoint_path.empty();
 
@@ -167,10 +195,29 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
     save_blackbox_checkpoint(ckpt, config.checkpoint_path);
   };
 
+  // Previous-round cumulative values, so the registry counters advance by
+  // per-round deltas (monotonic across resumes of a pre-used oracle).
+  std::size_t prev_queries = 0, prev_cache_hits = 0;
+  runtime::ResilienceStats prev_resilience;
+  if (!result.rounds.empty()) {
+    prev_queries = result.rounds.back().oracle_queries;
+    prev_cache_hits = result.rounds.back().cache_hits;
+    prev_resilience = result.rounds.back().resilience;
+  }
+
   for (std::size_t round = start_round; round <= config.augmentation_rounds;
        ++round) {
+    obs::Span round_span = obs::span(tracer, "mev.core.blackbox.round");
+    round_span.arg("round", static_cast<double>(round));
+    round_span.arg("rows", static_cast<double>(counts.rows()));
+
     // 1. Oracle labels for the current sample set.
+    const std::uint64_t label_start_us = obs_clock.now_us();
+    obs::Span label_span = obs::span(tracer, "mev.core.blackbox.label");
+    label_span.arg("rows", static_cast<double>(counts.rows()));
     const std::vector<int> labels = query->label_counts(counts);
+    label_span.finish();
+    const std::uint64_t label_us = obs_clock.now_us() - label_start_us;
     if (labels.size() != counts.rows())
       throw std::runtime_error(
           "run_blackbox_framework: oracle returned " +
@@ -180,10 +227,15 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
 
     // 2. (Re)train the substitute from scratch on the labelled set; a fresh
     //    model per round avoids inheriting a bad early fit.
+    const std::uint64_t train_start_us = obs_clock.now_us();
+    obs::Span train_span = obs::span(tracer, "mev.core.blackbox.train");
+    train_span.arg("rows", static_cast<double>(counts.rows()));
     *result.substitute =
         nn::make_mlp(config.substitute_architecture);
     nn::LabeledData train_data{features, labels};
     nn::train(*result.substitute, train_data, config.training_per_round);
+    train_span.finish();
+    const std::uint64_t train_us = obs_clock.now_us() - train_start_us;
 
     BlackBoxRoundStats stats;
     stats.dataset_rows = counts.rows();
@@ -192,7 +244,23 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
         nn::accuracy(*result.substitute, features, labels);
     if (resilient != nullptr) stats.resilience = resilient->stats();
     if (caching) stats.cache_hits = caching->hits();
+    stats.label_us = label_us;
+    stats.train_us = train_us;
     result.rounds.push_back(stats);
+
+    rounds_counter.inc();
+    queries_counter.inc(stats.oracle_queries - prev_queries);
+    cache_counter.inc(stats.cache_hits - prev_cache_hits);
+    retries_counter.inc(stats.resilience.retries - prev_resilience.retries);
+    timeouts_counter.inc(stats.resilience.timeouts -
+                         prev_resilience.timeouts);
+    trips_counter.inc(stats.resilience.breaker_trips -
+                      prev_resilience.breaker_trips);
+    agreement_gauge.set(stats.oracle_agreement);
+    rows_gauge.set(static_cast<double>(stats.dataset_rows));
+    prev_queries = stats.oracle_queries;
+    prev_cache_hits = stats.cache_hits;
+    prev_resilience = stats.resilience;
 
     if (round == config.augmentation_rounds ||
         counts.rows() * 2 > config.max_dataset_rows) {
@@ -204,6 +272,8 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
     //    the substitute's gradient for its ORACLE label, realize to
     //    integer counts, and append. The session is created after this
     //    round's retraining (retraining replaces the layer objects).
+    const std::uint64_t augment_start_us = obs_clock.now_us();
+    obs::Span augment_span = obs::span(tracer, "mev.core.blackbox.augment");
     nn::InferenceSession substitute_session(*result.substitute);
     math::Matrix augmented = counts;
     for (int cls : {data::kCleanLabel, data::kMalwareLabel}) {
@@ -229,6 +299,9 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
         augmented.append_row(new_counts.row(i));
     }
     counts = std::move(augmented);
+    augment_span.arg("rows_after", static_cast<double>(counts.rows()));
+    augment_span.finish();
+    result.rounds.back().augment_us = obs_clock.now_us() - augment_start_us;
 
     // 4. Round complete: persist everything needed to restart from here.
     if (checkpointing) write_checkpoint(round + 1, /*finished=*/false);

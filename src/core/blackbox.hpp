@@ -36,6 +36,11 @@
 #include "runtime/oracle.hpp"
 #include "runtime/resilient_oracle.hpp"
 
+namespace mev::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace mev::obs
+
 namespace mev::core {
 
 /// The label-only oracle interface, re-exported from the runtime layer so
@@ -77,6 +82,16 @@ struct BlackBoxConfig {
   /// starting over. The checkpoint stores a fingerprint of the config and
   /// seed set; resuming with a different setup throws std::runtime_error.
   bool resume = true;
+
+  /// Observability sinks (not part of the run fingerprint — traces never
+  /// affect the trajectory). Each round emits a mev.core.blackbox.round
+  /// span with label/train/augment sub-spans, and the oracle
+  /// query/cache/retry/breaker counters are folded into the registry.
+  /// nullptr = the ambient obs::current_tracer()/current_registry(); the
+  /// resolved pair is also installed as the obs::Scope for the run, so
+  /// nested trainer epochs and JSMA crafting land in the same trace.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct BlackBoxRoundStats {
@@ -88,6 +103,13 @@ struct BlackBoxRoundStats {
   runtime::ResilienceStats resilience;
   /// Cumulative cache hits when use_query_cache is set; 0 otherwise.
   std::size_t cache_hits = 0;
+  /// Wall-clock duration of this round's phases, in microseconds, read
+  /// from the tracer's clock (deterministic under an injected FakeClock;
+  /// real time otherwise). augment_us is 0 for the final round, which
+  /// does not augment. Serialized in checkpoints (envelope version 2).
+  std::uint64_t label_us = 0;
+  std::uint64_t train_us = 0;
+  std::uint64_t augment_us = 0;
 };
 
 struct BlackBoxResult {

@@ -17,6 +17,11 @@ constexpr std::uint32_t kNetworkMagic = 0x4d455644;    // "MEVD"
 constexpr std::uint32_t kTransformMagic = 0x4d455654;  // "MEVT"
 constexpr std::uint32_t kCheckpointMagic = 0x4d455643; // "MEVC"
 constexpr std::uint32_t kPersistVersion = 1;
+// Checkpoint payload versions. v2 appended the per-round phase durations
+// (label_us/train_us/augment_us) to each round-stats record; v1 files
+// still load, with durations defaulting to zero.
+constexpr std::uint32_t kCheckpointVersionMin = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -70,9 +75,13 @@ void write_round_stats(std::ostream& os, const BlackBoxRoundStats& s) {
   write_pod<std::uint64_t>(os, s.resilience.failed_queries);
   write_pod<std::uint64_t>(os, s.resilience.backoff_ms);
   write_pod<std::uint64_t>(os, s.cache_hits);
+  write_pod<std::uint64_t>(os, s.label_us);
+  write_pod<std::uint64_t>(os, s.train_us);
+  write_pod<std::uint64_t>(os, s.augment_us);
 }
 
-BlackBoxRoundStats read_round_stats(std::istream& is) {
+BlackBoxRoundStats read_round_stats(std::istream& is,
+                                    std::uint32_t version) {
   BlackBoxRoundStats s;
   s.dataset_rows = read_pod<std::uint64_t>(is, "round stats");
   s.oracle_queries = read_pod<std::uint64_t>(is, "round stats");
@@ -87,6 +96,11 @@ BlackBoxRoundStats read_round_stats(std::istream& is) {
   s.resilience.failed_queries = read_pod<std::uint64_t>(is, "round stats");
   s.resilience.backoff_ms = read_pod<std::uint64_t>(is, "round stats");
   s.cache_hits = read_pod<std::uint64_t>(is, "round stats");
+  if (version >= 2) {
+    s.label_us = read_pod<std::uint64_t>(is, "round stats");
+    s.train_us = read_pod<std::uint64_t>(is, "round stats");
+    s.augment_us = read_pod<std::uint64_t>(is, "round stats");
+  }
   return s;
 }
 
@@ -172,14 +186,17 @@ void save_blackbox_checkpoint(const BlackBoxCheckpoint& checkpoint,
   checkpoint.attacker_transform.save(os);
   if (!os)
     throw std::runtime_error("save_blackbox_checkpoint: serialization failure");
-  runtime::write_envelope_atomic(path, kCheckpointMagic, kPersistVersion,
+  runtime::write_envelope_atomic(path, kCheckpointMagic, kCheckpointVersion,
                                  os.str());
 }
 
 BlackBoxCheckpoint load_blackbox_checkpoint(const std::string& path) {
+  std::uint32_t version = 0;
   std::istringstream is(
-      runtime::read_envelope(path, kCheckpointMagic, kPersistVersion,
-                             "black-box checkpoint"),
+      runtime::read_envelope_versioned(path, kCheckpointMagic,
+                                       kCheckpointVersionMin,
+                                       kCheckpointVersion, version,
+                                       "black-box checkpoint"),
       std::ios::binary);
   BlackBoxCheckpoint c;
   c.config_fingerprint = read_pod<std::uint64_t>(is, "fingerprint");
@@ -191,7 +208,7 @@ BlackBoxCheckpoint load_blackbox_checkpoint(const std::string& path) {
   const auto n_rounds = read_pod<std::uint64_t>(is, "round count");
   c.rounds.reserve(static_cast<std::size_t>(n_rounds));
   for (std::uint64_t i = 0; i < n_rounds; ++i)
-    c.rounds.push_back(read_round_stats(is));
+    c.rounds.push_back(read_round_stats(is, version));
   c.counts = read_matrix(is, "dataset");
   c.cache_rows = read_matrix(is, "query cache");
   const auto n_labels = read_pod<std::uint64_t>(is, "cache label count");

@@ -10,6 +10,7 @@
 #include "math/rng.hpp"
 #include "nn/loss.hpp"
 #include "nn/session.hpp"
+#include "obs/obs.hpp"
 
 namespace mev::nn {
 
@@ -50,6 +51,15 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
   auto params = session.bind_params(net);
   math::Rng rng(config.shuffle_seed);
 
+  obs::Tracer* tracer = obs::resolve(config.tracer);
+  obs::MetricsRegistry* registry = obs::resolve(config.metrics);
+  obs::Counter epochs_counter =
+      registry->counter("mev.nn.train.epochs", "completed training epochs");
+  obs::Counter batches_counter =
+      registry->counter("mev.nn.train.batches", "completed mini-batches");
+  obs::Gauge loss_gauge = registry->gauge(
+      "mev.nn.train.loss", "mean training loss of the last completed epoch");
+
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
@@ -57,6 +67,9 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
   math::Matrix batch_x;
   std::size_t epochs_since_best = 0;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // The span covers shuffling, every batch, and validation — its
+    // duration is the epoch wall time in the exported trace.
+    obs::Span epoch_span = obs::span(tracer, "mev.nn.train.epoch");
     rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -83,6 +96,12 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
     if (validation != nullptr)
       stats.val_accuracy = accuracy(net, validation->x, validation->labels);
     history.epochs.push_back(stats);
+    epoch_span.arg("epoch", static_cast<double>(epoch));
+    epoch_span.arg("loss", stats.train_loss);
+    epoch_span.arg("lr", config.learning_rate);
+    epochs_counter.inc();
+    batches_counter.inc(batches);
+    loss_gauge.set(stats.train_loss);
     if (config.on_epoch)
       config.on_epoch(epoch, stats.train_loss, stats.val_accuracy);
 

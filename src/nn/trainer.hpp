@@ -11,6 +11,11 @@
 #include "nn/network.hpp"
 #include "nn/optimizer.hpp"
 
+namespace mev::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace mev::obs
+
 namespace mev::nn {
 
 enum class OptimizerKind { kSgd, kAdam };
@@ -31,6 +36,11 @@ struct TrainConfig {
   std::size_t early_stopping_patience = 0;
   /// Called after every epoch with (epoch, train_loss, val_accuracy or -1).
   std::function<void(std::size_t, double, double)> on_epoch;
+  /// Observability sinks: per-epoch mev.nn.train.epoch spans (loss, lr,
+  /// wall time) and mev.nn.train.* counters/gauges. nullptr = the ambient
+  /// obs::current_tracer()/current_registry() (no-ops unless opted in).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct EpochStats {

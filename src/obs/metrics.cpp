@@ -1,0 +1,230 @@
+#include "obs/metrics.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mev::obs {
+
+#if MEV_OBS_ENABLED
+
+namespace {
+
+const char* kind_name(detail::MetricKind kind) {
+  switch (kind) {
+    case detail::MetricKind::kCounter: return "counter";
+    case detail::MetricKind::kGauge: return "gauge";
+    case detail::MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map our dotted
+/// `mev.<layer>.<op>` convention (and any other byte) onto '_'.
+std::string sanitize_prometheus(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Deterministic decimal rendering: integers print without a fraction,
+/// everything else as the shortest round-trip form.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec == std::errc()) return std::string(buf, res.ptr);
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+detail::Metric& MetricsRegistry::find_or_create(std::string_view name,
+                                                std::string_view help,
+                                                detail::MetricKind kind) {
+  if (name.empty())
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& metric : metrics_) {
+    if (metric->name != name) continue;
+    if (metric->kind != kind)
+      throw std::invalid_argument(
+          "MetricsRegistry: metric '" + std::string(name) +
+          "' already registered as a " + kind_name(metric->kind) +
+          ", requested as a " + kind_name(kind));
+    return *metric;
+  }
+  auto metric = std::make_unique<detail::Metric>();
+  metric->name = std::string(name);
+  metric->help = std::string(help);
+  metric->kind = kind;
+  metrics_.push_back(std::move(metric));
+  return *metrics_.back();
+}
+
+Counter MetricsRegistry::counter(std::string_view name,
+                                 std::string_view help) {
+  return Counter(&find_or_create(name, help, detail::MetricKind::kCounter));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  return Gauge(&find_or_create(name, help, detail::MetricKind::kGauge));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::string_view help) {
+  return Histogram(
+      &find_or_create(name, help, detail::MetricKind::kHistogram));
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& metric : metrics_) {
+    const std::string name = sanitize_prometheus(metric->name);
+    if (!metric->help.empty())
+      out += "# HELP " + name + " " + metric->help + "\n";
+    out += "# TYPE " + name + " " + kind_name(metric->kind) + "\n";
+    switch (metric->kind) {
+      case detail::MetricKind::kCounter:
+        out += name + " " +
+               std::to_string(
+                   metric->counter.load(std::memory_order_relaxed)) +
+               "\n";
+        break;
+      case detail::MetricKind::kGauge:
+        out += name + " " +
+               format_number(metric->gauge.load(std::memory_order_relaxed)) +
+               "\n";
+        break;
+      case detail::MetricKind::kHistogram: {
+        Log2Histogram h;
+        {
+          std::lock_guard<std::mutex> hist_lock(metric->histogram_mutex);
+          h = metric->histogram;
+        }
+        // Cumulative le buckets up to the last occupied one, then +Inf.
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i)
+          if (h.bucket_count(i) > 0) last = i;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= last && h.count() > 0; ++i) {
+          cumulative += h.bucket_count(i);
+          out += name + "_bucket{le=\"" +
+                 std::to_string(Log2Histogram::bucket_upper_bound(i)) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+               "\n";
+        out += name + "_sum " + format_number(h.sum()) + "\n";
+        out += name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  os << out;
+}
+
+std::string MetricsRegistry::prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::string counters, gauges, histograms;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& metric : metrics_) {
+    // Built with += (not operator+ on a temporary): GCC 12's -Werror
+    // build trips a bogus -Wrestrict on the rvalue overload (PR105651).
+    std::string key = "\"";
+    key += escape_json(metric->name);
+    key += "\":";
+    switch (metric->kind) {
+      case detail::MetricKind::kCounter:
+        if (!counters.empty()) counters += ',';
+        counters += key + std::to_string(
+                              metric->counter.load(std::memory_order_relaxed));
+        break;
+      case detail::MetricKind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        gauges +=
+            key + format_number(metric->gauge.load(std::memory_order_relaxed));
+        break;
+      case detail::MetricKind::kHistogram: {
+        Log2Histogram h;
+        {
+          std::lock_guard<std::mutex> hist_lock(metric->histogram_mutex);
+          h = metric->histogram;
+        }
+        const LatencySummary s = summarize(h);
+        if (!histograms.empty()) histograms += ',';
+        histograms += key + "{\"count\":" + std::to_string(s.count) +
+                      ",\"mean\":" + format_number(s.mean) +
+                      ",\"min\":" + std::to_string(h.min()) +
+                      ",\"max\":" + std::to_string(s.max) +
+                      ",\"p50\":" + format_number(s.p50) +
+                      ",\"p95\":" + format_number(s.p95) +
+                      ",\"p99\":" + format_number(s.p99) + "}";
+        break;
+      }
+    }
+  }
+  os << "{\"counters\":{" << counters << "},\"gauges\":{" << gauges
+     << "},\"histograms\":{" << histograms << "}}\n";
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+#else  // MEV_OBS_ENABLED == 0
+
+void MetricsRegistry::write_prometheus(std::ostream&) const {}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n";
+}
+
+#endif  // MEV_OBS_ENABLED
+
+}  // namespace mev::obs

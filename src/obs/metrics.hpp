@@ -1,0 +1,197 @@
+// MetricsRegistry: named counters, gauges, and Log2Histogram-backed
+// histograms with cheap handle-based hot-path access.
+//
+//   obs::MetricsRegistry registry;
+//   obs::Counter queries = registry.counter("mev.core.blackbox.oracle_queries",
+//                                           "cumulative oracle submissions");
+//   queries.inc();                      // lock-free atomic add, no lookup
+//   registry.write_prometheus(file);    // text exposition format
+//   registry.write_json(file);          // point-in-time snapshot
+//
+// Handles are obtained once (registration takes the registry mutex and a
+// name lookup) and then used forever: increments/sets are a relaxed atomic
+// op, histogram records take only that histogram's mutex. Requesting an
+// existing name returns a handle to the same cell (same-kind required);
+// cells have stable addresses for the registry's lifetime, so handles
+// never dangle while the registry lives. Metric names use the
+// `mev.<layer>.<op>` convention; exporters sanitize for Prometheus
+// ('.' and '-' become '_').
+//
+// With MEV_ENABLE_OBS=OFF the whole registry collapses to inline no-op
+// stubs (exports produce empty documents) — call sites compile unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+#ifndef MEV_OBS_ENABLED
+#define MEV_OBS_ENABLED 1
+#endif
+
+namespace mev::obs {
+
+#if MEV_OBS_ENABLED
+
+namespace detail {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One registered metric; exactly one of the payloads is active (by kind).
+struct Metric {
+  std::string name;
+  std::string help;
+  MetricKind kind;
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<double> gauge{0.0};
+  mutable std::mutex histogram_mutex;
+  Log2Histogram histogram;
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Default-constructed handles are inert no-ops.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) noexcept {
+    if (cell_ != nullptr)
+      cell_->counter.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return cell_ != nullptr ? cell_->counter.load(std::memory_order_relaxed)
+                            : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::Metric* cell) noexcept : cell_(cell) {}
+  detail::Metric* cell_ = nullptr;
+};
+
+/// Last-value gauge handle. Default-constructed handles are inert no-ops.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) noexcept {
+    if (cell_ != nullptr) cell_->gauge.store(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return cell_ != nullptr ? cell_->gauge.load(std::memory_order_relaxed)
+                            : 0.0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::Metric* cell) noexcept : cell_(cell) {}
+  detail::Metric* cell_ = nullptr;
+};
+
+/// Log2Histogram handle (thread-safe via a per-histogram mutex).
+/// Default-constructed handles are inert no-ops.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t v) noexcept {
+    if (cell_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(cell_->histogram_mutex);
+    cell_->histogram.record(v);
+  }
+  Log2Histogram snapshot() const {
+    if (cell_ == nullptr) return Log2Histogram{};
+    std::lock_guard<std::mutex> lock(cell_->histogram_mutex);
+    return cell_->histogram;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::Metric* cell) noexcept : cell_(cell) {}
+  detail::Metric* cell_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a metric and returns its handle. `help` is kept
+  /// from the first registration. Throws std::invalid_argument when the
+  /// name is already registered as a different kind.
+  Counter counter(std::string_view name, std::string_view help = "");
+  Gauge gauge(std::string_view name, std::string_view help = "");
+  Histogram histogram(std::string_view name, std::string_view help = "");
+
+  std::size_t size() const;
+
+  /// Prometheus text exposition format, version 0.0.4. Metric names are
+  /// sanitized ('.'/'-' -> '_'); histograms export cumulative integer
+  /// le buckets (the Log2Histogram power-of-two upper bounds) plus
+  /// _sum/_count.
+  void write_prometheus(std::ostream& os) const;
+  std::string prometheus() const;
+
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}},
+  /// histograms as {count,mean,min,max,p50,p95,p99}.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+
+ private:
+  detail::Metric& find_or_create(std::string_view name, std::string_view help,
+                                 detail::MetricKind kind);
+
+  mutable std::mutex mutex_;  // guards metrics_ (registration + export)
+  std::vector<std::unique_ptr<detail::Metric>> metrics_;  // insertion order
+};
+
+#else  // MEV_OBS_ENABLED == 0: inline no-op stubs, same shape.
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double) noexcept {}
+  double value() const noexcept { return 0.0; }
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::uint64_t) noexcept {}
+  Log2Histogram snapshot() const { return Log2Histogram{}; }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter counter(std::string_view, std::string_view = "") { return {}; }
+  Gauge gauge(std::string_view, std::string_view = "") { return {}; }
+  Histogram histogram(std::string_view, std::string_view = "") { return {}; }
+  std::size_t size() const { return 0; }
+  void write_prometheus(std::ostream& os) const;
+  std::string prometheus() const { return ""; }
+  void write_json(std::ostream& os) const;
+  std::string json() const {
+    return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n";
+  }
+};
+
+#endif  // MEV_OBS_ENABLED
+
+}  // namespace mev::obs

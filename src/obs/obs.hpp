@@ -1,0 +1,10 @@
+// Umbrella header for the observability layer: tracing (trace.hpp),
+// metrics (metrics.hpp), histograms (histogram.hpp), and the ambient-sink
+// wiring (scope.hpp). Span/metric names follow `mev.<layer>.<op>` —
+// DESIGN.md §9 lists the taxonomy.
+#pragma once
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,48 @@
+#include "obs/scope.hpp"
+
+namespace mev::obs {
+
+// This file compiles identically with obs enabled or stubbed: the Scope /
+// default-sink machinery is only pointer plumbing either way.
+
+namespace {
+
+thread_local Tracer* tls_tracer = nullptr;
+thread_local MetricsRegistry* tls_registry = nullptr;
+
+}  // namespace
+
+Tracer& default_tracer() {
+  // Disabled until someone opts in: an un-instrumented run pays one
+  // relaxed atomic load per span site and nothing else.
+  static Tracer tracer(TracerConfig{.ring_capacity = 1 << 16,
+                                    .clock = nullptr,
+                                    .enabled = false});
+  return tracer;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Tracer* current_tracer() noexcept {
+  return tls_tracer != nullptr ? tls_tracer : &default_tracer();
+}
+
+MetricsRegistry* current_registry() noexcept {
+  return tls_registry != nullptr ? tls_registry : &default_registry();
+}
+
+Scope::Scope(Tracer* tracer, MetricsRegistry* registry) noexcept
+    : previous_tracer_(tls_tracer), previous_registry_(tls_registry) {
+  if (tracer != nullptr) tls_tracer = tracer;
+  if (registry != nullptr) tls_registry = registry;
+}
+
+Scope::~Scope() {
+  tls_tracer = previous_tracer_;
+  tls_registry = previous_registry_;
+}
+
+}  // namespace mev::obs

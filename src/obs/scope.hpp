@@ -1,0 +1,61 @@
+// Global-default-plus-injectable wiring. Library code never forces a
+// singleton: every instrumented API takes explicit `obs::Tracer*` /
+// `obs::MetricsRegistry*` parameters, and a nullptr there resolves to the
+// AMBIENT sinks — the innermost thread-local obs::Scope, or failing that
+// the process-wide defaults.
+//
+//   obs::Tracer tracer;                 // my own, FakeClock if I like
+//   obs::MetricsRegistry registry;
+//   obs::Scope scope(&tracer, &registry);   // this thread, this block
+//   attack.craft(model, x);             // JSMA spans land in `tracer`
+//
+// The process-wide default tracer starts DISABLED (zero recording cost
+// until someone opts in with obs::default_tracer().set_enabled(true));
+// the default registry is always live — counters are too cheap to gate.
+//
+// Scope overrides are thread-local and do NOT propagate into worker
+// threads (OpenMP shards, the serving pool). Code that fans out resolves
+// the ambient sinks once on the calling thread and hands the pointers to
+// its workers — see attack/jsma.cpp and serve/scoring_service.cpp.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mev::obs {
+
+/// Process-wide default sinks (created on first use, never destroyed
+/// before exit). The tracer starts disabled.
+Tracer& default_tracer();
+MetricsRegistry& default_registry();
+
+/// The ambient sinks for this thread: the innermost live Scope's, or the
+/// process defaults. Never nullptr.
+Tracer* current_tracer() noexcept;
+MetricsRegistry* current_registry() noexcept;
+
+/// RAII thread-local override of the ambient sinks. Scopes nest; a
+/// nullptr argument keeps the outer scope's value for that sink.
+class Scope {
+ public:
+  Scope(Tracer* tracer, MetricsRegistry* registry) noexcept;
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Tracer* previous_tracer_;
+  MetricsRegistry* previous_registry_;
+};
+
+/// nullptr -> ambient; anything else passes through. The one-liner every
+/// instrumented config-plumbed call site uses.
+inline Tracer* resolve(Tracer* tracer) noexcept {
+  return tracer != nullptr ? tracer : current_tracer();
+}
+inline MetricsRegistry* resolve(MetricsRegistry* registry) noexcept {
+  return registry != nullptr ? registry : current_registry();
+}
+
+}  // namespace mev::obs

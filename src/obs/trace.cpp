@@ -1,0 +1,206 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mev::obs {
+
+#if MEV_OBS_ENABLED
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Shortest round-trip decimal for a double (deterministic across runs).
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec == std::errc()) {
+    out.append(buf, res.ptr);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_event(std::string& out, const TraceEvent& e, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += "{\"name\":";
+  append_json_string(out, e.name);
+  out += ",\"cat\":\"mev\",\"ph\":\"";
+  out += e.phase;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(e.tid);
+  out += ",\"ts\":";
+  out += std::to_string(e.ts_us);
+  if (e.phase == 'X') {
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+  } else if (e.phase == 'i') {
+    out += ",\"s\":\"t\"";
+  }
+  if (e.num_args > 0) {
+    out += ",\"args\":{";
+    for (std::uint8_t a = 0; a < e.num_args; ++a) {
+      if (a > 0) out += ',';
+      append_json_string(out, e.args[a].key);
+      out += ':';
+      append_double(out, e.args[a].value);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void Span::finish() noexcept {
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  if (tracer == nullptr) return;
+  TraceEvent event;
+  event.name = name_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  const std::uint64_t now = tracer->clock().now_us();
+  event.dur_us = now >= start_us_ ? now - start_us_ : 0;
+  event.args = args_;
+  event.num_args = num_args_;
+  tracer->emit(event);
+}
+
+Tracer::Tracer(TracerConfig config)
+    : id_(next_tracer_id()),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &runtime::SystemClock::instance()),
+      enabled_(config.enabled) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Per-thread cache of (tracer id -> buffer). Ids are process-unique and
+  // never reused, so an entry for a dead tracer can never be returned for
+  // a live one; stale entries cost a pointer-pair per dead tracer.
+  thread_local std::vector<std::pair<std::uint64_t, ThreadBuffer*>> cache;
+  for (const auto& [id, buffer] : cache)
+    if (id == id_) return *buffer;
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(config_.ring_capacity, next_tid_++));
+  ThreadBuffer* raw = buffers_.back().get();
+  cache.emplace_back(id_, raw);
+  return *raw;
+}
+
+void Tracer::emit(TraceEvent event) noexcept {
+  ThreadBuffer& buffer = local_buffer();
+  const std::size_t n = buffer.size.load(std::memory_order_relaxed);
+  if (n >= buffer.events.size()) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.tid = buffer.tid;
+  buffer.events[n] = event;
+  buffer.size.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::instant(const char* name) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'i';
+  event.ts_us = clock_->now_us();
+  emit(event);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_)
+    total += buffer->size.load(std::memory_order_acquire);
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_)
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) {
+    buffer->size.store(0, std::memory_order_release);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::string out;
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t total_dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::size_t n = buffer->size.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i)
+        append_event(out, buffer->events[i], first);
+      total_dropped += buffer->dropped.load(std::memory_order_relaxed);
+    }
+  }
+  if (total_dropped > 0) {
+    // Surface overflow in the trace itself so a truncated recording is
+    // never mistaken for a complete one.
+    TraceEvent note;
+    note.name = "mev.obs.dropped_events";
+    note.phase = 'i';
+    note.args[0] = TraceArg{"count", static_cast<double>(total_dropped)};
+    note.num_args = 1;
+    append_event(out, note, first);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  os << out;
+}
+
+std::string Tracer::chrome_trace() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+#else  // MEV_OBS_ENABLED == 0
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[]}\n";
+}
+
+#endif  // MEV_OBS_ENABLED
+
+}  // namespace mev::obs

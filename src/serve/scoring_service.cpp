@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/scope.hpp"
+
 namespace mev::serve {
 
 ScoringService::ScoringService(features::FeaturePipeline pipeline,
@@ -14,8 +16,36 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
     : config_(config),
       clock_(config.clock != nullptr ? config.clock
                                      : &runtime::SystemClock::instance()),
+      tracer_(obs::resolve(config.tracer)),
       batcher_(BatcherConfig{config.max_batch_rows,
                              config.max_queue_delay_ms}) {
+  obs::MetricsRegistry* registry = obs::resolve(config.metrics);
+  obs_.accepted_requests = registry->counter(
+      "mev.serve.accepted_requests", "submissions admitted to the queue");
+  obs_.accepted_rows =
+      registry->counter("mev.serve.accepted_rows", "rows admitted");
+  obs_.rejected_queue_full = registry->counter(
+      "mev.serve.rejected_queue_full", "submissions rejected: queue full");
+  obs_.rejected_shutting_down =
+      registry->counter("mev.serve.rejected_shutting_down",
+                        "submissions rejected: shutting down");
+  obs_.rejected_deadline = registry->counter(
+      "mev.serve.rejected_deadline", "requests expired before scoring");
+  obs_.completed_requests = registry->counter(
+      "mev.serve.completed_requests", "requests scored to completion");
+  obs_.completed_rows =
+      registry->counter("mev.serve.completed_rows", "rows scored");
+  obs_.batches =
+      registry->counter("mev.serve.batches", "micro-batches scored");
+  obs_.model_swaps =
+      registry->counter("mev.serve.model_swaps", "hot model swaps published");
+  obs_.batch_rows =
+      registry->histogram("mev.serve.batch_rows", "rows per scored batch");
+  obs_.queue_delay_us = registry->histogram(
+      "mev.serve.queue_delay_us", "submit-to-batch-formation delay (us)");
+  obs_.e2e_latency_us = registry->histogram(
+      "mev.serve.e2e_latency_us", "submit-to-verdict latency (us)");
+
   auto snapshot = std::make_shared<ModelSnapshot>(std::move(pipeline),
                                                   std::move(network),
                                                   next_version_++);
@@ -54,6 +84,8 @@ std::future<ScoreResult> ScoringService::submit(math::Matrix counts,
     ScoreResult result;
     result.model_version = snapshot->version;
     promise.set_value(std::move(result));
+    obs_.accepted_requests.inc();
+    obs_.completed_requests.inc();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.accepted_requests;
     ++stats_.completed_requests;
@@ -83,6 +115,10 @@ std::future<ScoreResult> ScoringService::submit(math::Matrix counts,
     ScoreResult result;
     result.rejected = reject;
     request.promise.set_value(std::move(result));
+    if (reject == RejectReason::kQueueFull)
+      obs_.rejected_queue_full.inc();
+    else
+      obs_.rejected_shutting_down.inc();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (reject == RejectReason::kQueueFull) ++stats_.rejected_queue_full;
     else ++stats_.rejected_shutting_down;
@@ -90,6 +126,8 @@ std::future<ScoreResult> ScoringService::submit(math::Matrix counts,
   }
 
   cv_.notify_one();
+  obs_.accepted_requests.inc();
+  obs_.accepted_rows.inc(rows);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.accepted_requests;
@@ -130,6 +168,8 @@ std::uint64_t ScoringService::swap_model(features::FeaturePipeline pipeline,
     version = fresh->version;
     snapshot_ = std::move(fresh);
   }
+  obs_.model_swaps.inc();
+  obs::instant(tracer_, "mev.serve.model_swap");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.model_swaps;
@@ -221,6 +261,7 @@ void ScoringService::worker_loop(WorkerState& worker) {
 }
 
 void ScoringService::score_batch(WorkerState& worker, Batch batch) {
+  obs::Span batch_span = obs::span(tracer_, "mev.serve.batch");
   const std::uint64_t formed_us = clock_->now_us();
   const auto snapshot = current_snapshot();
   if (worker.pinned.get() != snapshot.get()) {
@@ -251,6 +292,9 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
     return;
   }
   const std::uint64_t done_us = clock_->now_us();
+  batch_span.arg("rows", static_cast<double>(batch.rows));
+  batch_span.arg("requests", static_cast<double>(batch.requests.size()));
+  batch_span.arg("model_version", static_cast<double>(snapshot->version));
 
   std::size_t offset = 0;
   for (auto& request : batch.requests) {
@@ -261,6 +305,15 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
                            verdicts.begin() + offset + n);
     offset += n;
     request.promise.set_value(std::move(result));
+  }
+
+  obs_.batches.inc();
+  obs_.batch_rows.record(batch.rows);
+  obs_.completed_requests.inc(batch.requests.size());
+  obs_.completed_rows.inc(batch.rows);
+  for (const auto& request : batch.requests) {
+    obs_.queue_delay_us.record(formed_us - request.enqueue_us);
+    obs_.e2e_latency_us.record(done_us - request.enqueue_us);
   }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -286,12 +339,15 @@ void ScoringService::reject_all(std::vector<Request> requests,
   switch (reason) {
     case RejectReason::kQueueFull:
       stats_.rejected_queue_full += requests.size();
+      obs_.rejected_queue_full.inc(requests.size());
       break;
     case RejectReason::kShuttingDown:
       stats_.rejected_shutting_down += requests.size();
+      obs_.rejected_shutting_down.inc(requests.size());
       break;
     case RejectReason::kDeadline:
       stats_.rejected_deadline += requests.size();
+      obs_.rejected_deadline.inc(requests.size());
       break;
     case RejectReason::kNone:
       break;

@@ -43,6 +43,8 @@
 #include "features/pipeline.hpp"
 #include "nn/network.hpp"
 #include "nn/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/clock.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/request.hpp"
@@ -67,6 +69,14 @@ struct ServiceConfig {
   /// Timing source; nullptr = runtime::SystemClock::instance(). Must
   /// outlive the service.
   runtime::Clock* clock = nullptr;
+  /// Observability sinks; nullptr = the ambient
+  /// obs::current_tracer()/current_registry() at construction time
+  /// (resolved once, on the constructing thread — worker threads inherit
+  /// them). Every ServiceStats counter/histogram is mirrored into the
+  /// registry under mev.serve.*, and each scored batch emits a
+  /// mev.serve.batch span. Must outlive the service.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ScoringService {
@@ -151,8 +161,21 @@ class ScoringService {
   void reject_all(std::vector<Request> requests, RejectReason reason);
   void join_workers();
 
+  /// Registry mirrors of the ServiceStats fields (handles, so hot-path
+  /// updates are a relaxed atomic op; inert when no registry is wired).
+  struct ObsHandles {
+    obs::Counter accepted_requests, accepted_rows;
+    obs::Counter rejected_queue_full, rejected_shutting_down,
+        rejected_deadline;
+    obs::Counter completed_requests, completed_rows;
+    obs::Counter batches, model_swaps;
+    obs::Histogram batch_rows, queue_delay_us, e2e_latency_us;
+  };
+
   ServiceConfig config_;
   runtime::Clock* clock_;
+  obs::Tracer* tracer_;
+  ObsHandles obs_;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const ModelSnapshot> snapshot_;

@@ -1,64 +1,32 @@
-// Serving-side observability: power-of-two histograms for latencies and
-// batch sizes plus the counter block every ScoringService exposes.
+// Serving-side observability: the counter block every ScoringService
+// exposes. The power-of-two histogram behind the latency digests was
+// promoted to obs/histogram.hpp (PR 4) — the aliases below keep every
+// serve call site and test source-compatible.
 //
-// The histogram trades exactness for O(1) recording and a fixed footprint:
-// values land in [2^(i-1), 2^i) buckets and percentiles are linearly
-// interpolated inside the winning bucket, so p50/p95/p99 carry at most one
-// octave of error — plenty for capacity planning, cheap enough to sit on
-// the batch completion path.
+// Percentile accuracy: p50/p95/p99 come from obs::Log2Histogram, which
+// buckets values in [2^(i-1), 2^i) and interpolates by rank inside the
+// winning bucket, so a reported percentile is at most one octave from the
+// true one — plenty for capacity planning, cheap enough to sit on the
+// batch completion path (the bound is pinned by
+// tests/obs/test_histogram.cpp).
 #pragma once
 
-#include <array>
-#include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hpp"
+
 namespace mev::serve {
 
-/// Fixed-size log2-bucketed histogram of non-negative 64-bit values
-/// (microseconds, row counts, ...). Not thread-safe; the service keeps one
-/// per guarded stats block.
-class Log2Histogram {
- public:
-  static constexpr std::size_t kBuckets = 40;
-
-  void record(std::uint64_t value) noexcept;
-  void merge(const Log2Histogram& other) noexcept;
-  void reset() noexcept;
-
-  std::uint64_t count() const noexcept { return count_; }
-  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
-  std::uint64_t max() const noexcept { return max_; }
-  /// Arithmetic mean of the recorded values (exact, from the running sum).
-  double mean() const noexcept;
-
-  /// Approximate p-th percentile, p in [0, 100]; linearly interpolated
-  /// within the bucket and clamped to the observed min/max. 0 when empty.
-  double percentile(double p) const noexcept;
-
- private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
-  double sum_ = 0.0;
-};
-
-/// The p50/p95/p99 digest reported per histogram.
-struct LatencySummary {
-  std::uint64_t count = 0;
-  double mean = 0.0;
-  double p50 = 0.0;
-  double p95 = 0.0;
-  double p99 = 0.0;
-  std::uint64_t max = 0;
-};
-
-LatencySummary summarize(const Log2Histogram& h);
+using Log2Histogram = obs::Log2Histogram;
+using LatencySummary = obs::LatencySummary;
+using obs::summarize;
 
 /// Point-in-time copy of a service's counters and histograms, returned by
 /// ScoringService::stats(). Requests are counted once each; rows follow
-/// the request they belong to.
+/// the request they belong to. When the service is built with a
+/// MetricsRegistry, the same quantities are mirrored there under
+/// mev.serve.* for Prometheus export.
 struct ServiceStats {
   std::uint64_t accepted_requests = 0;
   std::uint64_t accepted_rows = 0;

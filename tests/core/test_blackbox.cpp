@@ -309,5 +309,16 @@ TEST(BlackBox, AgreementTendsUpward) {
             result.rounds.front().oracle_agreement - 0.05);
 }
 
+TEST(BlackBox, RoundPhaseDurationsArePopulated) {
+  ThresholdOracle oracle;
+  const auto result =
+      run_blackbox_framework(oracle, seed_counts(16, 4, 11), config(4));
+  ASSERT_EQ(result.rounds.size(), 3u);
+  // Substitute training takes real wall time every round; the final
+  // round never augments, so its augment duration stays zero.
+  for (const auto& round : result.rounds) EXPECT_GT(round.train_us, 0u);
+  EXPECT_EQ(result.rounds.back().augment_us, 0u);
+}
+
 }  // namespace
 }  // namespace mev::core

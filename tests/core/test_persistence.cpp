@@ -149,6 +149,9 @@ TEST(Persistence, CheckpointRoundTrips) {
   stats.resilience.retries = 7;
   stats.resilience.backoff_ms = 1234;
   stats.cache_hits = 5;
+  stats.label_us = 1500;
+  stats.train_us = 98765;
+  stats.augment_us = 222;
   ckpt.rounds = {stats};
   nn::MlpConfig arch;
   arch.dims = {3, 8, 2};
@@ -174,6 +177,9 @@ TEST(Persistence, CheckpointRoundTrips) {
   EXPECT_EQ(loaded.rounds[0].resilience.retries, 7u);
   EXPECT_EQ(loaded.rounds[0].resilience.backoff_ms, 1234u);
   EXPECT_EQ(loaded.rounds[0].cache_hits, 5u);
+  EXPECT_EQ(loaded.rounds[0].label_us, 1500u);
+  EXPECT_EQ(loaded.rounds[0].train_us, 98765u);
+  EXPECT_EQ(loaded.rounds[0].augment_us, 222u);
   EXPECT_EQ(loaded.cache_rows, ckpt.cache_rows);
   EXPECT_EQ(loaded.cache_labels, ckpt.cache_labels);
   EXPECT_TRUE(loaded.attacker_transform.fitted());
@@ -188,6 +194,70 @@ TEST(Persistence, CheckpointRoundTrips) {
 TEST(Persistence, MissingCheckpointThrows) {
   EXPECT_THROW(load_blackbox_checkpoint("/nonexistent/ckpt"),
                std::runtime_error);
+}
+
+// Builds a minimal saveable checkpoint with one round of stats.
+BlackBoxCheckpoint tiny_checkpoint() {
+  BlackBoxCheckpoint ckpt;
+  ckpt.config_fingerprint = 0x1234u;
+  ckpt.next_round = 1;
+  ckpt.total_queries = 16;
+  ckpt.counts = math::Matrix(2, 3);
+  BlackBoxRoundStats stats;
+  stats.dataset_rows = 16;
+  stats.oracle_queries = 16;
+  stats.label_us = 10;
+  stats.train_us = 20;
+  stats.augment_us = 30;
+  ckpt.rounds = {stats};
+  nn::MlpConfig arch;
+  arch.dims = {3, 4, 2};
+  ckpt.substitute = nn::make_mlp(arch);
+  ckpt.attacker_transform.fit(ckpt.counts);
+  ckpt.cache_rows = math::Matrix(0, 0);
+  return ckpt;
+}
+
+constexpr std::uint32_t kCkptMagic = 0x4d455643u;  // "MEVC"
+
+// A version-1 checkpoint (written before the per-round phase durations
+// existed) must still load, with the durations defaulting to zero. The
+// v1 payload is reconstructed by byte surgery on a v2 file: the fixed
+// 33-byte preamble (fingerprint, next_round, finished, total_queries,
+// round count) is followed by the round-stats record, whose v2 form ends
+// with the three appended u64 duration fields — dropping those 24 bytes
+// yields the exact v1 layout.
+TEST(Persistence, VersionOneCheckpointLoadsWithZeroDurations) {
+  const std::string path = ::testing::TempDir() + "/mev_ckpt_v1";
+  save_blackbox_checkpoint(tiny_checkpoint(), path);
+
+  std::uint32_t version = 0;
+  std::string payload = runtime::read_envelope_versioned(
+      path, kCkptMagic, 1, 2, version, "black-box checkpoint");
+  ASSERT_EQ(version, 2u);
+  const std::size_t kPreamble = 33;   // 4 u64 fields + 1 u8 flag
+  const std::size_t kV1Record = 104;  // 13 8-byte stats fields
+  payload.erase(kPreamble + kV1Record, 24);
+  runtime::write_envelope_atomic(path, kCkptMagic, 1, payload);
+
+  const BlackBoxCheckpoint loaded = load_blackbox_checkpoint(path);
+  ASSERT_EQ(loaded.rounds.size(), 1u);
+  EXPECT_EQ(loaded.rounds[0].dataset_rows, 16u);
+  EXPECT_EQ(loaded.rounds[0].oracle_queries, 16u);
+  EXPECT_EQ(loaded.rounds[0].label_us, 0u);
+  EXPECT_EQ(loaded.rounds[0].train_us, 0u);
+  EXPECT_EQ(loaded.rounds[0].augment_us, 0u);
+  EXPECT_EQ(loaded.config_fingerprint, 0x1234u);
+}
+
+TEST(Persistence, FutureCheckpointVersionIsRejected) {
+  const std::string path = ::testing::TempDir() + "/mev_ckpt_future";
+  save_blackbox_checkpoint(tiny_checkpoint(), path);
+  std::uint32_t version = 0;
+  const std::string payload = runtime::read_envelope_versioned(
+      path, kCkptMagic, 1, 2, version, "black-box checkpoint");
+  runtime::write_envelope_atomic(path, kCkptMagic, 99, payload);
+  EXPECT_THROW(load_blackbox_checkpoint(path), std::runtime_error);
 }
 
 }  // namespace
