@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Compare fresh bench JSON against the committed baselines.
+
+Two report formats are understood:
+
+* BENCH_micro.json — a flat ``{"BM_Name/arg": ns_per_op}`` map written by
+  ``bench/bench_micro``. Lower is better.
+* BENCH_serve.json — the structured report written by ``bench/bench_serve``
+  with ``closed_loop`` / ``open_loop`` sweeps. The pinned signal is the
+  end-to-end latency p95 of each sweep point (lower is better).
+
+The check is direction-aware: only a change for the *worse* beyond the
+tolerance band fails; improvements are reported and pass. Keys present in
+only one file are reported but never fail the check, so adding or removing
+a benchmark does not require touching this script.
+
+Usage:
+    check_regression.py --kind micro --baseline BENCH_micro.json \
+        --fresh build/bench/BENCH_micro.json [--tolerance 0.25]
+    check_regression.py --kind serve --baseline BENCH_serve.json \
+        --fresh build/bench/BENCH_serve.json
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+# Micro benchmarks gating the check (prefix match on "name/arg" keys):
+# session-based inference is the hot path of every attack loop, and the
+# span/counter costs are the observability overhead contract. Everything
+# else in BENCH_micro.json is informational.
+PINNED_MICRO_PREFIXES = (
+    "BM_SessionForward",
+    "BM_ObsSpanEnabled",
+    "BM_ObsCounterInc",
+    "BM_ObsHistogramRecord",
+)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+class Comparison:
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.regressions = []
+        self.improvements = []
+        self.skipped = []
+
+    def check(self, key, baseline, fresh):
+        """Record one lower-is-better comparison."""
+        if baseline is None or fresh is None:
+            self.skipped.append(key)
+            return
+        if baseline <= 0:
+            self.skipped.append(key)
+            return
+        ratio = fresh / baseline
+        line = f"{key}: {baseline:.6g} -> {fresh:.6g} ({ratio - 1.0:+.1%})"
+        if ratio > 1.0 + self.tolerance:
+            self.regressions.append(line)
+        elif ratio < 1.0 - self.tolerance:
+            self.improvements.append(line)
+
+    def report(self, label):
+        for line in self.improvements:
+            print(f"  improved   {line}")
+        for line in self.regressions:
+            print(f"  REGRESSED  {line}")
+        for key in self.skipped:
+            print(f"  skipped    {key} (missing or zero in one file)")
+        if self.regressions:
+            print(
+                f"{label}: {len(self.regressions)} pinned key(s) regressed "
+                f"beyond {self.tolerance:.0%}"
+            )
+            return False
+        print(
+            f"{label}: ok ({len(self.improvements)} improved, "
+            f"{len(self.skipped)} skipped)"
+        )
+        return True
+
+
+def check_micro(baseline, fresh, tolerance):
+    comparison = Comparison(tolerance)
+    for key in sorted(baseline):
+        if not key.startswith(PINNED_MICRO_PREFIXES):
+            continue
+        comparison.check(key, baseline.get(key), fresh.get(key))
+    for key in sorted(set(fresh) - set(baseline)):
+        if key.startswith(PINNED_MICRO_PREFIXES):
+            comparison.skipped.append(key)
+    return comparison.report("micro")
+
+
+def serve_points(report):
+    """Yield (key, e2e p95) for every sweep point in a serve report."""
+    for point in report.get("closed_loop", []):
+        key = (
+            f"closed_loop[workers={point.get('workers')},"
+            f"window_ms={point.get('window_ms')}].e2e_latency_us.p95"
+        )
+        yield key, point.get("e2e_latency_us", {}).get("p95")
+    for point in report.get("open_loop", []):
+        key = (
+            f"open_loop[rate={point.get('rate_multiplier')}]"
+            ".e2e_latency_us.p95"
+        )
+        yield key, point.get("e2e_latency_us", {}).get("p95")
+
+
+def check_serve(baseline, fresh, tolerance):
+    if baseline.get("scale") != fresh.get("scale"):
+        print(
+            f"error: scale mismatch: baseline is "
+            f"'{baseline.get('scale')}', fresh is '{fresh.get('scale')}' — "
+            "rerun bench_serve at the baseline's scale",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    comparison = Comparison(tolerance)
+    fresh_map = dict(serve_points(fresh))
+    for key, base_value in serve_points(baseline):
+        comparison.check(key, base_value, fresh_map.get(key))
+    return comparison.report("serve")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kind", choices=("micro", "serve"), required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    options = parser.parse_args()
+    if options.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    baseline = load(options.baseline)
+    fresh = load(options.fresh)
+    checker = check_micro if options.kind == "micro" else check_serve
+    ok = checker(baseline, fresh, options.tolerance)
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

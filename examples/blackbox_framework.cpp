@@ -3,7 +3,7 @@
 // then transfers JSMA adversarial examples to the target.
 //
 //   ./blackbox_framework [tiny|fast|full] [--trace out.json]
-//                        [--metrics out.prom] [--serve]
+//                        [--metrics out.prom] [--serve] [--admin-port N]
 //
 //   --trace out.json   write a Chrome trace (per-round augment/label/train
 //                      spans, trainer epochs, JSMA shards) — load it at
@@ -13,6 +13,10 @@
 //                      serve latency histograms with --serve)
 //   --serve            route oracle queries through the src/serve/
 //                      ScoringService (same labels, realistic deployment)
+//   --admin-port N     serve /metrics /varz /healthz /readyz /tracez live
+//                      for the duration of the black-box run (0 =
+//                      kernel-assigned; the bound port is printed)
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -35,16 +39,20 @@ using namespace mev;
 
 int main(int argc, char** argv) {
   std::string scale = "tiny", trace_path, metrics_path;
-  bool use_serve = false;
+  bool use_serve = false, admin_enabled = false;
+  int admin_port = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
     else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
     else if (arg == "--serve") use_serve = true;
-    else if (!arg.empty() && arg[0] == '-') {
+    else if (arg == "--admin-port" && i + 1 < argc) {
+      admin_enabled = true;
+      admin_port = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: " << argv[0]
                 << " [tiny|fast|full] [--trace out.json]"
-                   " [--metrics out.prom] [--serve]\n";
+                   " [--metrics out.prom] [--serve] [--admin-port N]\n";
       return 2;
     } else {
       scale = arg;
@@ -108,6 +116,12 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(5, bb_cfg.training_per_round.epochs / 3);
   bb_cfg.tracer = &tracer;
   bb_cfg.metrics = &registry;
+  if (admin_enabled) {
+    bb_cfg.admin.enabled = true;
+    bb_cfg.admin.port = static_cast<std::uint16_t>(admin_port);
+    std::cout << "      admin plane will serve /metrics /readyz /tracez "
+                 "for the duration of the run\n";
+  }
   const core::BlackBoxResult bb =
       core::run_blackbox_framework(oracle, seed.counts, bb_cfg);
 

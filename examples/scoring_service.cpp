@@ -3,10 +3,20 @@
 // defense retrain (defensive distillation) is hot-swapped in mid-run with
 // zero downtime; the run ends with the service's stats summary.
 //
-//   ./scoring_service [tiny|fast|full]
+//   ./scoring_service [tiny|fast|full] [--admin-port N] [--hold-ms N]
+//
+//   --admin-port N  start the embedded HTTP admin plane on port N (0 =
+//                   kernel-assigned; the bound port is printed) serving
+//                   /metrics /varz /healthz /readyz /tracez
+//   --hold-ms N     keep the service (and admin endpoints) up for N ms
+//                   after the traffic finishes, so an external scraper
+//                   can observe the live state before shutdown
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <future>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,8 +30,26 @@
 using namespace mev;
 
 int main(int argc, char** argv) {
-  const auto config =
-      core::ExperimentConfig::from_name(argc > 1 ? argv[1] : "tiny");
+  std::string scale = "tiny";
+  bool admin_enabled = false;
+  int admin_port = 0;
+  long hold_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--admin-port" && i + 1 < argc) {
+      admin_enabled = true;
+      admin_port = std::atoi(argv[++i]);
+    } else if (arg == "--hold-ms" && i + 1 < argc) {
+      hold_ms = std::atol(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: " << argv[0]
+                << " [tiny|fast|full] [--admin-port N] [--hold-ms N]\n";
+      return 2;
+    } else {
+      scale = arg;
+    }
+  }
+  const auto config = core::ExperimentConfig::from_name(scale);
   const auto& vocab = data::ApiVocab::instance();
   const data::GenerativeModel generator(vocab, data::GenerativeConfig{});
   math::Rng rng(config.seed);
@@ -38,8 +66,23 @@ int main(int argc, char** argv) {
   service_cfg.workers = 4;
   service_cfg.max_batch_rows = 64;
   service_cfg.max_queue_delay_ms = 2;
+  if (admin_enabled) {
+    service_cfg.admin.enabled = true;
+    service_cfg.admin.port = static_cast<std::uint16_t>(admin_port);
+  }
   serve::ScoringService service(trained.detector->pipeline(),
                                 trained.detector->network_ptr(), service_cfg);
+  if (admin_enabled) {
+    // std::endl, not "\n": a scraper watching redirected stdout needs the
+    // port line flushed before the demo's traffic phase starts.
+    if (service.admin_server() != nullptr && service.admin_server()->running())
+      std::cout << "      admin server listening on 127.0.0.1:"
+                << service.admin_server()->port() << std::endl;
+    else
+      std::cout << "      admin server unavailable (obs disabled or bind "
+                   "failed)"
+                << std::endl;
+  }
 
   // Producers: half submit individual sandbox logs, half submit raw count
   // batches — both arrive through the same submit() front door.
@@ -91,6 +134,10 @@ int main(int argc, char** argv) {
             << ") while producers were mid-flight\n";
 
   for (auto& producer : producers) producer.join();
+  if (hold_ms > 0) {
+    // Scrape window: the admin endpoints answer with the service live.
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+  }
   service.shutdown();  // drain
 
   std::cout << "[4/4] done: scored " << scored_rows.load() << " rows, "

@@ -116,8 +116,21 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
   // FakeClock-backed tracer is injected).
   obs::Tracer* tracer = obs::resolve(config.tracer);
   obs::MetricsRegistry* registry = obs::resolve(config.metrics);
+  obs::Logger* logger = obs::resolve(config.logger);
   obs::Scope obs_scope(tracer, registry);
   runtime::Clock& obs_clock = tracer->clock();
+
+  // Optional live admin plane for the run: long augmentation loops become
+  // scrapeable while they work. Stops (and joins) when the run returns.
+  std::unique_ptr<obs::AdminServer> admin;
+  if (config.admin.enabled) {
+    obs::AdminServerConfig admin_config = config.admin;
+    if (admin_config.tracer == nullptr) admin_config.tracer = tracer;
+    if (admin_config.metrics == nullptr) admin_config.metrics = registry;
+    if (admin_config.logger == nullptr) admin_config.logger = logger;
+    admin = std::make_unique<obs::AdminServer>(std::move(admin_config));
+    if (!admin->start()) admin.reset();
+  }
   obs::Counter queries_counter = registry->counter(
       "mev.core.blackbox.oracle_queries", "oracle submissions (rows)");
   obs::Counter cache_counter = registry->counter(
@@ -170,6 +183,11 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
     query_offset = ckpt.total_queries;
     if (caching) caching->cache().import_entries(ckpt.cache_rows,
                                                  ckpt.cache_labels);
+    MEV_LOG(*logger, obs::LogLevel::kInfo, "core.blackbox",
+            "resumed from checkpoint",
+            {obs::LogField::u64_value("next_round", start_round),
+             obs::LogField::u64_value("dataset_rows", counts.rows()),
+             obs::LogField::u64_value("queries", query_offset)});
   } else {
     result.attacker_transform.fit(seed_counts);
     counts = seed_counts;  // the attacker's growing sample set
@@ -248,6 +266,15 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
     stats.train_us = train_us;
     result.rounds.push_back(stats);
 
+    MEV_LOG(*logger, obs::LogLevel::kInfo, "core.blackbox", "round complete",
+            {obs::LogField::u64_value("round", round),
+             obs::LogField::u64_value("dataset_rows", stats.dataset_rows),
+             obs::LogField::u64_value("oracle_queries", stats.oracle_queries),
+             obs::LogField::f64_value("oracle_agreement",
+                                      stats.oracle_agreement),
+             obs::LogField::u64_value("label_us", stats.label_us),
+             obs::LogField::u64_value("train_us", stats.train_us)});
+
     rounds_counter.inc();
     queries_counter.inc(stats.oracle_queries - prev_queries);
     cache_counter.inc(stats.cache_hits - prev_cache_hits);
@@ -308,6 +335,10 @@ BlackBoxResult run_blackbox_framework(CountOracle& oracle,
   }
 
   result.total_queries = queries_so_far();
+  MEV_LOG(*logger, obs::LogLevel::kInfo, "core.blackbox", "run finished",
+          {obs::LogField::u64_value("rounds", result.rounds.size()),
+           obs::LogField::u64_value("total_queries", result.total_queries),
+           obs::LogField::string("resumed", result.resumed ? "yes" : "no")});
   return result;
 }
 

@@ -33,12 +33,14 @@
 #include "features/transform.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
+#include "obs/admin_server.hpp"
 #include "runtime/oracle.hpp"
 #include "runtime/resilient_oracle.hpp"
 
 namespace mev::obs {
 class Tracer;
 class MetricsRegistry;
+class Logger;
 }  // namespace mev::obs
 
 namespace mev::core {
@@ -92,6 +94,15 @@ struct BlackBoxConfig {
   /// nested trainer epochs and JSMA crafting land in the same trace.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Structured log destination for round progress; nullptr =
+  /// obs::default_logger(). Not part of the run fingerprint.
+  obs::Logger* logger = nullptr;
+  /// Embedded admin plane for the duration of the run: a multi-hour
+  /// augmentation loop becomes scrapeable (/metrics shows round, queries,
+  /// agreement; /tracez the recent spans). Disabled by default; the
+  /// server starts before round 0 and stops when the run returns. Not
+  /// part of the run fingerprint.
+  obs::AdminServerConfig admin;
 };
 
 struct BlackBoxRoundStats {

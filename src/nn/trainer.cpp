@@ -53,6 +53,7 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
 
   obs::Tracer* tracer = obs::resolve(config.tracer);
   obs::MetricsRegistry* registry = obs::resolve(config.metrics);
+  obs::Logger& logger = obs::default_logger();
   obs::Counter epochs_counter =
       registry->counter("mev.nn.train.epochs", "completed training epochs");
   obs::Counter batches_counter =
@@ -89,10 +90,21 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
 
     EpochStats stats;
     stats.train_loss = epoch_loss / static_cast<double>(batches);
-    if (!std::isfinite(stats.train_loss))
+    if (!std::isfinite(stats.train_loss)) {
+      MEV_LOG(logger, obs::LogLevel::kError, "nn.train",
+              "non-finite loss, training diverged",
+              {obs::LogField::u64_value("epoch", epoch),
+               obs::LogField::f64_value("lr", config.learning_rate)});
       throw std::runtime_error(
           "train: non-finite loss at epoch " + std::to_string(epoch) +
           " — training diverged (check learning rate and input scaling)");
+    }
+    // Per-epoch progress is debug-level (silent at the kWarn default) and
+    // rate-limited so tight loops over small sets cannot flood the sink.
+    MEV_LOG_EVERY(logger, obs::LogLevel::kDebug, /*rate_per_s=*/5.0,
+                  /*burst=*/10.0, "nn.train", "epoch complete",
+                  {obs::LogField::u64_value("epoch", epoch),
+                   obs::LogField::f64_value("loss", stats.train_loss)});
     if (validation != nullptr)
       stats.val_accuracy = accuracy(net, validation->x, validation->labels);
     history.epochs.push_back(stats);
@@ -113,6 +125,11 @@ TrainHistory run_training(Network& net, const math::Matrix& x, std::size_t n,
       } else if (config.early_stopping_patience > 0 &&
                  ++epochs_since_best >= config.early_stopping_patience) {
         history.early_stopped = true;
+        MEV_LOG(logger, obs::LogLevel::kInfo, "nn.train", "early stopping",
+                {obs::LogField::u64_value("epoch", epoch),
+                 obs::LogField::u64_value("best_epoch", history.best_epoch),
+                 obs::LogField::f64_value("best_val_accuracy",
+                                          history.best_val_accuracy)});
         break;
       }
     }

@@ -1,0 +1,339 @@
+#include "obs/admin_server.hpp"
+
+#if MEV_OBS_ENABLED
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/scope.hpp"
+
+namespace mev::obs {
+
+namespace {
+
+constexpr const char* kTextPlain = "text/plain; charset=utf-8";
+constexpr const char* kPromText = "text/plain; version=0.0.4; charset=utf-8";
+constexpr const char* kJson = "application/json";
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec == std::errc()) {
+    out.append(buf, res.ptr);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+/// Writes `size` bytes, tolerating partial sends; MSG_NOSIGNAL so a
+/// scraper that hangs up mid-response does not SIGPIPE the process.
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // timeout, reset, or shutdown — give up quietly
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerConfig config)
+    : config_(std::move(config)),
+      tracer_(resolve(config_.tracer)),
+      registry_(resolve(config_.metrics)),
+      logger_(resolve(config_.logger)) {
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+  if (config_.max_queued_connections == 0) config_.max_queued_connections = 1;
+  requests_counter_ = registry_->counter(
+      "mev.obs.admin.requests", "HTTP requests served by the admin plane");
+  shed_counter_ = registry_->counter(
+      "mev.obs.admin.connections_shed",
+      "admin connections closed unserved because the queue was full");
+  probe_ = [] { return Readiness{}; };
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::set_readiness_probe(ReadinessProbe probe) {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  probe_ = std::move(probe);
+}
+
+bool AdminServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    MEV_LOG(*logger_, LogLevel::kError, "obs.admin", "socket() failed",
+            {LogField::i64_value("errno", errno)});
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    MEV_LOG(*logger_, LogLevel::kError, "obs.admin", "bad bind address",
+            {LogField::string("address", config_.bind_address.c_str())});
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    MEV_LOG(*logger_, LogLevel::kError, "obs.admin", "bind/listen failed",
+            {LogField::string("address", config_.bind_address.c_str()),
+             LogField::u64_value("port", config_.port),
+             LogField::i64_value("errno", errno)});
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0)
+    bound_port_ = ntohs(bound.sin_port);
+
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+
+  MEV_LOG(*logger_, LogLevel::kInfo, "obs.admin", "admin server started",
+          {LogField::string("address", config_.bind_address.c_str()),
+           LogField::u64_value("port", bound_port_),
+           LogField::u64_value("workers", config_.worker_threads)});
+  return true;
+}
+
+void AdminServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake a blocked accept(); the fd itself is closed only after the
+  // accept thread is joined, so it can never race onto a recycled fd.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Shed anything still queued; every accepted fd is closed exactly once.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : pending_fds_) ::close(fd);
+  pending_fds_.clear();
+  MEV_LOG(*logger_, LogLevel::kInfo, "obs.admin", "admin server stopped",
+          {LogField::u64_value("port", bound_port_)});
+}
+
+bool AdminServer::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint16_t AdminServer::port() const noexcept {
+  return running() ? bound_port_ : 0;
+}
+
+void AdminServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_fds_.size() >= config_.max_queued_connections)
+        shed = true;
+      else
+        pending_fds_.push_back(conn);
+    }
+    if (shed) {
+      // Bounded model: close unserved rather than queue without limit.
+      ::close(conn);
+      shed_counter_.inc();
+      MEV_LOG_EVERY(*logger_, LogLevel::kWarn, /*rate_per_s=*/1.0,
+                    /*burst=*/3.0, "obs.admin",
+                    "admin connection shed: queue full",
+                    {LogField::u64_value("max_queued",
+                                         config_.max_queued_connections)});
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void AdminServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_fds_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (pending_fds_.empty()) return;  // stopping and drained
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    serve_connection(fd);
+  }
+}
+
+void AdminServer::serve_connection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(config_.io_timeout_ms / 1000);
+  timeout.tv_usec =
+      static_cast<suseconds_t>((config_.io_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  http::RequestParser parser;
+  char buffer[4096];
+  std::string response;
+  // Connection-per-request: read until one request parses (tolerating any
+  // byte-boundary splits), answer it, close. A scraper that never
+  // completes a request hits the receive timeout and is dropped.
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // EOF, timeout, or error: nothing to answer
+    parser.feed(buffer, static_cast<std::size_t>(n));
+    if (parser.status() == http::ParseStatus::kComplete) {
+      response = handle(parser.request());
+      break;
+    }
+    if (parser.status() == http::ParseStatus::kError) {
+      response = http::format_response(parser.error_status(), kTextPlain,
+                                       std::string(http::status_text(
+                                           parser.error_status())) +
+                                           "\n");
+      break;
+    }
+  }
+  if (!response.empty()) send_all(fd, response.data(), response.size());
+  ::close(fd);
+}
+
+std::string AdminServer::metrics_body() const {
+  std::string body = registry_->prometheus();
+  // The telemetry plane's own loss signals, appended so they exist even
+  // when nothing else registered them: dropped spans mean a truncated
+  // trace, runaway cardinality means an expensive scrape.
+  body +=
+      "# HELP trace_spans_dropped_total trace events dropped on ring "
+      "overflow\n"
+      "# TYPE trace_spans_dropped_total counter\n"
+      "trace_spans_dropped_total ";
+  body += std::to_string(tracer_->dropped());
+  body +=
+      "\n# HELP metrics_series registered series in the metrics registry\n"
+      "# TYPE metrics_series gauge\n"
+      "metrics_series ";
+  body += std::to_string(registry_->size());
+  body += '\n';
+  return body;
+}
+
+std::string AdminServer::tracez_body() const {
+  const std::vector<TraceEvent> events = tracer_->recent(config_.tracez_spans);
+  std::string body = "{\"spans\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"name\":\"";
+    append_json_escaped(body, e.name);
+    body += "\",\"ph\":\"";
+    body += e.phase;
+    body += "\",\"tid\":";
+    body += std::to_string(e.tid);
+    body += ",\"ts_us\":";
+    body += std::to_string(e.ts_us);
+    body += ",\"dur_us\":";
+    body += std::to_string(e.dur_us);
+    if (e.num_args > 0) {
+      body += ",\"args\":{";
+      for (std::uint8_t a = 0; a < e.num_args; ++a) {
+        if (a > 0) body += ',';
+        body += '"';
+        append_json_escaped(body, e.args[a].key);
+        body += "\":";
+        append_double(body, e.args[a].value);
+      }
+      body += '}';
+    }
+    body += '}';
+  }
+  body += "],\"dropped\":";
+  body += std::to_string(tracer_->dropped());
+  body += ",\"buffered\":";
+  body += std::to_string(tracer_->event_count());
+  body += "}\n";
+  return body;
+}
+
+std::string AdminServer::handle(const http::Request& request) {
+  requests_counter_.inc();
+  if (request.method != "GET")
+    return http::format_response(405, kTextPlain, "method not allowed\n");
+
+  const std::string_view path = request.path();
+  if (path == "/healthz")
+    return http::format_response(200, kTextPlain, "ok\n");
+  if (path == "/readyz") {
+    ReadinessProbe probe;
+    {
+      std::lock_guard<std::mutex> lock(probe_mutex_);
+      probe = probe_;
+    }
+    const Readiness readiness = probe ? probe() : Readiness{};
+    return http::format_response(readiness.ready ? 200 : 503, kTextPlain,
+                                 readiness.reason + "\n");
+  }
+  if (path == "/metrics")
+    return http::format_response(200, kPromText, metrics_body());
+  if (path == "/varz")
+    return http::format_response(200, kJson, registry_->json());
+  if (path == "/tracez")
+    return http::format_response(200, kJson, tracez_body());
+  return http::format_response(404, kTextPlain, "not found\n");
+}
+
+}  // namespace mev::obs
+
+#endif  // MEV_OBS_ENABLED

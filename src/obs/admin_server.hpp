@@ -1,0 +1,180 @@
+// Embedded HTTP admin server: the live telemetry plane for long-running
+// processes (the scoring service, multi-hour black-box runs). Turns the
+// pull-to-file exporters from the obs layer into scrapeable endpoints:
+//
+//   GET /metrics   Prometheus text exposition of the wired registry, plus
+//                  the telemetry plane's own loss signals
+//                  (trace_spans_dropped_total, metrics_series)
+//   GET /varz      JSON snapshot of the same registry
+//   GET /healthz   liveness: 200 "ok" while the process serves
+//   GET /readyz    readiness: 200/503 from the installed probe (the
+//                  scoring service wires accepting-vs-draining and the
+//                  queue high-water mark here)
+//   GET /tracez    last-N completed spans from the tracer rings, JSON
+//
+// Model: one accept thread multiplexing on poll(), a BOUNDED connection
+// queue, and a small worker pool; when the queue is full new connections
+// are shed immediately (and counted) — the admin plane must never become
+// a memory or latency liability for the process it observes. Connections
+// are handled request-per-connection (Connection: close) with a receive
+// timeout, so a stuck scraper cannot pin a worker. stop() is idempotent
+// and joins every thread; routing (handle()) is a pure function of the
+// parsed request, unit-testable without sockets.
+//
+// With MEV_ENABLE_OBS=OFF the server is a same-shape stub whose start()
+// reports failure (port() stays 0) — call sites compile unchanged.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/http.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef MEV_OBS_ENABLED
+#define MEV_OBS_ENABLED 1
+#endif
+
+namespace mev::obs {
+
+/// Readiness verdict returned by the installed probe. `reason` is served
+/// as the /readyz body either way.
+struct Readiness {
+  bool ready = true;
+  std::string reason = "ok";
+};
+
+struct AdminServerConfig {
+  /// Off by default: embedding a listening socket is always opt-in.
+  bool enabled = false;
+  /// TCP port to bind; 0 = kernel-assigned ephemeral port (read it back
+  /// from port() after start()).
+  std::uint16_t port = 0;
+  /// Loopback by default: the admin plane is an operator surface, not a
+  /// public one.
+  std::string bind_address = "127.0.0.1";
+  /// Worker threads serving parsed connections.
+  std::size_t worker_threads = 2;
+  /// Accepted-but-unserved connections held at once; beyond this new
+  /// connections are shed (closed) immediately.
+  std::size_t max_queued_connections = 16;
+  /// Spans returned by /tracez (newest last).
+  std::size_t tracez_spans = 256;
+  /// Per-connection receive/send timeout.
+  std::uint64_t io_timeout_ms = 2000;
+  /// Sinks served by the endpoints; nullptr = the ambient
+  /// obs::current_tracer()/current_registry()/default_logger() at
+  /// construction. Must outlive the server.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  Logger* logger = nullptr;
+};
+
+#if MEV_OBS_ENABLED
+
+class AdminServer {
+ public:
+  using ReadinessProbe = std::function<Readiness()>;
+
+  explicit AdminServer(AdminServerConfig config = {});
+  /// Stops and joins if still running.
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Installs the /readyz probe (replacing the default always-ready one).
+  /// Called from worker threads; must be thread-safe. Safe to install
+  /// before or after start().
+  void set_readiness_probe(ReadinessProbe probe);
+
+  /// Binds, listens, and spawns the accept/worker threads. Returns false
+  /// (with an error log) when the socket cannot be bound; the process
+  /// keeps running — telemetry must never take the workload down.
+  bool start();
+
+  /// Closes the listener, sheds queued connections, joins all threads.
+  /// Idempotent.
+  void stop();
+
+  bool running() const noexcept;
+  /// The bound TCP port (resolves port 0 to the kernel's choice); 0 when
+  /// not started.
+  std::uint16_t port() const noexcept;
+
+  /// Routes one parsed request to its endpoint and returns the full HTTP
+  /// response. Pure routing — no sockets — so tests can drive every
+  /// endpoint directly.
+  std::string handle(const http::Request& request);
+
+  const AdminServerConfig& config() const noexcept { return config_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  std::string metrics_body() const;
+  std::string tracez_body() const;
+
+  AdminServerConfig config_;
+  Tracer* tracer_;
+  MetricsRegistry* registry_;
+  Logger* logger_;
+
+  Counter requests_counter_;
+  Counter shed_counter_;
+
+  mutable std::mutex probe_mutex_;
+  ReadinessProbe probe_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+#else  // MEV_OBS_ENABLED == 0: inline no-op stub, same shape.
+
+class AdminServer {
+ public:
+  using ReadinessProbe = std::function<Readiness()>;
+
+  explicit AdminServer(AdminServerConfig config = {}) : config_(config) {}
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  void set_readiness_probe(ReadinessProbe) {}
+  bool start() { return false; }
+  void stop() {}
+  bool running() const noexcept { return false; }
+  std::uint16_t port() const noexcept { return 0; }
+  std::string handle(const http::Request&) {
+    return http::format_response(404, "text/plain; charset=utf-8",
+                                 "not found\n");
+  }
+  const AdminServerConfig& config() const noexcept { return config_; }
+
+ private:
+  AdminServerConfig config_;
+};
+
+#endif  // MEV_OBS_ENABLED
+
+}  // namespace mev::obs

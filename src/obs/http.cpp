@@ -1,0 +1,176 @@
+#include "obs/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace mev::obs::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+const std::string* Request::header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
+std::string_view Request::path() const noexcept {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+void RequestParser::fail(int status) noexcept {
+  state_ = State::kError;
+  status_ = ParseStatus::kError;
+  error_status_ = status;
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  // METHOD SP request-target SP HTTP-version
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(version);
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::string_view name = line.substr(0, colon);
+  // Whitespace before the colon is invalid per RFC 7230; reject.
+  if (name.back() == ' ' || name.back() == '\t') return false;
+  request_.headers.emplace_back(std::string(name),
+                                std::string(trim(line.substr(colon + 1))));
+  return true;
+}
+
+std::size_t RequestParser::feed(const char* data, std::size_t size) {
+  std::size_t consumed = 0;
+  while (consumed < size && state_ != State::kComplete &&
+         state_ != State::kError) {
+    // Accumulate one line, tolerating any split point in the input.
+    const char* begin = data + consumed;
+    const char* nl = static_cast<const char*>(
+        std::memchr(begin, '\n', size - consumed));
+    const std::size_t limit = state_ == State::kRequestLine
+                                  ? limits_.max_request_line
+                                  : limits_.max_header_line;
+    if (nl == nullptr) {
+      line_.append(begin, size - consumed);
+      consumed = size;
+      if (line_.size() > limit) fail(431);
+      break;
+    }
+    line_.append(begin, static_cast<std::size_t>(nl - begin));
+    consumed += static_cast<std::size_t>(nl - begin) + 1;
+    if (line_.size() > limit) {
+      fail(431);
+      break;
+    }
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+
+    switch (state_) {
+      case State::kRequestLine:
+        if (line_.empty()) break;  // tolerate leading blank lines (RFC 7230)
+        if (!parse_request_line(line_)) {
+          fail(400);
+          break;
+        }
+        state_ = State::kHeaders;
+        break;
+      case State::kHeaders:
+        if (line_.empty()) {
+          // End of headers. The admin plane never accepts a body: a
+          // request that announces one would desynchronize pipelining.
+          const std::string* length = request_.header("Content-Length");
+          if ((length != nullptr && *length != "0") ||
+              request_.header("Transfer-Encoding") != nullptr) {
+            fail(400);
+            break;
+          }
+          state_ = State::kComplete;
+          status_ = ParseStatus::kComplete;
+          break;
+        }
+        if (request_.headers.size() >= limits_.max_headers) {
+          fail(431);
+          break;
+        }
+        if (!parse_header_line(line_)) {
+          fail(400);
+          break;
+        }
+        break;
+      case State::kComplete:
+      case State::kError:
+        break;
+    }
+    line_.clear();
+  }
+  return consumed;
+}
+
+void RequestParser::reset() {
+  state_ = State::kRequestLine;
+  status_ = ParseStatus::kNeedMore;
+  error_status_ = 0;
+  line_.clear();
+  request_ = Request{};
+}
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string format_response(int status, std::string_view content_type,
+                            std::string_view body) {
+  std::string out;
+  out.reserve(96 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_text(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace mev::obs::http

@@ -1,0 +1,103 @@
+// Minimal HTTP/1.1 request parsing for the embedded admin server: a pure,
+// incremental state machine with no socket or obs/ dependencies, so every
+// edge (torn reads, oversized lines, pipelining) is unit-testable without
+// a network. Deliberately tiny — the admin plane only ever needs
+// `GET /path HTTP/1.x` plus headers; bodies are out of scope (a request
+// that advertises one is rejected).
+//
+//   http::RequestParser parser;
+//   while (...) {
+//     n = recv(...);
+//     consumed = parser.feed(data, n);      // consumes at most one request
+//     if (parser.status() == ParseStatus::kComplete) { ...; parser.reset(); }
+//     // unconsumed bytes (n - consumed) belong to the NEXT pipelined
+//     // request: feed them again after reset().
+//   }
+//
+// This file is compiled regardless of MEV_ENABLE_OBS — it is pure string
+// processing; only the server that uses it is stubbed out.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mev::obs::http {
+
+/// A parsed request line + headers.
+struct Request {
+  std::string method;
+  std::string target;   // origin-form, e.g. "/metrics?verbose=1"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header with this name (ASCII case-insensitive); nullptr when
+  /// absent.
+  const std::string* header(std::string_view name) const noexcept;
+  /// `target` without the query string.
+  std::string_view path() const noexcept;
+};
+
+enum class ParseStatus {
+  kNeedMore,   // fed bytes ended mid-request; feed more
+  kComplete,   // request() is valid; unconsumed bytes are the next request
+  kError,      // malformed or over limits; error_status() says which
+};
+
+struct ParserLimits {
+  /// Longest accepted request line (method + target + version + CRLF).
+  std::size_t max_request_line = 4096;
+  /// Longest accepted single header line.
+  std::size_t max_header_line = 4096;
+  /// Accepted header count; the rest is an error, not a truncation.
+  std::size_t max_headers = 64;
+};
+
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes bytes from `data` until one request completes, an error is
+  /// found, or the input runs out; returns how many bytes were consumed.
+  /// Bytes past a completed request are left for the caller (pipelining).
+  std::size_t feed(const char* data, std::size_t size);
+  std::size_t feed(std::string_view data) {
+    return feed(data.data(), data.size());
+  }
+
+  ParseStatus status() const noexcept { return status_; }
+  /// The HTTP status to answer an error with (431 for over-limit request
+  /// line or headers, 400 otherwise). 0 while not in error.
+  int error_status() const noexcept { return error_status_; }
+  /// Valid when status() == kComplete.
+  const Request& request() const noexcept { return request_; }
+
+  /// Ready for the next request (after kComplete or kError).
+  void reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kComplete, kError };
+
+  void fail(int status) noexcept;
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+
+  ParserLimits limits_;
+  State state_ = State::kRequestLine;
+  ParseStatus status_ = ParseStatus::kNeedMore;
+  int error_status_ = 0;
+  std::string line_;  // the partially received current line
+  Request request_;
+};
+
+/// Serializes a complete HTTP/1.1 response with Content-Length and
+/// Connection: close (the admin server is connection-per-request).
+std::string format_response(int status, std::string_view content_type,
+                            std::string_view body);
+
+/// Reason phrase for the handful of statuses the admin plane uses.
+const char* status_text(int status) noexcept;
+
+}  // namespace mev::obs::http

@@ -9,9 +9,70 @@
 
 namespace mev::obs {
 
+std::string prometheus_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+std::string prometheus_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+namespace {
+
+/// Deterministic decimal rendering: integers print without a fraction,
+/// everything else as the shortest round-trip form.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec == std::errc()) return std::string(buf, res.ptr);
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return format_number(v);
+}
+
 #if MEV_OBS_ENABLED
 
 namespace {
+
+/// JSON has no NaN/Infinity literals; non-finite gauge values snapshot as
+/// null rather than producing an unparseable document.
+std::string json_number(double v) {
+  return std::isfinite(v) ? format_number(v) : "null";
+}
 
 const char* kind_name(detail::MetricKind kind) {
   switch (kind) {
@@ -34,21 +95,6 @@ std::string sanitize_prometheus(std::string_view name) {
   }
   if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
   return out;
-}
-
-/// Deterministic decimal rendering: integers print without a fraction,
-/// everything else as the shortest round-trip form.
-std::string format_number(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-    return buf;
-  }
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  if (res.ec == std::errc()) return std::string(buf, res.ptr);
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
 }
 
 std::string escape_json(std::string_view s) {
@@ -120,7 +166,8 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
   for (const auto& metric : metrics_) {
     const std::string name = sanitize_prometheus(metric->name);
     if (!metric->help.empty())
-      out += "# HELP " + name + " " + metric->help + "\n";
+      out += "# HELP " + name + " " + prometheus_escape_help(metric->help) +
+             "\n";
     out += "# TYPE " + name + " " + kind_name(metric->kind) + "\n";
     switch (metric->kind) {
       case detail::MetricKind::kCounter:
@@ -131,7 +178,8 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
         break;
       case detail::MetricKind::kGauge:
         out += name + " " +
-               format_number(metric->gauge.load(std::memory_order_relaxed)) +
+               prometheus_number(
+                   metric->gauge.load(std::memory_order_relaxed)) +
                "\n";
         break;
       case detail::MetricKind::kHistogram: {
@@ -148,12 +196,13 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
         for (std::size_t i = 0; i <= last && h.count() > 0; ++i) {
           cumulative += h.bucket_count(i);
           out += name + "_bucket{le=\"" +
-                 std::to_string(Log2Histogram::bucket_upper_bound(i)) +
+                 prometheus_escape_label_value(std::to_string(
+                     Log2Histogram::bucket_upper_bound(i))) +
                  "\"} " + std::to_string(cumulative) + "\n";
         }
         out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
                "\n";
-        out += name + "_sum " + format_number(h.sum()) + "\n";
+        out += name + "_sum " + prometheus_number(h.sum()) + "\n";
         out += name + "_count " + std::to_string(h.count()) + "\n";
         break;
       }
@@ -186,7 +235,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
       case detail::MetricKind::kGauge:
         if (!gauges.empty()) gauges += ',';
         gauges +=
-            key + format_number(metric->gauge.load(std::memory_order_relaxed));
+            key + json_number(metric->gauge.load(std::memory_order_relaxed));
         break;
       case detail::MetricKind::kHistogram: {
         Log2Histogram h;
@@ -197,12 +246,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
         const LatencySummary s = summarize(h);
         if (!histograms.empty()) histograms += ',';
         histograms += key + "{\"count\":" + std::to_string(s.count) +
-                      ",\"mean\":" + format_number(s.mean) +
+                      ",\"mean\":" + json_number(s.mean) +
                       ",\"min\":" + std::to_string(h.min()) +
                       ",\"max\":" + std::to_string(s.max) +
-                      ",\"p50\":" + format_number(s.p50) +
-                      ",\"p95\":" + format_number(s.p95) +
-                      ",\"p99\":" + format_number(s.p99) + "}";
+                      ",\"p50\":" + json_number(s.p50) +
+                      ",\"p95\":" + json_number(s.p95) +
+                      ",\"p99\":" + json_number(s.p99) + "}";
         break;
       }
     }

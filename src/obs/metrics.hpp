@@ -38,6 +38,15 @@
 
 namespace mev::obs {
 
+/// Prometheus text-exposition escaping, available in both build modes
+/// (pure string helpers; tests/obs pins them). HELP text escapes
+/// backslash and newline; label values additionally escape double quotes.
+std::string prometheus_escape_help(std::string_view text);
+std::string prometheus_escape_label_value(std::string_view value);
+/// Renders a sample value the way Prometheus expects: NaN, +Inf, -Inf for
+/// non-finite doubles, shortest round-trip decimal otherwise.
+std::string prometheus_number(double v);
+
 #if MEV_OBS_ENABLED
 
 namespace detail {

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <ostream>
@@ -151,6 +152,29 @@ std::uint64_t Tracer::dropped() const {
   for (const auto& buffer : buffers_)
     total += buffer->dropped.load(std::memory_order_relaxed);
   return total;
+}
+
+std::vector<TraceEvent> Tracer::recent(std::size_t max_events) const {
+  std::vector<TraceEvent> events;
+  if (max_events == 0) return events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::size_t n = buffer->size.load(std::memory_order_acquire);
+      // Only the newest max_events per buffer can survive the global cut.
+      const std::size_t from = n > max_events ? n - max_events : 0;
+      for (std::size_t i = from; i < n; ++i)
+        events.push_back(buffer->events[i]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  if (events.size() > max_events)
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(max_events));
+  return events;
 }
 
 void Tracer::clear() {

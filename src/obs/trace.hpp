@@ -157,6 +157,12 @@ class Tracer {
   /// Events dropped on ring overflow across all threads.
   std::uint64_t dropped() const;
 
+  /// The most recent `max_events` completed events across all threads,
+  /// oldest first (merged from the per-thread buffers by timestamp). Safe
+  /// to call while other threads keep emitting — the /tracez endpoint's
+  /// snapshot path.
+  std::vector<TraceEvent> recent(std::size_t max_events) const;
+
   /// Forgets all recorded events and drop counts (buffers and thread ids
   /// are kept). Only call while no other thread is emitting.
   void clear();
@@ -221,6 +227,7 @@ class Tracer {
   runtime::Clock& clock() const noexcept { return *clock_; }
   std::size_t event_count() const { return 0; }
   std::uint64_t dropped() const { return 0; }
+  std::vector<TraceEvent> recent(std::size_t) const { return {}; }
   void clear() {}
   void write_chrome_trace(std::ostream& os) const;  // empty trace
   std::string chrome_trace() const { return "{\"traceEvents\":[]}\n"; }

@@ -1,5 +1,7 @@
 #include "runtime/circuit_breaker.hpp"
 
+#include "runtime/log_hook.hpp"
+
 namespace mev::runtime {
 
 CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config,
@@ -14,6 +16,8 @@ bool CircuitBreaker::allow() {
       clock_->now_ms() - opened_at_ms_ >= config_.open_cooldown_ms) {
     state_ = BreakerState::kHalfOpen;
     half_open_successes_ = 0;
+    log(LogLevel::kInfo, "runtime.breaker", "circuit half-open",
+        {LogField::u64_value("trips", trips_)});
   }
   return state_ != BreakerState::kOpen;
 }
@@ -27,6 +31,8 @@ void CircuitBreaker::record_success() {
       if (++half_open_successes_ >= config_.half_open_successes) {
         state_ = BreakerState::kClosed;
         consecutive_failures_ = 0;
+        log(LogLevel::kInfo, "runtime.breaker", "circuit closed",
+            {LogField::u64_value("trips", trips_)});
       }
       break;
     case BreakerState::kOpen:
@@ -60,6 +66,9 @@ void CircuitBreaker::trip() {
   opened_at_ms_ = clock_->now_ms();
   consecutive_failures_ = 0;
   ++trips_;
+  log(LogLevel::kWarn, "runtime.breaker", "circuit opened",
+      {LogField::u64_value("trips", trips_),
+       LogField::u64_value("cooldown_ms", config_.open_cooldown_ms)});
 }
 
 }  // namespace mev::runtime

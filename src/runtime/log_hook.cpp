@@ -1,0 +1,48 @@
+#include "runtime/log_hook.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace mev::runtime {
+
+namespace {
+
+std::atomic<LogHookFn> g_hook{nullptr};
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const char* text, LogLevel fallback) noexcept {
+  if (text == nullptr) return fallback;
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff})
+    if (std::strcmp(text, to_string(level)) == 0) return level;
+  return fallback;
+}
+
+void set_log_hook(LogHookFn hook) noexcept {
+  g_hook.store(hook, std::memory_order_release);
+}
+
+LogHookFn log_hook() noexcept {
+  return g_hook.load(std::memory_order_acquire);
+}
+
+void log(LogLevel level, const char* component, const char* message,
+         const LogField* fields, std::size_t num_fields) noexcept {
+  const LogHookFn hook = g_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(level, component, message, fields, num_fields);
+}
+
+}  // namespace mev::runtime

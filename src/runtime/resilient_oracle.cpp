@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "runtime/log_hook.hpp"
+
 namespace mev::runtime {
 
 ResilientOracle::ResilientOracle(CountOracle& inner, RetryPolicy retry,
@@ -59,8 +61,15 @@ std::vector<int> ResilientOracle::label_batch(
       if (e.kind() == FaultKind::kGarbled) ++stats_.garbled_batches;
     }
     breaker_.record_failure();
-    if (attempt + 1 < retry_.max_attempts)
-      wait(backoff_delay_ms(retry_, attempt, jitter_rng_), call_deadline_ms);
+    if (attempt + 1 < retry_.max_attempts) {
+      const std::uint64_t delay_ms =
+          backoff_delay_ms(retry_, attempt, jitter_rng_);
+      log(LogLevel::kWarn, "runtime.oracle", "oracle call failed, retrying",
+          {LogField::u64_value("attempt", attempt + 1),
+           LogField::u64_value("rows", counts.rows()),
+           LogField::u64_value("backoff_ms", delay_ms)});
+      wait(delay_ms, call_deadline_ms);
+    }
   }
 
   // Attempts exhausted. A multi-row batch may be suffering partial failure
@@ -68,6 +77,8 @@ std::vector<int> ResilientOracle::label_batch(
   // a fresh attempt budget.
   if (counts.rows() > 1) {
     ++stats_.bisections;
+    log(LogLevel::kWarn, "runtime.oracle", "batch exhausted retries, bisecting",
+        {LogField::u64_value("rows", counts.rows())});
     const std::size_t mid = counts.rows() / 2;
     std::vector<int> labels =
         label_batch(counts.slice_rows(0, mid), call_deadline_ms);

@@ -17,6 +17,7 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
       clock_(config.clock != nullptr ? config.clock
                                      : &runtime::SystemClock::instance()),
       tracer_(obs::resolve(config.tracer)),
+      logger_(obs::resolve(config.logger)),
       batcher_(BatcherConfig{config.max_batch_rows,
                              config.max_queue_delay_ms}) {
   obs::MetricsRegistry* registry = obs::resolve(config.metrics);
@@ -57,6 +58,24 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
     for (std::size_t i = 0; i < config_.workers; ++i)
       threads_.emplace_back(
           [this, i] { worker_loop(worker_states_[i]); });
+  }
+
+  MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service", "service started",
+          {obs::LogField::u64_value("workers", config_.workers),
+           obs::LogField::u64_value("max_queue_rows", config_.max_queue_rows),
+           obs::LogField::u64_value("max_batch_rows",
+                                    config_.max_batch_rows)});
+
+  if (config_.admin.enabled) {
+    obs::AdminServerConfig admin = config_.admin;
+    // The admin plane serves this service's sinks unless the caller wired
+    // its own.
+    if (admin.tracer == nullptr) admin.tracer = tracer_;
+    if (admin.metrics == nullptr) admin.metrics = registry;
+    if (admin.logger == nullptr) admin.logger = logger_;
+    admin_ = std::make_unique<obs::AdminServer>(std::move(admin));
+    admin_->set_readiness_probe([this] { return readiness(); });
+    if (!admin_->start()) admin_.reset();
   }
 }
 
@@ -119,6 +138,14 @@ std::future<ScoreResult> ScoringService::submit(math::Matrix counts,
       obs_.rejected_queue_full.inc();
     else
       obs_.rejected_shutting_down.inc();
+    // Per-request path: rate-limited so overload cannot flood the sink.
+    MEV_LOG_EVERY(*logger_, obs::LogLevel::kWarn, /*rate_per_s=*/1.0,
+                  /*burst=*/5.0, "serve.service", "submission rejected",
+                  {obs::LogField::string(
+                       "reason", reject == RejectReason::kQueueFull
+                                     ? "queue_full"
+                                     : "shutting_down"),
+                   obs::LogField::u64_value("rows", rows)});
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (reject == RejectReason::kQueueFull) ++stats_.rejected_queue_full;
     else ++stats_.rejected_shutting_down;
@@ -170,6 +197,8 @@ std::uint64_t ScoringService::swap_model(features::FeaturePipeline pipeline,
   }
   obs_.model_swaps.inc();
   obs::instant(tracer_, "mev.serve.model_swap");
+  MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
+          "model swapped", {obs::LogField::u64_value("version", version)});
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.model_swaps;
@@ -186,6 +215,11 @@ void ScoringService::shutdown(bool drain) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (state_ == State::kStopped && threads_.empty()) return;
+    MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
+            "shutdown requested",
+            {obs::LogField::string("mode", drain ? "drain" : "immediate"),
+             obs::LogField::u64_value("pending_rows",
+                                      batcher_.pending_rows())});
     if (drain && !batcher_.empty()) {
       state_ = State::kDraining;
     } else {
@@ -206,8 +240,32 @@ void ScoringService::shutdown(bool drain) {
     }
   }
   join_workers();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = State::kStopped;
+  }
+  // The admin server stays up (serving 503 on /readyz) until destruction:
+  // an operator can still scrape /metrics from a stopped service.
+  MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service", "service stopped");
+}
+
+obs::Readiness ScoringService::readiness() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  state_ = State::kStopped;
+  switch (state_) {
+    case State::kDraining:
+      return {false, "draining"};
+    case State::kStopped:
+      return {false, "stopped"};
+    case State::kRunning:
+      break;
+  }
+  // Saturation gate: flag before admission control starts rejecting, so
+  // load balancers steer away while the service still answers.
+  const std::size_t high_water =
+      config_.max_queue_rows - config_.max_queue_rows / 10;
+  if (batcher_.pending_rows() >= high_water)
+    return {false, "queue high-water"};
+  return {true, "ok"};
 }
 
 void ScoringService::join_workers() {

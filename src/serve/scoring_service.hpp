@@ -43,6 +43,8 @@
 #include "features/pipeline.hpp"
 #include "nn/network.hpp"
 #include "nn/session.hpp"
+#include "obs/admin_server.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/clock.hpp"
@@ -77,6 +79,16 @@ struct ServiceConfig {
   /// mev.serve.batch span. Must outlive the service.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Structured log destination; nullptr = obs::default_logger(). Must
+  /// outlive the service.
+  obs::Logger* logger = nullptr;
+  /// Embedded HTTP admin plane (/metrics /varz /healthz /readyz /tracez).
+  /// Disabled by default; with enabled=true the service starts the server
+  /// on construction, wires its /readyz to readiness(), and keeps it
+  /// serving through shutdown() so a drain is observable as 503 — the
+  /// server stops only when the service is destroyed. The config's sink
+  /// pointers default to the service's own resolved sinks.
+  obs::AdminServerConfig admin;
 };
 
 class ScoringService {
@@ -124,6 +136,15 @@ class ScoringService {
 
   /// Point-in-time copy of counters and histograms.
   ServiceStats stats() const;
+
+  /// The verdict served on /readyz: ready while running and below the
+  /// queue high-water mark (90% of max_queue_rows); not ready (with a
+  /// reason) while draining, stopped, or saturated.
+  obs::Readiness readiness() const;
+
+  /// The embedded admin server, or nullptr when config.admin.enabled was
+  /// false (or the OBS-off build stubbed it out and start() failed).
+  obs::AdminServer* admin_server() noexcept { return admin_.get(); }
 
   const ServiceConfig& config() const noexcept { return config_; }
 
@@ -175,6 +196,7 @@ class ScoringService {
   ServiceConfig config_;
   runtime::Clock* clock_;
   obs::Tracer* tracer_;
+  obs::Logger* logger_;
   ObsHandles obs_;
 
   mutable std::mutex snapshot_mutex_;
@@ -191,6 +213,10 @@ class ScoringService {
 
   std::vector<WorkerState> worker_states_;
   std::vector<std::thread> threads_;
+
+  /// Declared last: destroyed first, so its readiness probe (which reads
+  /// this service's state) never outlives the members it touches.
+  std::unique_ptr<obs::AdminServer> admin_;
 };
 
 }  // namespace mev::serve

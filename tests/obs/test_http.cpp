@@ -1,0 +1,192 @@
+// RequestParser edge cases: torn reads at every byte boundary, pipelined
+// requests, limit enforcement (431), and malformed input (400). The parser
+// is pure string code compiled in every build mode, so these tests run
+// with and without MEV_ENABLE_OBS.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/http.hpp"
+
+namespace {
+
+using mev::obs::http::ParserLimits;
+using mev::obs::http::ParseStatus;
+using mev::obs::http::Request;
+using mev::obs::http::RequestParser;
+
+constexpr const char* kSimpleGet =
+    "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+
+TEST(RequestParser, ParsesASimpleGet) {
+  RequestParser parser;
+  const std::string input = kSimpleGet;
+  const std::size_t consumed = parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(consumed, input.size());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/metrics");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  ASSERT_NE(parser.request().header("host"), nullptr);
+  EXPECT_EQ(*parser.request().header("HOST"), "localhost");
+}
+
+TEST(RequestParser, TornAtEveryByteBoundaryStillParses) {
+  const std::string input = kSimpleGet;
+  for (std::size_t split = 1; split < input.size(); ++split) {
+    RequestParser parser;
+    std::size_t consumed = parser.feed(input.data(), split);
+    EXPECT_EQ(parser.status(), ParseStatus::kNeedMore)
+        << "split at " << split;
+    consumed += parser.feed(input.data() + consumed, input.size() - consumed);
+    ASSERT_EQ(parser.status(), ParseStatus::kComplete)
+        << "split at " << split;
+    EXPECT_EQ(consumed, input.size()) << "split at " << split;
+    EXPECT_EQ(parser.request().target, "/metrics") << "split at " << split;
+  }
+}
+
+TEST(RequestParser, OneByteAtATimeStillParses) {
+  const std::string input = kSimpleGet;
+  RequestParser parser;
+  std::size_t consumed = 0;
+  for (char c : input)
+    if (parser.status() == ParseStatus::kNeedMore)
+      consumed += parser.feed(&c, 1);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(consumed, input.size());
+  EXPECT_EQ(parser.request().path(), "/metrics");
+}
+
+TEST(RequestParser, PipelinedRequestsAreConsumedOneAtATime) {
+  const std::string input =
+      "GET /healthz HTTP/1.1\r\n\r\nGET /readyz HTTP/1.1\r\n\r\n";
+  RequestParser parser;
+  const std::size_t first = parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_LT(first, input.size());  // second request left unconsumed
+
+  parser.reset();
+  const std::size_t second =
+      parser.feed(input.data() + first, input.size() - first);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().target, "/readyz");
+  EXPECT_EQ(first + second, input.size());
+}
+
+TEST(RequestParser, OversizedRequestLineFailsWith431) {
+  ParserLimits limits;
+  limits.max_request_line = 64;
+  RequestParser parser(limits);
+  const std::string input =
+      "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n";
+  parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, OversizedRequestLineWithoutNewlineFailsEagerly) {
+  // The limit applies to the accumulated partial line too — a scraper
+  // streaming an endless first line is rejected without buffering it all.
+  ParserLimits limits;
+  limits.max_request_line = 64;
+  RequestParser parser(limits);
+  const std::string input(100, 'a');  // no newline yet
+  parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, TooManyHeadersFailWith431) {
+  ParserLimits limits;
+  limits.max_headers = 4;
+  RequestParser parser(limits);
+  std::string input = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 10; ++i)
+    input += "X-Header-" + std::to_string(i) + ": v\r\n";
+  input += "\r\n";
+  parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, MalformedRequestLineFailsWith400) {
+  for (const char* bad : {"NOSPACES\r\n\r\n", "GET /only-two\r\n\r\n",
+                          "GET / NOTHTTP/1.1\r\n\r\n"}) {
+    RequestParser parser;
+    parser.feed(std::string_view(bad));
+    ASSERT_EQ(parser.status(), ParseStatus::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParser, HeaderWithoutColonFailsWith400) {
+  RequestParser parser;
+  parser.feed(std::string_view("GET / HTTP/1.1\r\nbogusheader\r\n\r\n"));
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParser, RequestsWithBodiesAreRejected) {
+  RequestParser parser;
+  parser.feed(std::string_view(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"));
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+
+  parser.reset();
+  parser.feed(std::string_view(
+      "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"));
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+
+  // An explicit zero-length body is fine.
+  parser.reset();
+  parser.feed(std::string_view("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  EXPECT_EQ(parser.status(), ParseStatus::kComplete);
+}
+
+TEST(RequestParser, BareLfAndLeadingBlankLinesAreTolerated) {
+  RequestParser parser;
+  parser.feed(std::string_view("\r\n\nGET /varz HTTP/1.1\nHost: x\n\n"));
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().target, "/varz");
+  ASSERT_NE(parser.request().header("Host"), nullptr);
+  EXPECT_EQ(*parser.request().header("Host"), "x");
+}
+
+TEST(RequestParser, PathStripsTheQueryString) {
+  RequestParser parser;
+  parser.feed(std::string_view("GET /metrics?verbose=1 HTTP/1.1\r\n\r\n"));
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().target, "/metrics?verbose=1");
+  EXPECT_EQ(parser.request().path(), "/metrics");
+}
+
+TEST(RequestParser, ResetClearsErrorAndRequestState) {
+  RequestParser parser;
+  parser.feed(std::string_view("garbage\r\n"));
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  parser.reset();
+  EXPECT_EQ(parser.status(), ParseStatus::kNeedMore);
+  EXPECT_EQ(parser.error_status(), 0);
+  parser.feed(std::string_view(kSimpleGet));
+  EXPECT_EQ(parser.status(), ParseStatus::kComplete);
+}
+
+TEST(FormatResponse, ProducesAFramedCloseDelimitedResponse) {
+  const std::string response =
+      mev::obs::http::format_response(200, "text/plain", "ok\n");
+  EXPECT_EQ(response,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: 3\r\n"
+            "Connection: close\r\n\r\n"
+            "ok\n");
+  EXPECT_NE(mev::obs::http::format_response(503, "text/plain", "draining\n")
+                .find("503 Service Unavailable"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,6 +1,8 @@
 // MetricsRegistry behavior: handle semantics, the Prometheus text
 // exposition golden file, the JSON snapshot, and thread-safety of handle
 // updates (exercised under TSan in CI).
+#include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +16,80 @@ namespace {
 using mev::obs::Counter;
 using mev::obs::MetricsRegistry;
 
+// The exposition escaping helpers are pure string code, compiled in every
+// build mode.
+TEST(PrometheusEscaping, HelpTextEscapesBackslashAndNewline) {
+  EXPECT_EQ(mev::obs::prometheus_escape_help("plain help"), "plain help");
+  EXPECT_EQ(mev::obs::prometheus_escape_help("a\\b"), "a\\\\b");
+  EXPECT_EQ(mev::obs::prometheus_escape_help("line1\nline2"),
+            "line1\\nline2");
+  // Double quotes are NOT escaped in HELP text (only in label values).
+  EXPECT_EQ(mev::obs::prometheus_escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(PrometheusEscaping, LabelValuesEscapeQuotesBackslashAndNewline) {
+  EXPECT_EQ(mev::obs::prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(mev::obs::prometheus_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(mev::obs::prometheus_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(mev::obs::prometheus_escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(mev::obs::prometheus_escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n");
+}
+
+TEST(PrometheusEscaping, NumbersRenderNanAndInfinities) {
+  EXPECT_EQ(mev::obs::prometheus_number(
+                std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+  EXPECT_EQ(
+      mev::obs::prometheus_number(std::numeric_limits<double>::infinity()),
+      "+Inf");
+  EXPECT_EQ(
+      mev::obs::prometheus_number(-std::numeric_limits<double>::infinity()),
+      "-Inf");
+  EXPECT_EQ(mev::obs::prometheus_number(2.0), "2");
+  EXPECT_EQ(mev::obs::prometheus_number(0.5), "0.5");
+}
+
 #if MEV_OBS_ENABLED
+
+TEST(MetricsRegistry, EmptyRegistryExportsEmptyExposition) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.prometheus(), "");
+  EXPECT_EQ(registry.json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n");
+}
+
+TEST(MetricsRegistry, HelpTextWithNewlineStaysOneExpositionLine) {
+  MetricsRegistry registry;
+  registry.counter("mev.test.esc", "first\nsecond \\ slash").inc();
+  EXPECT_EQ(registry.prometheus(),
+            "# HELP mev_test_esc first\\nsecond \\\\ slash\n"
+            "# TYPE mev_test_esc counter\n"
+            "mev_test_esc 1\n");
+}
+
+TEST(MetricsRegistry, NonFiniteGaugeValuesExportPrometheusAndJsonSafely) {
+  MetricsRegistry registry;
+  registry.gauge("mev.test.nan").set(std::nan(""));
+  registry.gauge("mev.test.pinf").set(
+      std::numeric_limits<double>::infinity());
+  registry.gauge("mev.test.ninf").set(
+      -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(registry.prometheus(),
+            "# TYPE mev_test_nan gauge\n"
+            "mev_test_nan NaN\n"
+            "# TYPE mev_test_pinf gauge\n"
+            "mev_test_pinf +Inf\n"
+            "# TYPE mev_test_ninf gauge\n"
+            "mev_test_ninf -Inf\n");
+  // JSON has no NaN/Infinity literals; non-finite values become null so
+  // the snapshot stays parseable.
+  EXPECT_EQ(registry.json(),
+            "{\"counters\":{},"
+            "\"gauges\":{\"mev.test.nan\":null,"
+            "\"mev.test.pinf\":null,\"mev.test.ninf\":null},"
+            "\"histograms\":{}}\n");
+}
 
 TEST(MetricsRegistry, PrometheusGoldenFile) {
   MetricsRegistry registry;
