@@ -1,14 +1,21 @@
 // Microbenchmarks for the resilience layer's clean-path overhead: what the
 // retry/breaker decorator and the query cache cost when the oracle is
-// healthy (the common case — fault handling should be pay-as-you-go).
+// healthy (the common case — fault handling should be pay-as-you-go) —
+// plus the serving-ingress concurrency primitives (MpscQueue, EventCount)
+// measured in isolation from the service.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <optional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "math/matrix.hpp"
 #include "math/rng.hpp"
+#include "runtime/event_count.hpp"
 #include "runtime/fault_injection.hpp"
+#include "runtime/mpsc_queue.hpp"
 #include "runtime/query_cache.hpp"
 #include "runtime/resilient_oracle.hpp"
 
@@ -99,6 +106,64 @@ void BM_QueryCacheHitPath(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_QueryCacheHitPath)->Arg(64)->Arg(512);
+
+// --- Serving-ingress primitives (DESIGN.md §8) -------------------------
+
+void BM_MpscQueuePushPop(benchmark::State& state) {
+  // Single-threaded round trip: the floor for one submission's queue cost
+  // (two CASes + two sequence stores, no allocation).
+  runtime::MpscQueue<std::uint64_t> queue(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.try_push(i++));
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpscQueuePushPop);
+
+void BM_MpscQueueContended(benchmark::State& state) {
+  // N threads each doing a push + pop round trip on one shared ring: the
+  // CAS contention shape of a hot shard under concurrent submitters.
+  // Balanced per-thread so no thread can strand another on a full or
+  // empty ring when iteration counts differ.
+  static runtime::MpscQueue<std::uint64_t>* queue = nullptr;
+  if (state.thread_index() == 0)
+    queue = new runtime::MpscQueue<std::uint64_t>(4096);
+  for (auto _ : state) {
+    std::uint64_t v = 1;
+    while (!queue->try_push(std::move(v))) std::this_thread::yield();
+    while (!queue->try_pop().has_value()) std::this_thread::yield();
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    while (queue->try_pop().has_value()) {
+    }
+    delete queue;
+    queue = nullptr;
+  }
+}
+BENCHMARK(BM_MpscQueueContended)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_EventCountNotifyNoWaiters(benchmark::State& state) {
+  // The submit-side fast path under load: workers busy, nobody parked —
+  // notify_one() must be a single atomic load, not a mutex.
+  runtime::EventCount ec;
+  for (auto _ : state) ec.notify_one();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventCountNotifyNoWaiters);
+
+void BM_EventCountPrepareCancel(benchmark::State& state) {
+  // The consumer-side miss path: announce a wait, find work, abandon it.
+  runtime::EventCount ec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec.prepare_wait());
+    ec.cancel_wait();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventCountPrepareCancel);
 
 }  // namespace
 

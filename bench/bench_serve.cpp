@@ -199,7 +199,7 @@ OpenLoopResult run_open_loop(bench::Environment& env,
 
   serve::SubmitOptions options;
   options.deadline_ms = 100;  // drop hopeless work instead of queueing it
-  std::vector<std::future<serve::ScoreResult>> futures;
+  std::vector<serve::ScoreFuture> futures;
   futures.reserve(requests.size());
   const auto start = SteadyClock::now();
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -268,6 +268,12 @@ int main(int argc, char** argv) {
   std::vector<ClosedLoopResult> closed;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
+    if (workers > cores)
+      std::cerr << "# WARNING: sweeping " << workers << " workers on "
+                << cores << " core(s) — the pool is time-slicing, so "
+                << "speedup vs sequential measures the scheduler, not the "
+                << "service; check_regression.py skips this point's "
+                << "throughput gate\n";
     for (const std::uint64_t window_ms : {std::uint64_t{0}, std::uint64_t{2}}) {
       closed.push_back(run_closed_loop(env, requests, workers, window_ms,
                                        seq.per_row_rows_per_s));
@@ -305,7 +311,11 @@ int main(int argc, char** argv) {
   for (const auto& r : closed)
     if (r.workers == 8) best8 = std::max(best8, r.speedup);
   std::cout << "\n8-worker best speedup: " << best8 << "x (cores=" << cores
-            << ", target 3x on >=8 cores)\n";
+            << ", target 3x on >=8 cores";
+  if (cores < 8)
+    std::cout << "; UNDER-PROVISIONED: only " << cores
+              << " core(s) detected, the multi-worker gate does not apply";
+  std::cout << ")\n";
 
   std::ofstream out("BENCH_serve.json");
   out << "{\n"

@@ -6,13 +6,22 @@ Two report formats are understood:
 * BENCH_micro.json — a flat ``{"BM_Name/arg": ns_per_op}`` map written by
   ``bench/bench_micro``. Lower is better.
 * BENCH_serve.json — the structured report written by ``bench/bench_serve``
-  with ``closed_loop`` / ``open_loop`` sweeps. The pinned signal is the
-  end-to-end latency p95 of each sweep point (lower is better).
+  with ``closed_loop`` / ``open_loop`` sweeps. The pinned signals are the
+  end-to-end latency p95 of each sweep point (lower is better) and the
+  closed-loop speedup-vs-sequential of each worker count (higher is
+  better; the ratio, not absolute rows/s, so co-tenant load on the bench
+  box cancels out).
 
 The check is direction-aware: only a change for the *worse* beyond the
 tolerance band fails; improvements are reported and pass. Keys present in
 only one file are reported but never fail the check, so adding or removing
 a benchmark does not require touching this script.
+
+Multi-worker throughput gates are *skipped* (not failed) when either run
+was under-provisioned — the sweep point uses more workers than the box has
+cores (``hardware_concurrency`` in the report). A 1-core container cannot
+multiply compute with a worker pool, and failing the gate there would only
+punish the hardware, not the code.
 
 Usage:
     check_regression.py --kind micro --baseline BENCH_micro.json \
@@ -57,26 +66,37 @@ class Comparison:
 
     def check(self, key, baseline, fresh):
         """Record one lower-is-better comparison."""
-        if baseline is None or fresh is None:
-            self.skipped.append(key)
-            return
-        if baseline <= 0:
-            self.skipped.append(key)
+        self._check(key, baseline, fresh, higher_is_better=False)
+
+    def check_higher(self, key, baseline, fresh):
+        """Record one higher-is-better comparison (throughput)."""
+        self._check(key, baseline, fresh, higher_is_better=True)
+
+    def _check(self, key, baseline, fresh, higher_is_better):
+        if baseline is None or fresh is None or baseline <= 0:
+            self.skip(key, "missing or zero in one file")
             return
         ratio = fresh / baseline
         line = f"{key}: {baseline:.6g} -> {fresh:.6g} ({ratio - 1.0:+.1%})"
-        if ratio > 1.0 + self.tolerance:
+        worse = ratio < 1.0 - self.tolerance if higher_is_better \
+            else ratio > 1.0 + self.tolerance
+        better = ratio > 1.0 + self.tolerance if higher_is_better \
+            else ratio < 1.0 - self.tolerance
+        if worse:
             self.regressions.append(line)
-        elif ratio < 1.0 - self.tolerance:
+        elif better:
             self.improvements.append(line)
+
+    def skip(self, key, reason):
+        self.skipped.append(f"{key} ({reason})")
 
     def report(self, label):
         for line in self.improvements:
             print(f"  improved   {line}")
         for line in self.regressions:
             print(f"  REGRESSED  {line}")
-        for key in self.skipped:
-            print(f"  skipped    {key} (missing or zero in one file)")
+        for line in self.skipped:
+            print(f"  skipped    {line}")
         if self.regressions:
             print(
                 f"{label}: {len(self.regressions)} pinned key(s) regressed "
@@ -98,7 +118,7 @@ def check_micro(baseline, fresh, tolerance):
         comparison.check(key, baseline.get(key), fresh.get(key))
     for key in sorted(set(fresh) - set(baseline)):
         if key.startswith(PINNED_MICRO_PREFIXES):
-            comparison.skipped.append(key)
+            comparison.skip(key, "new key, no baseline")
     return comparison.report("micro")
 
 
@@ -118,6 +138,22 @@ def serve_points(report):
         yield key, point.get("e2e_latency_us", {}).get("p95")
 
 
+def serve_throughput_points(report):
+    """Yield (key, speedup, workers) for every closed-loop sweep point.
+
+    The gated number is ``speedup_vs_sequential``, not absolute rows/s:
+    both are measured in the same process run, so the ratio cancels out
+    how fast (or how loaded) the box happened to be — absolute rows/s
+    swings with co-tenant load even when the service is unchanged.
+    """
+    for point in report.get("closed_loop", []):
+        key = (
+            f"closed_loop[workers={point.get('workers')},"
+            f"window_ms={point.get('window_ms')}].speedup_vs_sequential"
+        )
+        yield key, point.get("speedup_vs_sequential"), point.get("workers") or 0
+
+
 def check_serve(baseline, fresh, tolerance):
     if baseline.get("scale") != fresh.get("scale"):
         print(
@@ -131,6 +167,23 @@ def check_serve(baseline, fresh, tolerance):
     fresh_map = dict(serve_points(fresh))
     for key, base_value in serve_points(baseline):
         comparison.check(key, base_value, fresh_map.get(key))
+
+    # Closed-loop throughput, higher is better. A point is gated only when
+    # BOTH runs had at least as many cores as workers; otherwise the pool
+    # was time-slicing one core and the number measures the scheduler, not
+    # the service.
+    base_cores = baseline.get("hardware_concurrency") or 1
+    fresh_cores = fresh.get("hardware_concurrency") or 1
+    fresh_tp = {key: value for key, value, _ in serve_throughput_points(fresh)}
+    for key, base_value, workers in serve_throughput_points(baseline):
+        if workers > base_cores or workers > fresh_cores:
+            comparison.skip(
+                key,
+                f"under-provisioned: {workers} workers on "
+                f"min({base_cores}, {fresh_cores}) cores",
+            )
+            continue
+        comparison.check_higher(key, base_value, fresh_tp.get(key))
     return comparison.report("serve")
 
 

@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
     producers.emplace_back([&, p] {
       math::Rng producer_rng(config.seed + 100 + p);
       const auto& extractor = trained.detector->pipeline().extractor();
-      std::vector<std::future<serve::ScoreResult>> futures;
+      std::vector<serve::ScoreFuture> futures;
       for (std::size_t i = 0; i < per_producer; ++i) {
         const int label =
             (i % 2 == 0) ? data::kMalwareLabel : data::kCleanLabel;

@@ -1,0 +1,132 @@
+// Bounded lock-free ring queue for the serving ingress path (DESIGN.md §8).
+//
+// The primary shape is MPSC — many submitting threads, one owning worker
+// per shard — but pop() is also safe from other threads, which is what
+// lets idle workers *steal* from a busy worker's shard and lets shutdown
+// sweep every shard from one thread. The algorithm is Vyukov's bounded
+// queue: each cell carries a sequence number, producers claim a cell with
+// one CAS on the head, consumers with one CAS on the tail, and the cell's
+// sequence publishes the hand-off — no mutex, no per-operation
+// allocation, and a full or empty queue is detected without touching the
+// other side's index.
+//
+// Head and tail live on separate cache lines so producers and consumers
+// do not false-share; capacity is rounded up to a power of two so the
+// slot index is a mask, not a modulo.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace mev::runtime {
+
+// A fixed 64 rather than std::hardware_destructive_interference_size:
+// the standard constant is an ABI hazard (GCC warns on any ODR-relevant
+// use) and 64 is the destructive-interference size on every platform
+// this repo targets (x86-64, aarch64 with 64B lines).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpscQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) {
+      if (cap > (std::size_t{1} << 62))
+        throw std::invalid_argument("MpscQueue: capacity overflow");
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Multi-producer enqueue. Returns false when the queue is full (the
+  /// value is untouched and stays with the caller).
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // cell still holds an unconsumed value: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeue. Normally called by the shard's owning worker, but safe from
+  /// any thread (work stealing, shutdown sweep). Returns std::nullopt
+  /// when empty.
+  std::optional<T> try_pop() {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return std::nullopt;  // cell not yet published: empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> value(std::move(cell->value));
+    cell->value = T{};  // do not keep resources alive inside the ring
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return value;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Racy size estimate (head and tail are read independently); exact
+  /// only when no producer or consumer is active. Intended for gauges
+  /// and idle checks, not for admission control.
+  std::size_t approx_size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head > tail ? head - tail : 0;
+  }
+
+  bool approx_empty() const noexcept { return approx_size() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence;
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};  // producers
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};  // consumers
+};
+
+}  // namespace mev::runtime

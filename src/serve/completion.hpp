@@ -1,0 +1,191 @@
+// Slot-based completion path for the scoring service (DESIGN.md §8).
+//
+// The old path heap-allocated a std::promise/std::future pair per request
+// — an allocation, a mutex and a condition variable on every submission.
+// This replaces it with a preallocated CompletionArena: a submission
+// acquires a slot (one lock-free freelist pop), the scoring worker writes
+// the result into the slot and flips one atomic, and the ScoreFuture
+// handle waits on that atomic directly (std::atomic::wait — a futex on
+// Linux). Slots are recycled through the freelist, so the steady state
+// performs no allocation and reuses each slot's ScoreResult buffers.
+//
+// Lifecycle of a slot (state lives in one atomic, tagged with the slot's
+// generation so a recycled slot can never satisfy a stale handle):
+//
+//   acquire()            pending   — owned by one handle + one resolver
+//   complete()           done      — result readable, waiters woken
+//   ScoreFuture::get()   released  — back on the freelist, generation+1
+//
+// A handle dropped before get() marks the slot abandoned; whichever side
+// arrives second (completer or handle destructor) releases the slot, so
+// dropping futures never leaks slots or blocks a worker.
+//
+// The arena grows by fixed-size blocks when the freelist runs dry
+// (amortized: only when the number of concurrently outstanding results
+// exceeds every previous high-water mark) and never shrinks or moves a
+// slot — handles hold stable pointers into it. Thread-safe throughout.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "serve/request.hpp"
+
+namespace mev::serve {
+
+class CompletionArena {
+ public:
+  /// `block_slots` is the allocation granularity (and initial capacity).
+  explicit CompletionArena(std::size_t block_slots = 256);
+  ~CompletionArena();
+
+  CompletionArena(const CompletionArena&) = delete;
+  CompletionArena& operator=(const CompletionArena&) = delete;
+
+  /// Takes a free slot (growing if needed). The ticket must be resolved
+  /// exactly once via complete()/complete_error() and consumed exactly
+  /// once via take()/abandon() (ScoreFuture does the latter).
+  CompletionTicket acquire();
+
+  /// Publishes the result and wakes waiters. If the handle was already
+  /// abandoned, the result is dropped and the slot recycled here.
+  void complete(CompletionTicket ticket, ScoreResult&& result);
+
+  /// Publishes an exception instead (take() rethrows it).
+  void complete_error(CompletionTicket ticket, std::exception_ptr error);
+
+  /// True once the ticket has been resolved.
+  bool ready(CompletionTicket ticket) const noexcept;
+
+  /// Blocks until resolved.
+  void wait(CompletionTicket ticket) const noexcept;
+
+  /// Bounded wait; true when resolved before the timeout.
+  bool wait_for_ms(CompletionTicket ticket, std::uint64_t timeout_ms) const;
+
+  /// Waits, then moves the result out and releases the slot. Rethrows a
+  /// complete_error() exception. Call at most once per ticket.
+  ScoreResult take(CompletionTicket ticket);
+
+  /// Detaches the handle without consuming the result. Safe at any point
+  /// after acquire(); the slot is recycled by whichever of
+  /// abandon()/complete() runs second.
+  void abandon(CompletionTicket ticket) noexcept;
+
+  /// Slots allocated (capacity) and currently outstanding (approximate).
+  std::size_t capacity() const noexcept;
+  std::size_t outstanding() const noexcept;
+
+ private:
+  enum : std::uint32_t { kPending = 0, kDone = 1, kAbandoned = 2 };
+
+  struct Slot {
+    /// (generation << 32) | lifecycle-state. All hand-offs go through
+    /// this one atomic; waiters park on it with std::atomic::wait.
+    std::atomic<std::uint64_t> state{0};
+    ScoreResult result;
+    std::exception_ptr error;
+    /// Freelist link, packed like free_head_'s low word (index+1, 0 =
+    /// end). Atomic so a racing pop's speculative read of a just-reused
+    /// node is a benign relaxed load, not a data race.
+    std::atomic<std::uint32_t> next_free{0};
+  };
+
+  static constexpr std::uint64_t pack(std::uint32_t generation,
+                                      std::uint32_t s) noexcept {
+    return (static_cast<std::uint64_t>(generation) << 32) | s;
+  }
+
+  // 1M slots ≫ any realistic number of concurrently outstanding results
+  // (the queue admits at most max_queue_rows rows at a time; slots only
+  // accumulate when callers hold unconsumed futures).
+  static constexpr std::size_t kMaxBlocks = 4096;
+
+  Slot& slot(std::uint32_t index) const noexcept;
+  void release(std::uint32_t index, std::uint32_t generation) noexcept;
+  void grow();
+
+  std::size_t block_slots_;
+  /// Treiber stack of free slot indices. Packed (aba_tag << 32 | index+1);
+  /// 0 = empty. The tag makes pop's CAS ABA-safe.
+  std::atomic<std::uint64_t> free_head_{0};
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::size_t> outstanding_{0};
+  /// Blocks are published with a release store and never freed or moved,
+  /// so slot() is a wait-free acquire load + index.
+  std::array<std::atomic<Slot*>, kMaxBlocks> blocks_{};
+  std::mutex grow_mutex_;
+};
+
+/// One-shot handle to a pending ScoreResult, backed by an arena slot
+/// instead of std::future shared state. Move-only; get() consumes.
+/// Keeps the arena alive (shared_ptr), so a future outliving its
+/// ScoringService — e.g. taken just before the service is destroyed and
+/// drained — remains safe to wait on.
+class ScoreFuture {
+ public:
+  ScoreFuture() = default;
+  ScoreFuture(std::shared_ptr<CompletionArena> arena, CompletionTicket ticket)
+      : arena_(std::move(arena)), ticket_(ticket) {}
+
+  ~ScoreFuture() {
+    if (arena_ != nullptr) arena_->abandon(ticket_);
+  }
+
+  ScoreFuture(ScoreFuture&& other) noexcept { *this = std::move(other); }
+  ScoreFuture& operator=(ScoreFuture&& other) noexcept {
+    if (this != &other) {
+      if (arena_ != nullptr) arena_->abandon(ticket_);
+      arena_ = std::move(other.arena_);
+      ticket_ = other.ticket_;
+      other.arena_.reset();
+    }
+    return *this;
+  }
+
+  ScoreFuture(const ScoreFuture&) = delete;
+  ScoreFuture& operator=(const ScoreFuture&) = delete;
+
+  bool valid() const noexcept { return arena_ != nullptr; }
+
+  void wait() const {
+    if (arena_ == nullptr) throw std::future_error(std::future_errc::no_state);
+    arena_->wait(ticket_);
+  }
+
+  /// std::future-compatible probe (ready/timeout; never deferred).
+  template <typename Rep, typename Period>
+  std::future_status wait_for(
+      std::chrono::duration<Rep, Period> timeout) const {
+    if (arena_ == nullptr) throw std::future_error(std::future_errc::no_state);
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(timeout);
+    if (ms.count() <= 0)
+      return arena_->ready(ticket_) ? std::future_status::ready
+                                    : std::future_status::timeout;
+    return arena_->wait_for_ms(ticket_,
+                               static_cast<std::uint64_t>(ms.count()))
+               ? std::future_status::ready
+               : std::future_status::timeout;
+  }
+
+  /// Waits, returns the result (or rethrows), and invalidates the handle.
+  ScoreResult get() {
+    if (arena_ == nullptr) throw std::future_error(std::future_errc::no_state);
+    auto arena = std::move(arena_);
+    arena_.reset();
+    return arena->take(ticket_);
+  }
+
+ private:
+  std::shared_ptr<CompletionArena> arena_;
+  CompletionTicket ticket_;
+};
+
+}  // namespace mev::serve

@@ -1,10 +1,15 @@
 // Request/response vocabulary of the scoring service. A submission either
 // completes with one Verdict per input row or is REJECTED with an explicit
 // reason — the service never queues unboundedly and never silently drops.
+//
+// Completion is slot-based (PR 6): a queued request carries either a
+// CompletionTicket into the service's CompletionArena (future mode) or a
+// raw callback pointer (callback mode) — never a heap-allocated
+// std::promise. See serve/completion.hpp for the arena and the ScoreFuture
+// handle submit() returns.
 #pragma once
 
 #include <cstdint>
-#include <future>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -16,8 +21,9 @@ namespace mev::serve {
 enum class RejectReason {
   kNone = 0,        // not rejected: verdicts are valid
   kQueueFull,       // admission control: queued rows would exceed the bound
-  kShuttingDown,    // service stopped (or stopping without drain)
+  kShuttingDown,    // service stopped, not yet started, or stopping
   kDeadline,        // the request's deadline expired before scoring
+  kInternalError,   // scoring threw (callback mode; future mode rethrows)
 };
 
 inline const char* to_string(RejectReason reason) noexcept {
@@ -26,6 +32,7 @@ inline const char* to_string(RejectReason reason) noexcept {
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kShuttingDown: return "shutting_down";
     case RejectReason::kDeadline: return "deadline";
+    case RejectReason::kInternalError: return "internal_error";
   }
   return "unknown";
 }
@@ -50,11 +57,30 @@ struct SubmitOptions {
   std::uint64_t deadline_ms = 0;
 };
 
+/// Names one slot in a CompletionArena. The generation tag detects a
+/// stale handle touching a recycled slot (each release bumps it).
+struct CompletionTicket {
+  std::uint32_t index = 0;
+  std::uint32_t generation = 0;
+};
+
+/// Callback-mode completion: invoked exactly once with the request's
+/// outcome, on whichever thread resolves it — a worker (scored), the
+/// submitting thread (synchronous rejection), or the shutdown thread.
+/// A plain function pointer + context, so callback submissions allocate
+/// nothing and the black-box loop can run zero-future.
+using ScoreCallback = void (*)(void* ctx, ScoreResult&& result);
+
 /// One queued unit of work. Internal to the service and the batcher, but
 /// defined here so the batcher is unit-testable without the service.
+/// Exactly one completion mode is set by the service: `has_ticket`
+/// (future mode) or `callback != nullptr` (callback mode).
 struct Request {
   math::Matrix counts;
-  std::promise<ScoreResult> promise;
+  CompletionTicket ticket;
+  bool has_ticket = false;
+  ScoreCallback callback = nullptr;
+  void* callback_ctx = nullptr;
   std::uint64_t enqueue_us = 0;   // clock->now_us() at submit (histograms)
   std::uint64_t enqueue_ms = 0;   // clock->now_ms() at submit (batch delay)
   std::uint64_t deadline_ms = 0;  // absolute clock ms; 0 = none

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -10,6 +11,19 @@
 
 namespace mev::serve {
 
+namespace {
+
+/// The submitting thread's home shard: a cheap per-thread hash so a hot
+/// submitter keeps hitting the same ring (cache-warm, contention-free
+/// against other submitters) without any registration step.
+std::size_t submitter_shard(std::size_t shard_count) noexcept {
+  static thread_local const std::size_t hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hash % shard_count;
+}
+
+}  // namespace
+
 ScoringService::ScoringService(features::FeaturePipeline pipeline,
                                std::shared_ptr<nn::Network> network,
                                ServiceConfig config)
@@ -17,9 +31,7 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
       clock_(config.clock != nullptr ? config.clock
                                      : &runtime::SystemClock::instance()),
       tracer_(obs::resolve(config.tracer)),
-      logger_(obs::resolve(config.logger)),
-      batcher_(BatcherConfig{config.max_batch_rows,
-                             config.max_queue_delay_ms}) {
+      logger_(obs::resolve(config.logger)) {
   obs::MetricsRegistry* registry = obs::resolve(config.metrics);
   obs_.accepted_requests = registry->counter(
       "mev.serve.accepted_requests", "submissions admitted to the queue");
@@ -40,31 +52,49 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
       registry->counter("mev.serve.batches", "micro-batches scored");
   obs_.model_swaps =
       registry->counter("mev.serve.model_swaps", "hot model swaps published");
+  obs_.stolen_requests = registry->counter(
+      "mev.serve.stolen_requests", "requests stolen from a non-owned shard");
+  obs_.spilled_submissions =
+      registry->counter("mev.serve.spilled_submissions",
+                        "submissions spilled past a full home shard");
   obs_.batch_rows =
       registry->histogram("mev.serve.batch_rows", "rows per scored batch");
   obs_.queue_delay_us = registry->histogram(
       "mev.serve.queue_delay_us", "submit-to-batch-formation delay (us)");
   obs_.e2e_latency_us = registry->histogram(
       "mev.serve.e2e_latency_us", "submit-to-verdict latency (us)");
+  obs_.queued_rows = registry->gauge(
+      "mev.serve.queued_rows", "rows admitted but not yet scored/rejected");
 
   auto snapshot = std::make_shared<ModelSnapshot>(std::move(pipeline),
                                                   std::move(network),
                                                   next_version_++);
+  count_cols_ = snapshot->count_cols;
+  published_version_.store(snapshot->version, std::memory_order_release);
   snapshot_ = std::move(snapshot);
 
-  worker_states_.resize(std::max<std::size_t>(config_.workers, 1));
-  if (config_.workers > 0) {
-    threads_.reserve(config_.workers);
-    for (std::size_t i = 0; i < config_.workers; ++i)
-      threads_.emplace_back(
-          [this, i] { worker_loop(worker_states_[i]); });
+  const std::size_t shard_count = std::max<std::size_t>(
+      config_.shards != 0 ? config_.shards
+                          : std::max<std::size_t>(config_.workers, 1),
+      1);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        std::max<std::size_t>(config_.shard_capacity, 2)));
+    shards_.back()->depth_gauge = registry->gauge(
+        "mev.serve.shard" + std::to_string(i) + ".queue_rows",
+        "rows queued in ingress shard " + std::to_string(i));
   }
 
-  MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service", "service started",
-          {obs::LogField::u64_value("workers", config_.workers),
-           obs::LogField::u64_value("max_queue_rows", config_.max_queue_rows),
-           obs::LogField::u64_value("max_batch_rows",
-                                    config_.max_batch_rows)});
+  arena_ = std::make_shared<CompletionArena>();
+
+  const BatcherConfig batcher_config{config_.max_batch_rows,
+                                     config_.max_queue_delay_ms};
+  worker_states_.reserve(std::max<std::size_t>(config_.workers, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(config_.workers, 1); ++i)
+    worker_states_.push_back(std::make_unique<WorkerState>(batcher_config));
+
+  if (config_.autostart) start();
 
   if (config_.admin.enabled) {
     obs::AdminServerConfig admin = config_.admin;
@@ -81,91 +111,189 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
 
 ScoringService::~ScoringService() { shutdown(/*drain=*/true); }
 
+bool ScoringService::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  State expected = State::kIdle;
+  if (!state_.compare_exchange_strong(expected, State::kRunning,
+                                      std::memory_order_seq_cst))
+    return false;
+  if (config_.workers > 0) {
+    threads_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i)
+      threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+  MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service", "service started",
+          {obs::LogField::u64_value("workers", config_.workers),
+           obs::LogField::u64_value("shards", shards_.size()),
+           obs::LogField::u64_value("max_queue_rows", config_.max_queue_rows),
+           obs::LogField::u64_value("max_batch_rows",
+                                    config_.max_batch_rows)});
+  return true;
+}
+
 std::shared_ptr<const ScoringService::ModelSnapshot>
 ScoringService::current_snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   return snapshot_;
 }
 
-std::future<ScoreResult> ScoringService::submit(math::Matrix counts,
-                                                SubmitOptions options) {
-  std::promise<ScoreResult> promise;
-  std::future<ScoreResult> future = promise.get_future();
+ScoreFuture ScoringService::submit(math::Matrix counts,
+                                   SubmitOptions options) {
   const std::size_t rows = counts.rows();
-  const auto snapshot = current_snapshot();
-  if (rows > 0 && counts.cols() != snapshot->count_cols)
+  if (rows > 0 && counts.cols() != count_cols_)
     throw std::invalid_argument(
         "ScoringService::submit: count rows have " +
         std::to_string(counts.cols()) + " columns, expected " +
-        std::to_string(snapshot->count_cols));
+        std::to_string(count_cols_));
 
-  if (rows == 0) {
-    ScoreResult result;
-    result.model_version = snapshot->version;
-    promise.set_value(std::move(result));
-    obs_.accepted_requests.inc();
-    obs_.completed_requests.inc();
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.accepted_requests;
-    ++stats_.completed_requests;
-    return future;
-  }
+  const CompletionTicket ticket = arena_->acquire();
+  ScoreFuture future(arena_, ticket);
+  Request request;
+  request.counts = std::move(counts);
+  request.ticket = ticket;
+  request.has_ticket = true;
+  submit_request(std::move(request), rows, options);
+  return future;
+}
+
+void ScoringService::submit_with_callback(math::Matrix counts,
+                                          SubmitOptions options,
+                                          ScoreCallback callback, void* ctx) {
+  const std::size_t rows = counts.rows();
+  if (rows > 0 && counts.cols() != count_cols_)
+    throw std::invalid_argument(
+        "ScoringService::submit_with_callback: count rows have " +
+        std::to_string(counts.cols()) + " columns, expected " +
+        std::to_string(count_cols_));
 
   Request request;
   request.counts = std::move(counts);
-  request.enqueue_us = clock_->now_us();
-  request.enqueue_ms = clock_->now_ms();
-  if (options.deadline_ms != 0)
-    request.deadline_ms = request.enqueue_ms + options.deadline_ms;
-  request.promise = std::move(promise);
+  request.callback = callback;
+  request.callback_ctx = ctx;
+  submit_request(std::move(request), rows, options);
+}
 
-  RejectReason reject = RejectReason::kNone;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (state_ != State::kRunning)
-      reject = RejectReason::kShuttingDown;
-    else if (batcher_.pending_rows() + rows > config_.max_queue_rows)
-      reject = RejectReason::kQueueFull;
-    else
-      batcher_.add(std::move(request));
+void ScoringService::submit_request(Request request, std::size_t rows,
+                                    SubmitOptions options) {
+  if (rows == 0) {
+    // Nothing to score: complete immediately with the current version.
+    ScoreResult result;
+    result.model_version = published_version_.load(std::memory_order_acquire);
+    counters_.accepted_requests.fetch_add(1, std::memory_order_relaxed);
+    counters_.completed_requests.fetch_add(1, std::memory_order_relaxed);
+    obs_.accepted_requests.inc();
+    obs_.completed_requests.inc();
+    resolve(request, std::move(result));
+    return;
   }
 
-  if (reject != RejectReason::kNone) {
-    ScoreResult result;
-    result.rejected = reject;
-    request.promise.set_value(std::move(result));
-    if (reject == RejectReason::kQueueFull)
-      obs_.rejected_queue_full.inc();
-    else
-      obs_.rejected_shutting_down.inc();
-    // Per-request path: rate-limited so overload cannot flood the sink.
+  // Ingress gate: shutdown() flips state_ and then waits for this count
+  // to drop to zero, which orders every in-flight ring push before its
+  // final sweep — no admitted request can be stranded in a ring.
+  inflight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  const State state = state_.load(std::memory_order_seq_cst);
+  if (state != State::kRunning) {
+    inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+    counters_.rejected_shutting_down.fetch_add(1, std::memory_order_relaxed);
+    obs_.rejected_shutting_down.inc();
     MEV_LOG_EVERY(*logger_, obs::LogLevel::kWarn, /*rate_per_s=*/1.0,
                   /*burst=*/5.0, "serve.service", "submission rejected",
-                  {obs::LogField::string(
-                       "reason", reject == RejectReason::kQueueFull
-                                     ? "queue_full"
-                                     : "shutting_down"),
+                  {obs::LogField::string("reason", state == State::kIdle
+                                                       ? "not_started"
+                                                       : "shutting_down"),
                    obs::LogField::u64_value("rows", rows)});
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (reject == RejectReason::kQueueFull) ++stats_.rejected_queue_full;
-    else ++stats_.rejected_shutting_down;
-    return future;
+    ScoreResult result;
+    result.rejected = RejectReason::kShuttingDown;
+    resolve(request, std::move(result));
+    return;
   }
 
-  cv_.notify_one();
+  // Admission control: one fetch_add on a shared counter, rolled back on
+  // rejection. Replaces the old queue mutex + pending_rows() check.
+  const std::uint64_t prev =
+      queued_rows_.fetch_add(rows, std::memory_order_acq_rel);
+  bool admitted = prev + rows <= config_.max_queue_rows;
+
+  std::size_t shard_index = 0;
+  if (admitted) {
+    request.enqueue_us = clock_->now_us();
+    request.enqueue_ms = clock_->now_ms();
+    if (options.deadline_ms != 0)
+      request.deadline_ms = request.enqueue_ms + options.deadline_ms;
+
+    // Route to the submitter's home shard; spill to the next ring when
+    // it is full. Only when every ring is full is the submission
+    // rejected (the rows bound usually trips first).
+    const std::size_t shard_count = shards_.size();
+    const std::size_t home = submitter_shard(shard_count);
+    admitted = false;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shard_index = (home + i) % shard_count;
+      if (shards_[shard_index]->ring.try_push(std::move(request))) {
+        admitted = true;
+        if (i > 0) {
+          counters_.spilled_submissions.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          obs_.spilled_submissions.inc();
+        }
+        break;
+      }
+    }
+  }
+
+  if (!admitted) {
+    queued_rows_.fetch_sub(rows, std::memory_order_acq_rel);
+    inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+    counters_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+    obs_.rejected_queue_full.inc();
+    MEV_LOG_EVERY(*logger_, obs::LogLevel::kWarn, /*rate_per_s=*/1.0,
+                  /*burst=*/5.0, "serve.service", "submission rejected",
+                  {obs::LogField::string("reason", "queue_full"),
+                   obs::LogField::u64_value("rows", rows)});
+    ScoreResult result;
+    result.rejected = RejectReason::kQueueFull;
+    resolve(request, std::move(result));
+    return;
+  }
+
+  Shard& shard = *shards_[shard_index];
+  const std::uint64_t shard_rows =
+      shard.rows.fetch_add(rows, std::memory_order_relaxed) + rows;
+  shard.depth_gauge.set(static_cast<double>(shard_rows));
+  obs_.queued_rows.set(static_cast<double>(prev + rows));
+  counters_.accepted_requests.fetch_add(1, std::memory_order_relaxed);
+  counters_.accepted_rows.fetch_add(rows, std::memory_order_relaxed);
   obs_.accepted_requests.inc();
   obs_.accepted_rows.inc(rows);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.accepted_requests;
-    stats_.accepted_rows += rows;
+  // Wake the shard's *owner*, not an arbitrary worker: a submitter's
+  // stream then coalesces in one batcher instead of fragmenting across
+  // whichever workers happened to wake first (each fragment would wait
+  // its own flush window — a ~2x tail-latency penalty at low load).
+  worker_states_[shard_index % worker_states_.size()]->signal.notify_one();
+  inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void ScoringService::resolve(Request& request, ScoreResult&& result) {
+  if (request.callback != nullptr)
+    request.callback(request.callback_ctx, std::move(result));
+  else if (request.has_ticket)
+    arena_->complete(request.ticket, std::move(result));
+}
+
+void ScoringService::resolve_error(Request& request,
+                                   std::exception_ptr error) {
+  if (request.callback != nullptr) {
+    ScoreResult result;
+    result.rejected = RejectReason::kInternalError;
+    request.callback(request.callback_ctx, std::move(result));
+  } else if (request.has_ticket) {
+    arena_->complete_error(request.ticket, std::move(error));
   }
-  return future;
 }
 
 ScoreResult ScoringService::score(math::Matrix counts,
                                   SubmitOptions options) {
-  std::future<ScoreResult> future = submit(std::move(counts), options);
+  ScoreFuture future = submit(std::move(counts), options);
   if (config_.workers == 0) {
     // Manual-pump mode: drive the batch through ourselves.
     while (future.wait_for(std::chrono::seconds(0)) !=
@@ -179,79 +307,74 @@ std::uint64_t ScoringService::swap_model(features::FeaturePipeline pipeline,
                                          std::shared_ptr<nn::Network> network) {
   // Validation (dimension checks) happens in the detector's constructor,
   // outside any lock — a bad swap never disturbs the running snapshot.
-  const std::size_t expected = current_snapshot()->count_cols;
   std::uint64_t version = 0;
-  std::shared_ptr<ModelSnapshot> fresh;
   {
     std::lock_guard<std::mutex> lock(snapshot_mutex_);
-    fresh = std::make_shared<ModelSnapshot>(std::move(pipeline),
-                                            std::move(network),
-                                            next_version_++);
-    if (fresh->count_cols != expected)
+    auto fresh = std::make_shared<ModelSnapshot>(std::move(pipeline),
+                                                 std::move(network),
+                                                 next_version_++);
+    if (fresh->count_cols != count_cols_)
       throw std::invalid_argument(
           "ScoringService::swap_model: new pipeline expects " +
           std::to_string(fresh->count_cols) + " count columns, service was " +
-          "built for " + std::to_string(expected));
+          "built for " + std::to_string(count_cols_));
     version = fresh->version;
     snapshot_ = std::move(fresh);
+    // Published under the same mutex workers pin through: a submission
+    // entering after swap_model() returns can only be scored by a batch
+    // that pins this (or a newer) snapshot.
+    published_version_.store(version, std::memory_order_release);
   }
+  counters_.model_swaps.fetch_add(1, std::memory_order_relaxed);
   obs_.model_swaps.inc();
   obs::instant(tracer_, "mev.serve.model_swap");
   MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
           "model swapped", {obs::LogField::u64_value("version", version)});
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.model_swaps;
-  }
   return version;
 }
 
 std::uint64_t ScoringService::model_version() const {
-  return current_snapshot()->version;
+  return published_version_.load(std::memory_order_acquire);
 }
 
 void ScoringService::shutdown(bool drain) {
-  std::vector<Request> orphans;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (state_ == State::kStopped && threads_.empty()) return;
-    MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
-            "shutdown requested",
-            {obs::LogField::string("mode", drain ? "drain" : "immediate"),
-             obs::LogField::u64_value("pending_rows",
-                                      batcher_.pending_rows())});
-    if (drain && !batcher_.empty()) {
-      state_ = State::kDraining;
-    } else {
-      state_ = State::kStopped;
-      // Without drain, pending requests are resolved (rejected) here —
-      // exactly-once still holds, nothing is silently dropped.
-      while (auto batch = batcher_.poll(clock_->now_ms(), /*force=*/true))
-        for (auto& request : batch->requests)
-          orphans.push_back(std::move(request));
-    }
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  const State before = state_.load(std::memory_order_seq_cst);
+  if (before == State::kStopped) return;
+  if (before == State::kIdle) {
+    // Never started: nothing queued, nothing to join.
+    state_.store(State::kStopped, std::memory_order_seq_cst);
+    return;
   }
-  cv_.notify_all();
-  reject_all(std::move(orphans), RejectReason::kShuttingDown);
 
-  if (config_.workers == 0) {
-    // Manual mode: drain synchronously on the caller's thread.
-    while (pump(/*force=*/true) > 0) {
-    }
-  }
+  MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
+          "shutdown requested",
+          {obs::LogField::string("mode", drain ? "drain" : "immediate"),
+           obs::LogField::u64_value(
+               "pending_rows",
+               queued_rows_.load(std::memory_order_relaxed))});
+
+  state_.store(drain ? State::kDraining : State::kStopped,
+               std::memory_order_seq_cst);
+  // Wait out submissions already past the state check: once the gate is
+  // empty, every admitted request is visible in a ring (or already in a
+  // worker's batcher) and the sweep below cannot miss one.
+  while (inflight_submits_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
+  for (auto& worker : worker_states_) worker->signal.notify_all();
+
   join_workers();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    state_ = State::kStopped;
-  }
+  final_sweep(drain);
+  state_.store(State::kStopped, std::memory_order_seq_cst);
   // The admin server stays up (serving 503 on /readyz) until destruction:
   // an operator can still scrape /metrics from a stopped service.
   MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service", "service stopped");
 }
 
 obs::Readiness ScoringService::readiness() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  switch (state_) {
+  switch (state_.load(std::memory_order_acquire)) {
+    case State::kIdle:
+      return {false, "not started"};
     case State::kDraining:
       return {false, "draining"};
     case State::kStopped:
@@ -261,9 +384,9 @@ obs::Readiness ScoringService::readiness() const {
   }
   // Saturation gate: flag before admission control starts rejecting, so
   // load balancers steer away while the service still answers.
-  const std::size_t high_water =
+  const std::uint64_t high_water =
       config_.max_queue_rows - config_.max_queue_rows / 10;
-  if (batcher_.pending_rows() >= high_water)
+  if (queued_rows_.load(std::memory_order_relaxed) >= high_water)
     return {false, "queue high-water"};
   return {true, "ok"};
 }
@@ -274,47 +397,128 @@ void ScoringService::join_workers() {
   threads_.clear();
 }
 
-std::size_t ScoringService::pump(bool force) {
-  if (config_.workers != 0)
-    throw std::logic_error(
-        "ScoringService::pump: only valid in manual mode (workers == 0)");
-  std::vector<Request> expired;
-  std::optional<Batch> batch;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const std::uint64_t now = clock_->now_ms();
-    batcher_.take_expired(now, expired);
-    batch = batcher_.poll(now, force || state_ != State::kRunning);
+std::size_t ScoringService::drain_shard(Shard& shard, WorkerState& worker) {
+  // Pull-based: take only until the batcher holds a full batch. Backlog
+  // beyond that stays in the shared ring where any worker can claim it —
+  // hoarding it in this worker's private batcher would serialize the
+  // queue behind one thread and fatten the tail under overload.
+  std::size_t moved = 0;
+  std::size_t rows = 0;
+  while (worker.batcher.pending_rows() < config_.max_batch_rows) {
+    auto request = shard.ring.try_pop();
+    if (!request.has_value()) break;
+    rows += request->counts.rows();
+    worker.batcher.add(std::move(*request));
+    ++moved;
   }
-  reject_all(std::move(expired), RejectReason::kDeadline);
+  if (rows > 0) {
+    const std::uint64_t left =
+        shard.rows.fetch_sub(rows, std::memory_order_relaxed) - rows;
+    shard.depth_gauge.set(static_cast<double>(left));
+  }
+  return moved;
+}
+
+std::size_t ScoringService::gather(std::size_t worker_index,
+                                   WorkerState& worker, bool steal) {
+  const std::size_t workers = std::max<std::size_t>(config_.workers, 1);
+  std::size_t moved = 0;
+  for (std::size_t s = worker_index; s < shards_.size(); s += workers)
+    moved += drain_shard(*shards_[s], worker);
+  if (moved == 0 && steal) {
+    // Own shards empty: one stealing pass over everyone else's, so one
+    // hot submitter cannot strand work behind a busy worker.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (s % workers == worker_index % workers) continue;
+      const std::size_t stolen = drain_shard(*shards_[s], worker);
+      if (stolen > 0) {
+        counters_.stolen_requests.fetch_add(stolen,
+                                            std::memory_order_relaxed);
+        obs_.stolen_requests.inc(stolen);
+        moved += stolen;
+      }
+    }
+  }
+  return moved;
+}
+
+bool ScoringService::all_shards_empty() const {
+  for (const auto& shard : shards_)
+    if (!shard->ring.approx_empty()) return false;
+  return true;
+}
+
+std::size_t ScoringService::assemble_and_score(WorkerState& worker,
+                                               bool force) {
+  const std::uint64_t now = clock_->now_ms();
+  std::vector<Request> expired;
+  worker.batcher.take_expired(now, expired);
+  if (!expired.empty()) {
+    std::size_t expired_rows = 0;
+    for (const auto& request : expired) expired_rows += request.counts.rows();
+    reject_all(std::move(expired), RejectReason::kDeadline, expired_rows);
+  }
+  std::optional<Batch> batch = worker.batcher.poll(now, force);
   if (!batch.has_value()) return 0;
   const std::size_t rows = batch->rows;
-  score_batch(worker_states_.front(), std::move(*batch));
+  queued_rows_.fetch_sub(rows, std::memory_order_acq_rel);
+  obs_.queued_rows.set(
+      static_cast<double>(queued_rows_.load(std::memory_order_relaxed)));
+  score_batch(worker, std::move(*batch));
   return rows;
 }
 
-void ScoringService::worker_loop(WorkerState& worker) {
-  std::unique_lock<std::mutex> lock(mutex_);
+void ScoringService::worker_loop(std::size_t worker_index) {
+  WorkerState& worker = *worker_states_[worker_index];
   for (;;) {
-    const std::uint64_t now = clock_->now_ms();
-    std::vector<Request> expired;
-    batcher_.take_expired(now, expired);
-    std::optional<Batch> batch =
-        batcher_.poll(now, /*force=*/state_ == State::kDraining);
-    if (!expired.empty() || batch.has_value()) {
-      lock.unlock();
-      reject_all(std::move(expired), RejectReason::kDeadline);
-      if (batch.has_value()) score_batch(worker, std::move(*batch));
-      lock.lock();
+    const State state = state_.load(std::memory_order_seq_cst);
+    if (state == State::kStopped)
+      return;  // immediate stop: final_sweep() resolves leftovers
+    const std::size_t moved =
+        gather(worker_index, worker, /*steal=*/true);
+    const std::size_t scored =
+        assemble_and_score(worker, /*force=*/state == State::kDraining);
+    if (scored > 0 && worker_states_.size() > 1) {
+      // Work conservation under affinity wakeups: if this worker's own
+      // shards refilled with at least a full batch while it was scoring,
+      // it is saturated — recruit one sibling to steal. Without this,
+      // idle workers parked on their own signals would never learn about
+      // a hot shard's backlog. The full-batch threshold matters: a
+      // recruit that steals less flushes on its *own* delay window,
+      // re-fragmenting the stream the affinity wakeup exists to keep
+      // together.
+      const std::size_t workers = worker_states_.size();
+      std::uint64_t backlog_rows = 0;
+      for (std::size_t s = worker_index; s < shards_.size(); s += workers)
+        backlog_rows += shards_[s]->rows.load(std::memory_order_relaxed);
+      if (backlog_rows >= config_.max_batch_rows) {
+        std::size_t target =
+            help_rr_.fetch_add(1, std::memory_order_relaxed) % workers;
+        if (target == worker_index) target = (target + 1) % workers;
+        worker_states_[target]->signal.notify_one();
+      }
+    }
+    if (moved > 0 || scored > 0) continue;
+    if (state == State::kDraining) {
+      if (worker.batcher.empty() && all_shards_empty()) return;
+      continue;  // force-flush whatever is left, then re-check
+    }
+
+    // Idle: park on this worker's eventcount. The epoch key closes the
+    // race with a submission's notify_one() landing between the re-check
+    // and the wait. The re-check spans *all* shards (not just owned ones)
+    // so a helper wakeup that raced with the gather above is not lost.
+    const runtime::EventCount::Key key = worker.signal.prepare_wait();
+    if (!all_shards_empty() ||
+        state_.load(std::memory_order_seq_cst) != State::kRunning) {
+      worker.signal.cancel_wait();
       continue;
     }
-    if (state_ != State::kRunning) return;  // drained (or emptied by stop)
-    const auto wait_ms = batcher_.ms_until_flush(now);
+    const auto wait_ms = worker.batcher.ms_until_flush(clock_->now_ms());
     if (wait_ms.has_value())
-      cv_.wait_for(lock, std::chrono::milliseconds(
-                             std::max<std::uint64_t>(*wait_ms, 1)));
+      worker.signal.wait_for_ms(key, std::max<std::uint64_t>(*wait_ms, 1));
     else
-      cv_.wait(lock);
+      worker.signal.wait(key);
   }
 }
 
@@ -334,11 +538,16 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
     worker.pinned = snapshot;
   }
 
-  worker.batch_counts.resize(batch.rows, snapshot->count_cols);
-  std::size_t row = 0;
-  for (const auto& request : batch.requests)
-    for (std::size_t i = 0; i < request.counts.rows(); ++i)
-      worker.batch_counts.set_row(row++, request.counts.row(i));
+  {
+    obs::Span assemble = obs::span(tracer_, "mev.serve.assemble");
+    worker.batch_counts.resize(batch.rows, snapshot->count_cols);
+    std::size_t row = 0;
+    for (const auto& request : batch.requests)
+      for (std::size_t i = 0; i < request.counts.rows(); ++i)
+        worker.batch_counts.set_row(row++, request.counts.row(i));
+    assemble.arg("rows", static_cast<double>(batch.rows));
+    assemble.arg("requests", static_cast<double>(batch.requests.size()));
+  }
 
   std::vector<core::Verdict> verdicts;
   try {
@@ -346,7 +555,7 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
         snapshot->detector.scan_counts(*worker.session, worker.batch_counts);
   } catch (...) {
     for (auto& request : batch.requests)
-      request.promise.set_exception(std::current_exception());
+      resolve_error(request, std::current_exception());
     return;
   }
   const std::uint64_t done_us = clock_->now_us();
@@ -362,59 +571,150 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
     result.verdicts.assign(verdicts.begin() + offset,
                            verdicts.begin() + offset + n);
     offset += n;
-    request.promise.set_value(std::move(result));
+    resolve(request, std::move(result));
   }
 
   obs_.batches.inc();
   obs_.batch_rows.record(batch.rows);
   obs_.completed_requests.inc(batch.requests.size());
   obs_.completed_rows.inc(batch.rows);
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  counters_.completed_requests.fetch_add(batch.requests.size(),
+                                         std::memory_order_relaxed);
+  counters_.completed_rows.fetch_add(batch.rows, std::memory_order_relaxed);
   for (const auto& request : batch.requests) {
     obs_.queue_delay_us.record(formed_us - request.enqueue_us);
     obs_.e2e_latency_us.record(done_us - request.enqueue_us);
   }
 
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.batches;
-  stats_.batch_rows.record(batch.rows);
-  stats_.completed_requests += batch.requests.size();
-  stats_.completed_rows += batch.rows;
+  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  batch_rows_hist_.record(batch.rows);
   for (const auto& request : batch.requests) {
-    stats_.queue_delay_us.record(formed_us - request.enqueue_us);
-    stats_.e2e_latency_us.record(done_us - request.enqueue_us);
+    queue_delay_hist_.record(formed_us - request.enqueue_us);
+    e2e_latency_hist_.record(done_us - request.enqueue_us);
   }
 }
 
 void ScoringService::reject_all(std::vector<Request> requests,
-                                RejectReason reason) {
+                                RejectReason reason,
+                                std::size_t charged_rows) {
   if (requests.empty()) return;
+  if (charged_rows > 0) {
+    queued_rows_.fetch_sub(charged_rows, std::memory_order_acq_rel);
+    obs_.queued_rows.set(
+        static_cast<double>(queued_rows_.load(std::memory_order_relaxed)));
+  }
   for (auto& request : requests) {
     ScoreResult result;
     result.rejected = reason;
-    request.promise.set_value(std::move(result));
+    resolve(request, std::move(result));
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
   switch (reason) {
     case RejectReason::kQueueFull:
-      stats_.rejected_queue_full += requests.size();
+      counters_.rejected_queue_full.fetch_add(requests.size(),
+                                              std::memory_order_relaxed);
       obs_.rejected_queue_full.inc(requests.size());
       break;
     case RejectReason::kShuttingDown:
-      stats_.rejected_shutting_down += requests.size();
+      counters_.rejected_shutting_down.fetch_add(requests.size(),
+                                                 std::memory_order_relaxed);
       obs_.rejected_shutting_down.inc(requests.size());
       break;
     case RejectReason::kDeadline:
-      stats_.rejected_deadline += requests.size();
+      counters_.rejected_deadline.fetch_add(requests.size(),
+                                            std::memory_order_relaxed);
       obs_.rejected_deadline.inc(requests.size());
       break;
     case RejectReason::kNone:
+    case RejectReason::kInternalError:
       break;
   }
 }
 
+void ScoringService::final_sweep(bool drain) {
+  // Workers are joined (or never existed): one thread owns everything.
+  WorkerState& sweeper = *worker_states_.front();
+
+  if (drain) {
+    // Score every leftover batch on this thread — same path as a worker,
+    // so drained verdicts are indistinguishable from normal ones. The
+    // rings need an outer loop: drain_shard takes at most one batch's
+    // worth per pass.
+    for (auto& state : worker_states_)
+      while (assemble_and_score(*state, /*force=*/true) > 0) {
+      }
+    for (;;) {
+      std::size_t moved = 0;
+      for (auto& shard : shards_) moved += drain_shard(*shard, sweeper);
+      const std::size_t scored = assemble_and_score(sweeper, /*force=*/true);
+      if (moved == 0 && scored == 0) return;
+    }
+  }
+
+  // Immediate stop: everything still queued is rejected, exactly once.
+  std::vector<Request> orphans;
+  std::size_t orphan_rows = 0;
+  const std::uint64_t now = clock_->now_ms();
+  for (auto& state : worker_states_)
+    while (auto batch = state->batcher.poll(now, /*force=*/true)) {
+      orphan_rows += batch->rows;
+      for (auto& request : batch->requests)
+        orphans.push_back(std::move(request));
+    }
+  for (auto& shard : shards_) {
+    std::size_t rows = 0;
+    while (auto request = shard->ring.try_pop()) {
+      rows += request->counts.rows();
+      orphans.push_back(std::move(*request));
+    }
+    if (rows > 0) {
+      orphan_rows += rows;
+      const std::uint64_t left =
+          shard->rows.fetch_sub(rows, std::memory_order_relaxed) - rows;
+      shard->depth_gauge.set(static_cast<double>(left));
+    }
+  }
+  reject_all(std::move(orphans), RejectReason::kShuttingDown, orphan_rows);
+}
+
+std::size_t ScoringService::pump(bool force) {
+  if (config_.workers != 0)
+    throw std::logic_error(
+        "ScoringService::pump: only valid in manual mode (workers == 0)");
+  WorkerState& worker = *worker_states_.front();
+  for (auto& shard : shards_) drain_shard(*shard, worker);
+  return assemble_and_score(
+      worker,
+      force || state_.load(std::memory_order_acquire) != State::kRunning);
+}
+
 ServiceStats ScoringService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServiceStats stats;
+  stats.accepted_requests =
+      counters_.accepted_requests.load(std::memory_order_relaxed);
+  stats.accepted_rows =
+      counters_.accepted_rows.load(std::memory_order_relaxed);
+  stats.rejected_queue_full =
+      counters_.rejected_queue_full.load(std::memory_order_relaxed);
+  stats.rejected_shutting_down =
+      counters_.rejected_shutting_down.load(std::memory_order_relaxed);
+  stats.rejected_deadline =
+      counters_.rejected_deadline.load(std::memory_order_relaxed);
+  stats.completed_requests =
+      counters_.completed_requests.load(std::memory_order_relaxed);
+  stats.completed_rows =
+      counters_.completed_rows.load(std::memory_order_relaxed);
+  stats.batches = counters_.batches.load(std::memory_order_relaxed);
+  stats.model_swaps = counters_.model_swaps.load(std::memory_order_relaxed);
+  stats.stolen_requests =
+      counters_.stolen_requests.load(std::memory_order_relaxed);
+  stats.spilled_submissions =
+      counters_.spilled_submissions.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(histogram_mutex_);
+  stats.batch_rows = batch_rows_hist_;
+  stats.queue_delay_us = queue_delay_hist_;
+  stats.e2e_latency_us = e2e_latency_hist_;
+  return stats;
 }
 
 }  // namespace mev::serve

@@ -2,28 +2,44 @@
 // core::MalwareDetector — the deployment surface the paper's black-box
 // threat model assumes (the detector as a queried cloud service).
 //
-//   submit(counts) ──▶ admission control ──▶ bounded queue ──▶
-//       micro-batcher (flush at max_batch_rows or max_queue_delay_ms)
-//       ──▶ worker pool, one pre-warmed nn::InferenceSession per worker
-//       ──▶ promise fulfilled with one Verdict per row
+// Ingress is sharded and lock-free (PR 6). A submission:
 //
-// Guarantees:
+//   submit(counts) ──▶ admission control (one atomic row counter) ──▶
+//       completion-arena slot (future mode) or caller callback ──▶
+//       sharded bounded MPSC ring (shard = submitter-hash, spill to a
+//       neighbor when full) ──▶ EventCount wakeup (no mutex when workers
+//       are busy) ──▶ per-worker MicroBatcher assembles a batch ──▶ one
+//       pre-warmed nn::InferenceSession per worker scores it ──▶ the
+//       slot's atomic flips / the callback runs
+//
+// There is no global queue mutex, no condition-variable broadcast per
+// submission, and no per-request heap allocation on the submit path.
+// Workers own their shard; an idle worker steals from busy shards so one
+// hot submitter cannot strand work behind a parked worker.
+//
+// Guarantees (unchanged from the single-queue design):
 //  * Bounded memory/latency: a submission is either admitted (queued rows
 //    never exceed max_queue_rows) or rejected immediately with an explicit
 //    reason — the queue never grows without bound.
 //  * Exactly-once: every admitted request is resolved exactly once —
 //    scored, deadline-rejected, or shutdown-rejected; never dropped,
-//    never double-scored (each request lives in exactly one place: the
-//    batcher, or the worker that popped it).
+//    never double-scored (each request lives in exactly one place: a
+//    shard ring, one worker's batcher, or the batch being scored).
 //  * Parity: a batch is scored through the same
 //    MalwareDetector::scan_counts code path as sequential callers, and
 //    per-row results are independent of batch composition, so service
 //    verdicts are bit-identical to sequential scanning.
 //  * Hot swap: swap_model() atomically publishes a new (pipeline, network)
-//    snapshot (RCU-style: readers pin the snapshot with a shared_ptr, the
-//    writer publishes and never blocks scoring). Batches formed before
-//    the swap finish on the snapshot they pinned; later batches use the
-//    new one. Zero downtime, no lost or re-scored requests.
+//    snapshot (RCU-style: workers pin the snapshot per batch, the writer
+//    never blocks scoring). Batches formed before the swap finish on the
+//    snapshot they pinned; every request submitted after swap_model()
+//    returns is scored on the new version or later. Zero downtime, no
+//    lost or re-scored requests.
+//
+// Lifecycle: construct → start() → submit traffic → shutdown(). With
+// ServiceConfig::autostart (the default) the constructor calls start()
+// itself. A submission before start() fails fast with kShuttingDown —
+// it is never silently queued into a service nobody is pumping.
 //
 // All flush timing flows through an injectable runtime::Clock; with
 // workers = 0 the service runs in manual-pump mode (no threads), which
@@ -31,9 +47,8 @@
 // tests.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -48,6 +63,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/event_count.hpp"
+#include "runtime/mpsc_queue.hpp"
+#include "serve/completion.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
@@ -58,16 +76,30 @@ struct ServiceConfig {
   /// Worker threads. 0 = manual-pump mode: no threads are started and the
   /// caller drives scoring with pump() — the deterministic test mode.
   std::size_t workers = 4;
+  /// Submission shards (independent MPSC rings). 0 = one per worker
+  /// (minimum 1). Submitters hash to a shard by thread id; worker i owns
+  /// the shards with index ≡ i (mod workers) and steals from the rest
+  /// when its own are empty.
+  std::size_t shards = 0;
+  /// Capacity of each shard ring in *requests* (rounded up to a power of
+  /// two). A full ring spills to the next shard; when every ring is full
+  /// the submission is rejected kQueueFull.
+  std::size_t shard_capacity = 1024;
   /// Micro-batch flush thresholds (see BatcherConfig).
   std::size_t max_batch_rows = 64;
   std::uint64_t max_queue_delay_ms = 2;
   /// Admission bound: a submission is rejected with kQueueFull when the
-  /// rows already queued plus its own would exceed this.
+  /// rows already queued (rings + batchers) plus its own would exceed
+  /// this.
   std::size_t max_queue_rows = 4096;
   /// Pre-warm each worker's session for this batch size (0 = use
   /// max_batch_rows), so the steady state is allocation-free from the
   /// first batch.
   std::size_t session_max_batch = 0;
+  /// Start the service from the constructor (the common case). With
+  /// autostart = false the service is built idle: submissions fail fast
+  /// with kShuttingDown until start() is called.
+  bool autostart = true;
   /// Timing source; nullptr = runtime::SystemClock::instance(). Must
   /// outlive the service.
   runtime::Clock* clock = nullptr;
@@ -75,8 +107,10 @@ struct ServiceConfig {
   /// obs::current_tracer()/current_registry() at construction time
   /// (resolved once, on the constructing thread — worker threads inherit
   /// them). Every ServiceStats counter/histogram is mirrored into the
-  /// registry under mev.serve.*, and each scored batch emits a
-  /// mev.serve.batch span. Must outlive the service.
+  /// registry under mev.serve.* (including a per-shard
+  /// mev.serve.shard<i>.queue_rows depth gauge), and each scored batch
+  /// emits mev.serve.assemble + mev.serve.batch spans. Must outlive the
+  /// service.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   /// Structured log destination; nullptr = obs::default_logger(). Must
@@ -94,7 +128,8 @@ struct ServiceConfig {
 class ScoringService {
  public:
   /// Serves `network` behind `pipeline`; dimensions are validated like
-  /// core::MalwareDetector's constructor.
+  /// core::MalwareDetector's constructor. Calls start() unless
+  /// config.autostart is false.
   ScoringService(features::FeaturePipeline pipeline,
                  std::shared_ptr<nn::Network> network,
                  ServiceConfig config = {});
@@ -104,20 +139,34 @@ class ScoringService {
   ScoringService(const ScoringService&) = delete;
   ScoringService& operator=(const ScoringService&) = delete;
 
-  /// Submits raw count rows (cols must equal the vocabulary size). The
-  /// future resolves with verdicts in row order, or with a rejection.
-  /// Admission (queue_full / shutting_down) is decided synchronously;
-  /// those futures are already ready on return.
-  std::future<ScoreResult> submit(math::Matrix counts,
-                                  SubmitOptions options = {});
+  /// Starts accepting traffic (spawns the worker pool when workers > 0).
+  /// Returns true on the idle→running transition, false if the service
+  /// was already started (or already shut down). Idempotent.
+  bool start();
+
+  /// Submits raw count rows (cols must equal the vocabulary size).
+  /// Returns a slot-backed future that resolves with verdicts in row
+  /// order, or with a rejection. Admission (queue_full / shutting_down)
+  /// is decided synchronously; those futures are already ready on return.
+  ScoreFuture submit(math::Matrix counts, SubmitOptions options = {});
+
+  /// Zero-future submission: `callback(ctx, result)` is invoked exactly
+  /// once — on a worker thread when scored, on the calling thread when
+  /// rejected synchronously, or on the shutdown thread when swept. The
+  /// callback must be fast and must not re-enter the service. No
+  /// allocation on this path.
+  void submit_with_callback(math::Matrix counts, SubmitOptions options,
+                            ScoreCallback callback, void* ctx);
 
   /// Convenience synchronous call: submit + wait.
   ScoreResult score(math::Matrix counts, SubmitOptions options = {});
 
-  /// Atomically publishes a new model snapshot for subsequent batches.
-  /// The new pipeline must accept the same count dimension as the current
-  /// one (queued requests stay scorable). Never blocks scoring; in-flight
-  /// batches finish on the snapshot they pinned. Returns the new version.
+  /// Atomically publishes a new model snapshot. The new pipeline must
+  /// accept the same count dimension as the current one (queued requests
+  /// stay scorable). Never blocks scoring; in-flight batches finish on
+  /// the snapshot they pinned, and every submission entering after this
+  /// returns is scored on the new (or a newer) version. Returns the new
+  /// version.
   std::uint64_t swap_model(features::FeaturePipeline pipeline,
                            std::shared_ptr<nn::Network> network);
 
@@ -129,9 +178,10 @@ class ScoringService {
   /// kShuttingDown. Subsequent submissions are rejected. Idempotent.
   void shutdown(bool drain = true);
 
-  /// Manual-pump mode only (workers == 0): expires overdue requests, then
-  /// forms and scores at most one batch if a flush is due (or `force`).
-  /// Returns the number of rows scored.
+  /// Manual-pump mode only (workers == 0): drains the shard rings into
+  /// the pump batcher, expires overdue requests, then forms and scores at
+  /// most one batch if a flush is due (or `force`). Returns the number of
+  /// rows scored.
   std::size_t pump(bool force = false);
 
   /// Point-in-time copy of counters and histograms.
@@ -139,7 +189,8 @@ class ScoringService {
 
   /// The verdict served on /readyz: ready while running and below the
   /// queue high-water mark (90% of max_queue_rows); not ready (with a
-  /// reason) while draining, stopped, or saturated.
+  /// reason) while idle (not yet started), draining, stopped, or
+  /// saturated.
   obs::Readiness readiness() const;
 
   /// The embedded admin server, or nullptr when config.admin.enabled was
@@ -147,6 +198,7 @@ class ScoringService {
   obs::AdminServer* admin_server() noexcept { return admin_.get(); }
 
   const ServiceConfig& config() const noexcept { return config_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
 
  private:
   /// Immutable published model: pipeline + network wrapped back into a
@@ -163,24 +215,68 @@ class ScoringService {
     std::size_t count_cols;  // expected submission width (vocab size)
   };
 
-  enum class State { kRunning, kDraining, kStopped };
+  enum class State : std::uint8_t { kIdle, kRunning, kDraining, kStopped };
 
-  /// Per-worker scratch: the pinned snapshot, its session, and the batch
-  /// assembly buffer (all reused across batches; reallocated only on
-  /// snapshot change).
+  /// One ingress shard: a bounded lock-free ring plus its depth gauge.
+  /// Heap-held so shards never move and each gets its own cache lines.
+  struct Shard {
+    explicit Shard(std::size_t capacity) : ring(capacity) {}
+    runtime::MpscQueue<Request> ring;
+    std::atomic<std::uint64_t> rows{0};  // rows currently in the ring
+    obs::Gauge depth_gauge;
+  };
+
+  /// Per-worker scratch: the owned batcher, the parking signal, the
+  /// pinned snapshot, its session, and the batch assembly buffer (all
+  /// reused across batches; sessions reallocated only on snapshot
+  /// change).
   struct WorkerState {
+    explicit WorkerState(BatcherConfig batcher_config)
+        : batcher(batcher_config) {}
+    MicroBatcher batcher;
+    /// Per-worker eventcount: a submission wakes the *owner* of the shard
+    /// it landed on, so one submitter's stream keeps coalescing in one
+    /// batcher instead of fragmenting across whichever workers woke first
+    /// (fragmented batchers each wait their own flush window — measurably
+    /// worse tail latency at low load).
+    runtime::EventCount signal;
     std::shared_ptr<const ModelSnapshot> pinned;
     std::unique_ptr<nn::InferenceSession> session;
     math::Matrix batch_counts;
   };
 
   std::shared_ptr<const ModelSnapshot> current_snapshot() const;
-  void worker_loop(WorkerState& worker);
-  /// Scores one batch outside the queue lock and fulfils its promises.
+  /// Shared tail of submit()/submit_with_callback(): admission, shard
+  /// routing, wakeup. Resolves the request inline when rejected.
+  void submit_request(Request request, std::size_t rows,
+                      SubmitOptions options);
+  /// Resolves one request with `result` through whichever completion
+  /// mode it carries (arena slot or callback).
+  void resolve(Request& request, ScoreResult&& result);
+  void resolve_error(Request& request, std::exception_ptr error);
+
+  void worker_loop(std::size_t worker_index);
+  /// Moves every request out of `shard`'s ring into `worker`'s batcher.
+  /// Returns the number of requests moved.
+  std::size_t drain_shard(Shard& shard, WorkerState& worker);
+  /// Drains the shards owned by `worker_index`; then, if `steal`, one
+  /// pass over the remaining shards.
+  std::size_t gather(std::size_t worker_index, WorkerState& worker,
+                     bool steal);
+  bool all_shards_empty() const;
+  /// Expires + flushes + scores at most one batch. Returns rows scored.
+  std::size_t assemble_and_score(WorkerState& worker, bool force);
+  /// Scores one batch and resolves its requests.
   void score_batch(WorkerState& worker, Batch batch);
-  /// Rejects requests (outside the lock) and bumps the matching counter.
-  void reject_all(std::vector<Request> requests, RejectReason reason);
+  /// Rejects requests and bumps the matching counter. `charged` rows are
+  /// subtracted from the admission counter (0 when already subtracted).
+  void reject_all(std::vector<Request> requests, RejectReason reason,
+                  std::size_t charged_rows);
   void join_workers();
+  /// Post-join sweep: anything still in a ring or batcher is scored
+  /// (drain) or rejected (no drain) on the calling thread. Exactly-once
+  /// even for submissions that raced the running→stopping transition.
+  void final_sweep(bool drain);
 
   /// Registry mirrors of the ServiceStats fields (handles, so hot-path
   /// updates are a relaxed atomic op; inert when no registry is wired).
@@ -189,8 +285,20 @@ class ScoringService {
     obs::Counter rejected_queue_full, rejected_shutting_down,
         rejected_deadline;
     obs::Counter completed_requests, completed_rows;
-    obs::Counter batches, model_swaps;
+    obs::Counter batches, model_swaps, stolen_requests, spilled_submissions;
     obs::Histogram batch_rows, queue_delay_us, e2e_latency_us;
+    obs::Gauge queued_rows;
+  };
+
+  /// Lock-free mirrors of the counter half of ServiceStats (the submit
+  /// path must not take a stats mutex).
+  struct Counters {
+    std::atomic<std::uint64_t> accepted_requests{0}, accepted_rows{0};
+    std::atomic<std::uint64_t> rejected_queue_full{0},
+        rejected_shutting_down{0}, rejected_deadline{0};
+    std::atomic<std::uint64_t> completed_requests{0}, completed_rows{0};
+    std::atomic<std::uint64_t> batches{0}, model_swaps{0};
+    std::atomic<std::uint64_t> stolen_requests{0}, spilled_submissions{0};
   };
 
   ServiceConfig config_;
@@ -198,21 +306,39 @@ class ScoringService {
   obs::Tracer* tracer_;
   obs::Logger* logger_;
   ObsHandles obs_;
+  std::size_t count_cols_ = 0;  // invariant across swaps (validated)
+
+  std::atomic<State> state_{State::kIdle};
+  /// Rows admitted but not yet scored/rejected (rings + batchers): the
+  /// admission bound and the readiness high-water signal.
+  std::atomic<std::uint64_t> queued_rows_{0};
+  /// Submissions between their state check and their ring push. shutdown()
+  /// waits for this to reach zero after flipping state_, so its final
+  /// sweep observes every ring push that passed the gate — the lock-free
+  /// equivalent of the old check-and-enqueue-under-one-mutex.
+  std::atomic<std::uint64_t> inflight_submits_{0};
+  std::atomic<std::uint64_t> published_version_{0};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Round-robin cursor for helper wakeups: a worker that scores a batch
+  /// while its own shard still has backlog pokes one sibling to steal.
+  std::atomic<std::size_t> help_rr_{0};
+  std::shared_ptr<CompletionArena> arena_;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
   std::uint64_t next_version_ = 1;
 
-  mutable std::mutex mutex_;  // guards batcher_ + state_
-  std::condition_variable cv_;
-  MicroBatcher batcher_;
-  State state_ = State::kRunning;
+  Counters counters_;
+  /// Histograms are recorded per scored batch (worker-side only), so one
+  /// mutex here never touches the submit path.
+  mutable std::mutex histogram_mutex_;
+  Log2Histogram batch_rows_hist_, queue_delay_hist_, e2e_latency_hist_;
 
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
-
-  std::vector<WorkerState> worker_states_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
   std::vector<std::thread> threads_;
+  /// Serializes start()/shutdown() (never taken on the submit path).
+  std::mutex lifecycle_mutex_;
 
   /// Declared last: destroyed first, so its readiness probe (which reads
   /// this service's state) never outlives the members it touches.

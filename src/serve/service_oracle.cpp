@@ -1,6 +1,8 @@
 #include "serve/service_oracle.hpp"
 
+#include <atomic>
 #include <string>
+#include <utility>
 
 #include "runtime/oracle_error.hpp"
 
@@ -10,7 +12,38 @@ std::vector<int> ServiceOracle::label_counts(const math::Matrix& counts) {
   record_queries(counts.rows());
   SubmitOptions options;
   options.deadline_ms = deadline_ms_;
-  const ScoreResult result = service_->score(counts, options);
+
+  // Zero-future closed loop: the verdict lands in this stack frame via
+  // the callback path — no completion slot, no allocation per query. The
+  // attacker loop is the hottest submitter in the repo (every mutation
+  // candidate is a query), so it rides the cheapest ingress there is.
+  struct SyncCtx {
+    ScoreResult result;
+    std::atomic<int> done{0};
+  } ctx;
+  service_->submit_with_callback(
+      counts, options,
+      [](void* raw, ScoreResult&& result) {
+        auto* sync = static_cast<SyncCtx*>(raw);
+        sync->result = std::move(result);
+        sync->done.store(1, std::memory_order_release);
+        sync->done.notify_one();
+      },
+      &ctx);
+
+  if (service_->config().workers == 0) {
+    // Manual-pump service: drive the batch through ourselves.
+    while (ctx.done.load(std::memory_order_acquire) == 0)
+      service_->pump(/*force=*/true);
+  } else {
+    int observed = ctx.done.load(std::memory_order_acquire);
+    while (observed == 0) {
+      ctx.done.wait(observed, std::memory_order_acquire);
+      observed = ctx.done.load(std::memory_order_acquire);
+    }
+  }
+
+  const ScoreResult& result = ctx.result;
   if (!result.ok()) {
     const std::string what =
         std::string("ServiceOracle: submission rejected: ") +

@@ -12,7 +12,9 @@ std::string ServiceStats::to_string() const {
      << " [queue_full=" << rejected_queue_full
      << " shutting_down=" << rejected_shutting_down
      << " deadline=" << rejected_deadline << "]\n";
-  os << "batches: " << batches << ", model_swaps: " << model_swaps << "\n";
+  os << "batches: " << batches << ", model_swaps: " << model_swaps
+     << ", stolen=" << stolen_requests << ", spilled=" << spilled_submissions
+     << "\n";
   const auto line = [&os](const char* name, const Log2Histogram& h,
                           const char* unit) {
     const LatencySummary s = summarize(h);

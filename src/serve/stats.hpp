@@ -37,6 +37,10 @@ struct ServiceStats {
   std::uint64_t completed_rows = 0;
   std::uint64_t batches = 0;
   std::uint64_t model_swaps = 0;
+  /// Requests an idle worker pulled from a shard it does not own.
+  std::uint64_t stolen_requests = 0;
+  /// Submissions whose home shard ring was full and landed on a neighbor.
+  std::uint64_t spilled_submissions = 0;
 
   Log2Histogram batch_rows;        // rows per scored batch
   Log2Histogram queue_delay_us;    // submit -> batch formation, per request

@@ -1,0 +1,174 @@
+// MpscQueue edge cases (wraparound, full, empty) plus the concurrency
+// contracts the serving shards rely on: multi-producer enqueue, stealing
+// consumers, and exactly-once delivery. The concurrent cases are sized to
+// run quickly so CI can repeat them under TSan.
+#include "runtime/mpsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mev::runtime {
+namespace {
+
+TEST(MpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(MpscQueue<int>(65).capacity(), 128u);
+}
+
+TEST(MpscQueue, EmptyPopReturnsNullopt) {
+  MpscQueue<int> q(4);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_TRUE(q.approx_empty());
+  EXPECT_EQ(q.approx_size(), 0u);
+}
+
+TEST(MpscQueue, FullPushFailsWithoutConsumingValue) {
+  MpscQueue<std::unique_ptr<int>> q(4);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(q.try_push(std::make_unique<int>(i)));
+  auto overflow = std::make_unique<int>(99);
+  EXPECT_FALSE(q.try_push(std::move(overflow)));
+  // A failed push must leave the caller's value intact (it may need to
+  // spill to another shard or be rejected with the value attached).
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(*overflow, 99);
+  EXPECT_EQ(q.approx_size(), 4u);
+}
+
+TEST(MpscQueue, FifoOrderSingleThread) {
+  MpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpscQueue, WraparoundManyTimesOverSmallRing) {
+  // The ring is 4 cells; push/pop 10k items so every cell's sequence
+  // number laps the ring thousands of times.
+  MpscQueue<std::uint64_t> q(4);
+  std::uint64_t next_in = 0, next_out = 0;
+  for (int round = 0; round < 2500; ++round) {
+    while (q.try_push(std::uint64_t{next_in})) ++next_in;
+    EXPECT_EQ(q.approx_size(), q.capacity());  // filled to the brim
+    for (auto v = q.try_pop(); v.has_value(); v = q.try_pop())
+      EXPECT_EQ(*v, next_out++);
+  }
+  EXPECT_EQ(next_in, next_out);
+  EXPECT_EQ(next_in, 2500u * q.capacity());
+}
+
+TEST(MpscQueue, PoppedCellReleasesHeldResources) {
+  // try_pop resets the vacated cell, so the ring never keeps the last
+  // popped value's resources alive until the cell is overwritten.
+  auto probe = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = probe;
+  MpscQueue<std::shared_ptr<int>> q(4);
+  ASSERT_TRUE(q.try_push(std::move(probe)));
+  { auto popped = q.try_pop(); ASSERT_TRUE(popped.has_value()); }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(MpscQueue, ConcurrentProducersSingleConsumerExactlyOnce) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  MpscQueue<std::uint64_t> q(64);  // small: forces full-queue retries
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t value = p * kPerProducer + i;
+        while (!q.try_push(std::move(value))) std::this_thread::yield();
+      }
+    });
+
+  std::vector<std::uint64_t> received;
+  std::thread consumer([&] {
+    std::vector<std::uint64_t> last_seen(kProducers, 0);
+    for (;;) {
+      auto v = q.try_pop();
+      if (!v.has_value()) {
+        if (done.load(std::memory_order_acquire)) {
+          // Producers finished: drain whatever is left, then stop.
+          while ((v = q.try_pop()).has_value()) received.push_back(*v);
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      // Per-producer FIFO must hold even under contention.
+      const std::size_t p = *v / kPerProducer;
+      const std::uint64_t seq = *v % kPerProducer;
+      EXPECT_GE(seq + 1, last_seen[p]);
+      last_seen[p] = seq + 1;
+      received.push_back(*v);
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  ASSERT_EQ(received.size(), kProducers * kPerProducer);
+  std::set<std::uint64_t> unique(received.begin(), received.end());
+  EXPECT_EQ(unique.size(), received.size());  // exactly once, no dupes
+}
+
+TEST(MpscQueue, StealingConsumersEachItemDeliveredOnce) {
+  // The work-stealing shape: producers push to one shard while both the
+  // owner and a thief pop from it concurrently.
+  constexpr std::uint64_t kItems = 20000;
+  MpscQueue<std::uint64_t> q(128);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::atomic<std::uint32_t>> seen(kItems);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      std::uint64_t value = i;
+      while (!q.try_push(std::move(value))) std::this_thread::yield();
+    }
+  });
+
+  auto consume = [&] {
+    while (popped.load(std::memory_order_relaxed) < kItems) {
+      auto v = q.try_pop();
+      if (!v.has_value()) {
+        if (done.load(std::memory_order_acquire) &&
+            popped.load(std::memory_order_relaxed) >= kItems)
+          return;
+        std::this_thread::yield();
+        continue;
+      }
+      seen[*v].fetch_add(1, std::memory_order_relaxed);
+      popped.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread owner(consume), thief(consume);
+
+  producer.join();
+  done.store(true, std::memory_order_release);
+  owner.join();
+  thief.join();
+
+  EXPECT_EQ(popped.load(), kItems);
+  for (std::uint64_t i = 0; i < kItems; ++i)
+    EXPECT_EQ(seen[i].load(), 1u) << "item " << i;
+}
+
+}  // namespace
+}  // namespace mev::runtime

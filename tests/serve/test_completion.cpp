@@ -1,0 +1,195 @@
+// CompletionArena + ScoreFuture lifecycle: acquire/complete/take,
+// abandoned handles from both sides of the race, error propagation, slot
+// recycling (steady state never grows), and block growth under many
+// outstanding results. Concurrency cases are TSan-sized.
+#include "serve/completion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mev::serve {
+namespace {
+
+ScoreResult make_result(std::uint64_t version) {
+  ScoreResult r;
+  r.model_version = version;
+  r.verdicts.resize(1);
+  return r;
+}
+
+TEST(CompletionArena, CompleteThenTakeRoundTrips) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  const CompletionTicket t = arena->acquire();
+  EXPECT_EQ(arena->outstanding(), 1u);
+  EXPECT_FALSE(arena->ready(t));
+
+  arena->complete(t, make_result(7));
+  EXPECT_TRUE(arena->ready(t));
+  const ScoreResult r = arena->take(t);
+  EXPECT_EQ(r.model_version, 7u);
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(CompletionArena, SlotsAreRecycledSteadyStateNeverGrows) {
+  auto arena = std::make_shared<CompletionArena>(8);
+  const std::size_t capacity = arena->capacity();
+  for (int i = 0; i < 1000; ++i) {
+    const CompletionTicket t = arena->acquire();
+    arena->complete(t, make_result(static_cast<std::uint64_t>(i)));
+    EXPECT_EQ(arena->take(t).model_version, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(arena->capacity(), capacity);  // all traffic reused 8 slots
+}
+
+TEST(CompletionArena, GrowsWhenResultsAreHeldOutstanding) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  std::vector<CompletionTicket> held;
+  for (int i = 0; i < 64; ++i) held.push_back(arena->acquire());
+  EXPECT_GE(arena->capacity(), 64u);
+  EXPECT_EQ(arena->outstanding(), 64u);
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    arena->complete(held[i], make_result(i));
+    EXPECT_EQ(arena->take(held[i]).model_version, i);
+  }
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(CompletionArena, RecycledSlotGetsFreshGeneration) {
+  auto arena = std::make_shared<CompletionArena>(1);
+  const CompletionTicket first = arena->acquire();
+  arena->complete(first, make_result(1));
+  (void)arena->take(first);
+  const CompletionTicket second = arena->acquire();
+  EXPECT_EQ(second.index, first.index);  // one slot: must be recycled
+  EXPECT_NE(second.generation, first.generation);
+  // The stale first ticket reads as resolved, not pending, so a buggy
+  // double-wait cannot hang.
+  EXPECT_TRUE(arena->ready(first));
+  arena->complete(second, make_result(2));
+  EXPECT_EQ(arena->take(second).model_version, 2u);
+}
+
+TEST(CompletionArena, ErrorIsRethrownByTake) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  const CompletionTicket t = arena->acquire();
+  arena->complete_error(
+      t, std::make_exception_ptr(std::runtime_error("scan failed")));
+  EXPECT_THROW((void)arena->take(t), std::runtime_error);
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(CompletionArena, AbandonBeforeCompleteRecyclesOnComplete) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  const CompletionTicket t = arena->acquire();
+  arena->abandon(t);                      // handle dropped first
+  EXPECT_EQ(arena->outstanding(), 1u);    // completer still owns the slot
+  arena->complete(t, make_result(3));     // second arrival recycles
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(CompletionArena, AbandonAfterCompleteRecyclesImmediately) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  const CompletionTicket t = arena->acquire();
+  arena->complete(t, make_result(4));
+  arena->abandon(t);  // result never read: dropped + recycled
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(ScoreFuture, DefaultConstructedIsInvalid) {
+  ScoreFuture f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_THROW((void)f.get(), std::future_error);
+}
+
+TEST(ScoreFuture, GetConsumesAndInvalidates) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  const CompletionTicket t = arena->acquire();
+  ScoreFuture f(arena, t);
+  EXPECT_TRUE(f.valid());
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::timeout);
+  arena->complete(t, make_result(9));
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get().model_version, 9u);
+  EXPECT_FALSE(f.valid());
+  EXPECT_THROW((void)f.get(), std::future_error);
+}
+
+TEST(ScoreFuture, DroppedFutureDoesNotLeakItsSlot) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  const CompletionTicket t = arena->acquire();
+  { ScoreFuture f(arena, t); }    // dropped unread while pending
+  arena->complete(t, make_result(5));
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(ScoreFuture, MoveTransfersOwnership) {
+  auto arena = std::make_shared<CompletionArena>(4);
+  const CompletionTicket t = arena->acquire();
+  ScoreFuture a(arena, t);
+  ScoreFuture b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): probing
+  EXPECT_TRUE(b.valid());
+  arena->complete(t, make_result(6));
+  EXPECT_EQ(b.get().model_version, 6u);
+}
+
+TEST(ScoreFuture, OutlivesTheArenaOwner) {
+  // The service-destroyed-first shape: the shared_ptr inside the future
+  // keeps the arena alive after the original owner lets go.
+  ScoreFuture f;
+  {
+    auto arena = std::make_shared<CompletionArena>(4);
+    const CompletionTicket t = arena->acquire();
+    f = ScoreFuture(arena, t);
+    arena->complete(t, make_result(11));
+  }
+  EXPECT_EQ(f.get().model_version, 11u);
+}
+
+TEST(CompletionArena, ConcurrentCompletersAndConsumers) {
+  static constexpr std::size_t kThreads = 4;
+  static constexpr int kPerThread = 2000;
+  auto arena = std::make_shared<CompletionArena>(16);
+
+  std::vector<std::thread> pairs;
+  std::atomic<std::uint64_t> sum{0};
+  for (std::size_t th = 0; th < kThreads; ++th)
+    pairs.emplace_back([&, th] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const CompletionTicket t = arena->acquire();
+        std::thread completer([&arena, t, th, i] {
+          arena->complete(t, make_result(th * kPerThread + i + 1));
+        });
+        sum.fetch_add(arena->take(t).model_version,
+                      std::memory_order_relaxed);
+        completer.join();
+      }
+    });
+  for (auto& t : pairs) t.join();
+
+  std::uint64_t want = 0;
+  for (std::uint64_t v = 1; v <= kThreads * kPerThread; ++v) want += v;
+  EXPECT_EQ(sum.load(), want);
+  EXPECT_EQ(arena->outstanding(), 0u);
+}
+
+TEST(CompletionArena, ConcurrentAbandonVsCompleteNeverLeaks) {
+  auto arena = std::make_shared<CompletionArena>(16);
+  constexpr int kRounds = 4000;
+  for (int i = 0; i < kRounds; ++i) {
+    const CompletionTicket t = arena->acquire();
+    std::thread completer(
+        [&arena, t, i] { arena->complete(t, make_result(i)); });
+    arena->abandon(t);  // races the completion; exactly one side recycles
+    completer.join();
+    ASSERT_EQ(arena->outstanding(), 0u) << "round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mev::serve

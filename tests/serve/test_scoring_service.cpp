@@ -77,7 +77,7 @@ TEST(ScoringService, ManualModeParityWithSequentialScan) {
   auto service = f.make_service(cfg);
 
   const math::Matrix all = random_counts(20, 42);
-  std::vector<std::future<ScoreResult>> futures;
+  std::vector<ScoreFuture> futures;
   // Mixed request sizes: 1, 2, 3, ... rows — batches will straddle them.
   std::size_t row = 0;
   for (std::size_t n = 1; row + n <= all.rows(); ++n) {
@@ -112,7 +112,7 @@ TEST(ScoringService, ThreadedParityAnyWorkerCountAnyWindow) {
       cfg.max_batch_rows = 16;
       cfg.max_queue_delay_ms = window_ms;
       auto service = f.make_service(cfg);
-      std::vector<std::future<ScoreResult>> futures;
+      std::vector<ScoreFuture> futures;
       for (std::size_t r = 0; r < all.rows(); r += 3)
         futures.push_back(
             service.submit(all.slice_rows(r, std::min(r + 3, all.rows()))));
@@ -253,7 +253,7 @@ TEST(ScoringService, ShutdownWithoutDrainRejectsPending) {
 
 TEST(ScoringService, DestructorDrainsInFlightWork) {
   Fixture f;
-  std::future<ScoreResult> future;
+  ScoreFuture future;
   {
     ServiceConfig cfg;
     cfg.workers = 2;
@@ -342,7 +342,7 @@ TEST(ScoringService, ConcurrentSubmitAndHotSwapExactlyOnce) {
   constexpr std::size_t kProducers = 4;
   constexpr std::size_t kPerProducer = 40;
   std::vector<std::vector<math::Matrix>> inputs(kProducers);
-  std::vector<std::vector<std::future<ScoreResult>>> futures(kProducers);
+  std::vector<std::vector<ScoreFuture>> futures(kProducers);
   for (std::size_t p = 0; p < kProducers; ++p)
     for (std::size_t i = 0; i < kPerProducer; ++i)
       inputs[p].push_back(random_counts(1 + (i % 3), 1000 + p * 100 + i));

@@ -76,7 +76,7 @@ TEST(ServiceReadiness, QueueHighWaterFlagsNotReadyBeforeAdmissionRejects) {
   cfg.max_queue_delay_ms = 1000;
   auto service = f.make_service(cfg);
 
-  std::vector<std::future<ScoreResult>> futures;
+  std::vector<ScoreFuture> futures;
   futures.push_back(service.submit(random_counts(10, 1)));
   EXPECT_TRUE(service.readiness().ready);
 
