@@ -7,10 +7,13 @@ Two report formats are understood:
   ``bench/bench_micro``. Lower is better.
 * BENCH_serve.json — the structured report written by ``bench/bench_serve``
   with ``closed_loop`` / ``open_loop`` sweeps. The pinned signals are the
-  end-to-end latency p95 of each sweep point (lower is better) and the
+  end-to-end latency p95 of each sweep point (lower is better), the
   closed-loop speedup-vs-sequential of each worker count (higher is
   better; the ratio, not absolute rows/s, so co-tenant load on the bench
-  box cancels out).
+  box cancels out), and the overload-phase goodput ratio (goodput at 2x
+  offered load over measured sequential capacity, higher is better, with
+  an absolute floor). Baselines written before the overload phase existed
+  simply skip that gate.
 
 The check is direction-aware: only a change for the *worse* beyond the
 tolerance band fails; improvements are reported and pass. Keys present in
@@ -46,6 +49,13 @@ PINNED_MICRO_PREFIXES = (
     "BM_ObsCounterInc",
     "BM_ObsHistogramRecord",
 )
+
+# Overload-phase absolute floor: at 2x offered load with shedding on, the
+# service must still complete at least this fraction of its measured
+# sequential capacity. Deliberately below the ~0.7 the bench reports on an
+# idle box, so only a real overload-behavior collapse trips it, not
+# co-tenant noise.
+OVERLOAD_GOODPUT_FLOOR = 0.55
 
 
 def load(path):
@@ -184,7 +194,52 @@ def check_serve(baseline, fresh, tolerance):
             )
             continue
         comparison.check_higher(key, base_value, fresh_tp.get(key))
+
+    check_overload(comparison, baseline, fresh)
     return comparison.report("serve")
+
+
+def check_overload(comparison, baseline, fresh):
+    """Gate the overload-phase goodput ratio (PR 7).
+
+    Relative: compared against the baseline like any throughput key.
+    Absolute: a fresh ratio below OVERLOAD_GOODPUT_FLOOR fails outright —
+    that is the overload-resilience contract, not a perf delta. Reports
+    written before the overload phase existed lack the key; those skip the
+    relative gate instead of failing, so old baselines stay usable.
+    """
+    key = "overload_goodput_ratio"
+    fresh_ratio = fresh.get(key)
+    base_ratio = baseline.get(key)
+    if fresh_ratio is None:
+        comparison.skip(key, "fresh report has no overload phase")
+        return
+    if fresh_ratio < OVERLOAD_GOODPUT_FLOOR:
+        comparison.regressions.append(
+            f"{key}: {fresh_ratio:.3f} below absolute floor "
+            f"{OVERLOAD_GOODPUT_FLOOR}"
+        )
+    if base_ratio is None:
+        comparison.skip(key, "baseline predates the overload phase")
+        return
+    comparison.check_higher(key, base_ratio, fresh_ratio)
+
+    # Deadline bound on completed work: p99 of what the overloaded service
+    # DID complete must stay within the configured deadline (plus one
+    # octave of histogram resolution — Log2Histogram percentiles are
+    # bucket-interpolated).
+    overload = fresh.get("overload", {})
+    p99 = overload.get("e2e_latency_us", {}).get("p99")
+    deadline_ms = overload.get("deadline_ms")
+    if p99 is None or deadline_ms is None:
+        comparison.skip("overload.e2e_latency_us.p99", "not in fresh report")
+        return
+    bound_us = 2.0 * deadline_ms * 1000.0
+    if p99 > bound_us:
+        comparison.regressions.append(
+            f"overload.e2e_latency_us.p99: {p99:.0f}us exceeds "
+            f"{bound_us:.0f}us (2x the {deadline_ms}ms deadline)"
+        )
 
 
 def main():

@@ -4,6 +4,7 @@
 // zero downtime; the run ends with the service's stats summary.
 //
 //   ./scoring_service [tiny|fast|full] [--admin-port N] [--hold-ms N]
+//                     [--chaos PROFILE] [--overload]
 //
 //   --admin-port N  start the embedded HTTP admin plane on port N (0 =
 //                   kernel-assigned; the bound port is printed) serving
@@ -11,6 +12,13 @@
 //   --hold-ms N     keep the service (and admin endpoints) up for N ms
 //                   after the traffic finishes, so an external scraper
 //                   can observe the live state before shutdown
+//   --chaos P       inject model faults for the first half of the run
+//                   (P = throwing|garbled|slow|stalling|chaos), then
+//                   clear them — the stats summary shows the contained
+//                   damage: failed batches, typed rejections, worker
+//                   stalls, and zero lost requests
+//   --overload      enable the adaptive load shedder (brownout posture
+//                   shows up in the stats and flips /readyz to 503)
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -29,11 +37,28 @@
 
 using namespace mev;
 
+namespace {
+
+bool find_profile(const std::string& name, serve::ModelFaultProfile* out) {
+  for (const auto& profile : serve::ModelFaultProfile::builtin_profiles()) {
+    if (profile.name == name) {
+      *out = profile;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string scale = "tiny";
   bool admin_enabled = false;
   int admin_port = 0;
   long hold_ms = 0;
+  bool overload = false;
+  bool chaos = false;
+  serve::ModelFaultProfile fault;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--admin-port" && i + 1 < argc) {
@@ -41,9 +66,22 @@ int main(int argc, char** argv) {
       admin_port = std::atoi(argv[++i]);
     } else if (arg == "--hold-ms" && i + 1 < argc) {
       hold_ms = std::atol(argv[++i]);
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (!find_profile(name, &fault)) {
+        std::cerr << "unknown chaos profile '" << name << "'; built-ins:";
+        for (const auto& p : serve::ModelFaultProfile::builtin_profiles())
+          std::cerr << " " << p.name;
+        std::cerr << "\n";
+        return 2;
+      }
+      chaos = true;
+    } else if (arg == "--overload") {
+      overload = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: " << argv[0]
-                << " [tiny|fast|full] [--admin-port N] [--hold-ms N]\n";
+                << " [tiny|fast|full] [--admin-port N] [--hold-ms N]"
+                   " [--chaos PROFILE] [--overload]\n";
       return 2;
     } else {
       scale = arg;
@@ -70,6 +108,17 @@ int main(int argc, char** argv) {
     service_cfg.admin.enabled = true;
     service_cfg.admin.port = static_cast<std::uint16_t>(admin_port);
   }
+  if (overload) {
+    service_cfg.overload.enabled = true;
+    service_cfg.overload.target_delay_ms = 5;
+  }
+  if (chaos) {
+    // The watchdog's monitor thread makes a stalling profile visible as
+    // worker_stalls/worker_recoveries in the final summary.
+    service_cfg.watchdog.enabled = true;
+    service_cfg.watchdog.stall_ms = 50;
+    service_cfg.watchdog.poll_ms = 10;
+  }
   serve::ScoringService service(trained.detector->pipeline(),
                                 trained.detector->network_ptr(), service_cfg);
   if (admin_enabled) {
@@ -83,6 +132,12 @@ int main(int argc, char** argv) {
                    "failed)"
                 << std::endl;
   }
+  std::shared_ptr<serve::ModelFaultInjector> injector;
+  if (chaos) {
+    injector = service.set_model_fault(fault);
+    std::cout << "      chaos: injecting '" << fault.name
+              << "' model faults for the first half of the traffic\n";
+  }
 
   // Producers: half submit individual sandbox logs, half submit raw count
   // batches — both arrive through the same submit() front door.
@@ -90,6 +145,7 @@ int main(int argc, char** argv) {
                "hot-swapping a distilled model...\n";
   std::atomic<std::size_t> malware_verdicts{0};
   std::atomic<std::size_t> scored_rows{0};
+  std::atomic<std::size_t> rejected_requests{0};
   std::vector<std::thread> producers;
   const std::size_t per_producer = config.dataset_spec().test_malware;
   for (std::size_t p = 0; p < 4; ++p) {
@@ -108,7 +164,10 @@ int main(int argc, char** argv) {
       }
       for (auto& future : futures) {
         const serve::ScoreResult result = future.get();
-        if (!result.ok()) continue;
+        if (!result.ok()) {
+          ++rejected_requests;  // typed rejection — never a lost future
+          continue;
+        }
         scored_rows += result.verdicts.size();
         for (const auto& verdict : result.verdicts)
           if (verdict.is_malware()) ++malware_verdicts;
@@ -128,6 +187,16 @@ int main(int argc, char** argv) {
                                    bundle.train.labels};
   const auto distilled =
       defense::defensive_distillation(train_data, distill_cfg);
+  if (chaos) {
+    // Clear the faults before the rollout: the second half of the run
+    // shows the same pool scoring clean on the new model.
+    service.clear_model_fault();
+    const auto counts = injector->injected();
+    std::cout << "      chaos cleared after " << counts.batches
+              << " batches (" << counts.throws << " throws, "
+              << counts.garbled << " garbled, " << counts.slowed
+              << " slowed, " << counts.stalled << " stalls)\n";
+  }
   const std::uint64_t version = service.swap_model(
       trained.detector->pipeline(), distilled.student);
   std::cout << "      swapped in distilled model (snapshot v" << version
@@ -141,7 +210,11 @@ int main(int argc, char** argv) {
   service.shutdown();  // drain
 
   std::cout << "[4/4] done: scored " << scored_rows.load() << " rows, "
-            << malware_verdicts.load() << " malware verdicts\n\n";
+            << malware_verdicts.load() << " malware verdicts";
+  if (rejected_requests.load() > 0)
+    std::cout << ", " << rejected_requests.load()
+              << " typed rejections (none lost)";
+  std::cout << "\n\n";
   std::cout << "service stats:\n" << service.stats().to_string();
   return 0;
 }

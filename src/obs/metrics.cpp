@@ -97,6 +97,26 @@ std::string sanitize_prometheus(std::string_view name) {
   return out;
 }
 
+/// `{key="value",...}` suffix for a labeled sample, "" when unlabeled.
+/// `extra` appends one more pair (histogram `le`) without copying the set.
+std::string render_labels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += sanitize_prometheus(key) + "=\"" +
+           prometheus_escape_label_value(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
 std::string escape_json(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -119,40 +139,46 @@ std::string escape_json(std::string_view s) {
 
 detail::Metric& MetricsRegistry::find_or_create(std::string_view name,
                                                 std::string_view help,
-                                                detail::MetricKind kind) {
+                                                detail::MetricKind kind,
+                                                const Labels& labels) {
   if (name.empty())
     throw std::invalid_argument("MetricsRegistry: empty metric name");
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& metric : metrics_) {
     if (metric->name != name) continue;
+    // One TYPE per name: every label set under a name shares a kind.
     if (metric->kind != kind)
       throw std::invalid_argument(
           "MetricsRegistry: metric '" + std::string(name) +
           "' already registered as a " + kind_name(metric->kind) +
           ", requested as a " + kind_name(kind));
-    return *metric;
+    if (metric->labels == labels) return *metric;
   }
   auto metric = std::make_unique<detail::Metric>();
   metric->name = std::string(name);
   metric->help = std::string(help);
+  metric->labels = labels;
   metric->kind = kind;
   metrics_.push_back(std::move(metric));
   return *metrics_.back();
 }
 
-Counter MetricsRegistry::counter(std::string_view name,
-                                 std::string_view help) {
-  return Counter(&find_or_create(name, help, detail::MetricKind::kCounter));
+Counter MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                 Labels labels) {
+  return Counter(
+      &find_or_create(name, help, detail::MetricKind::kCounter, labels));
 }
 
-Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help) {
-  return Gauge(&find_or_create(name, help, detail::MetricKind::kGauge));
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                             Labels labels) {
+  return Gauge(&find_or_create(name, help, detail::MetricKind::kGauge,
+                               labels));
 }
 
 Histogram MetricsRegistry::histogram(std::string_view name,
-                                     std::string_view help) {
+                                     std::string_view help, Labels labels) {
   return Histogram(
-      &find_or_create(name, help, detail::MetricKind::kHistogram));
+      &find_or_create(name, help, detail::MetricKind::kHistogram, labels));
 }
 
 std::size_t MetricsRegistry::size() const {
@@ -163,21 +189,29 @@ std::size_t MetricsRegistry::size() const {
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
   std::string out;
   std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> emitted_headers;  // names whose HELP/TYPE are out
   for (const auto& metric : metrics_) {
     const std::string name = sanitize_prometheus(metric->name);
-    if (!metric->help.empty())
-      out += "# HELP " + name + " " + prometheus_escape_help(metric->help) +
-             "\n";
-    out += "# TYPE " + name + " " + kind_name(metric->kind) + "\n";
+    const std::string labels = render_labels(metric->labels);
+    // HELP/TYPE once per name, even when several label sets share it.
+    bool header_done = false;
+    for (const auto& seen : emitted_headers) header_done |= seen == name;
+    if (!header_done) {
+      emitted_headers.push_back(name);
+      if (!metric->help.empty())
+        out += "# HELP " + name + " " + prometheus_escape_help(metric->help) +
+               "\n";
+      out += "# TYPE " + name + " " + kind_name(metric->kind) + "\n";
+    }
     switch (metric->kind) {
       case detail::MetricKind::kCounter:
-        out += name + " " +
+        out += name + labels + " " +
                std::to_string(
                    metric->counter.load(std::memory_order_relaxed)) +
                "\n";
         break;
       case detail::MetricKind::kGauge:
-        out += name + " " +
+        out += name + labels + " " +
                prometheus_number(
                    metric->gauge.load(std::memory_order_relaxed)) +
                "\n";
@@ -195,15 +229,21 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i <= last && h.count() > 0; ++i) {
           cumulative += h.bucket_count(i);
-          out += name + "_bucket{le=\"" +
-                 prometheus_escape_label_value(std::to_string(
-                     Log2Histogram::bucket_upper_bound(i))) +
-                 "\"} " + std::to_string(cumulative) + "\n";
+          out += name + "_bucket" +
+                 render_labels(metric->labels,
+                               "le=\"" +
+                                   prometheus_escape_label_value(std::to_string(
+                                       Log2Histogram::bucket_upper_bound(i))) +
+                                   "\"") +
+                 " " + std::to_string(cumulative) + "\n";
         }
-        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+        out += name + "_bucket" +
+               render_labels(metric->labels, "le=\"+Inf\"") + " " +
+               std::to_string(h.count()) + "\n";
+        out += name + "_sum" + labels + " " + prometheus_number(h.sum()) +
                "\n";
-        out += name + "_sum " + prometheus_number(h.sum()) + "\n";
-        out += name + "_count " + std::to_string(h.count()) + "\n";
+        out += name + "_count" + labels + " " + std::to_string(h.count()) +
+               "\n";
         break;
       }
     }
@@ -223,8 +263,22 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   for (const auto& metric : metrics_) {
     // Built with += (not operator+ on a temporary): GCC 12's -Werror
     // build trips a bogus -Wrestrict on the rvalue overload (PR105651).
+    // Labeled cells key as `name{key=value,...}` so every cell stays
+    // addressable in the snapshot.
     std::string key = "\"";
     key += escape_json(metric->name);
+    if (!metric->labels.empty()) {
+      key += '{';
+      bool first = true;
+      for (const auto& [k, v] : metric->labels) {
+        if (!first) key += ',';
+        first = false;
+        key += escape_json(k);
+        key += '=';
+        key += escape_json(v);
+      }
+      key += '}';
+    }
     key += "\":";
     switch (metric->kind) {
       case detail::MetricKind::kCounter:

@@ -17,6 +17,12 @@
 // `mev.<layer>.<op>` convention; exporters sanitize for Prometheus
 // ('.' and '-' become '_').
 //
+// A metric may carry labels: registering the same name with different
+// label sets creates one cell per label set (all must share one kind —
+// Prometheus allows one TYPE per name), and the exposition renders
+// `name{key="value"} v` with HELP/TYPE emitted once per name. The serving
+// layer uses this for per-reason rejection counters.
+//
 // With MEV_ENABLE_OBS=OFF the whole registry collapses to inline no-op
 // stubs (exports produce empty documents) — call sites compile unchanged.
 #pragma once
@@ -28,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/histogram.hpp"
@@ -37,6 +44,10 @@
 #endif
 
 namespace mev::obs {
+
+/// Label set attached to a metric cell: ordered (key, value) pairs. Order
+/// is part of the cell's identity — register with a consistent order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Prometheus text-exposition escaping, available in both build modes
 /// (pure string helpers; tests/obs pins them). HELP text escapes
@@ -57,6 +68,7 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
 struct Metric {
   std::string name;
   std::string help;
+  Labels labels;
   MetricKind kind;
   std::atomic<std::uint64_t> counter{0};
   std::atomic<double> gauge{0.0};
@@ -132,11 +144,16 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Registers (or finds) a metric and returns its handle. `help` is kept
-  /// from the first registration. Throws std::invalid_argument when the
-  /// name is already registered as a different kind.
-  Counter counter(std::string_view name, std::string_view help = "");
-  Gauge gauge(std::string_view name, std::string_view help = "");
-  Histogram histogram(std::string_view name, std::string_view help = "");
+  /// from the first registration. A (name, labels) pair names one cell;
+  /// the same name may be registered with several label sets. Throws
+  /// std::invalid_argument when the name is already registered as a
+  /// different kind (with any label set — one TYPE per name).
+  Counter counter(std::string_view name, std::string_view help = "",
+                  Labels labels = {});
+  Gauge gauge(std::string_view name, std::string_view help = "",
+              Labels labels = {});
+  Histogram histogram(std::string_view name, std::string_view help = "",
+                      Labels labels = {});
 
   std::size_t size() const;
 
@@ -154,7 +171,8 @@ class MetricsRegistry {
 
  private:
   detail::Metric& find_or_create(std::string_view name, std::string_view help,
-                                 detail::MetricKind kind);
+                                 detail::MetricKind kind,
+                                 const Labels& labels);
 
   mutable std::mutex mutex_;  // guards metrics_ (registration + export)
   std::vector<std::unique_ptr<detail::Metric>> metrics_;  // insertion order
@@ -189,9 +207,15 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter counter(std::string_view, std::string_view = "") { return {}; }
-  Gauge gauge(std::string_view, std::string_view = "") { return {}; }
-  Histogram histogram(std::string_view, std::string_view = "") { return {}; }
+  Counter counter(std::string_view, std::string_view = "", Labels = {}) {
+    return {};
+  }
+  Gauge gauge(std::string_view, std::string_view = "", Labels = {}) {
+    return {};
+  }
+  Histogram histogram(std::string_view, std::string_view = "", Labels = {}) {
+    return {};
+  }
   std::size_t size() const { return 0; }
   void write_prometheus(std::ostream& os) const;
   std::string prometheus() const { return ""; }

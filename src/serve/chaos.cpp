@@ -1,0 +1,100 @@
+#include "serve/chaos.hpp"
+
+#include <stdexcept>
+
+namespace mev::serve {
+
+ModelFaultProfile ModelFaultProfile::none() { return {}; }
+
+ModelFaultProfile ModelFaultProfile::throwing() {
+  ModelFaultProfile p;
+  p.name = "throwing";
+  p.throw_rate = 0.30;
+  return p;
+}
+
+ModelFaultProfile ModelFaultProfile::garbled() {
+  ModelFaultProfile p;
+  p.name = "garbled";
+  p.garble_rate = 0.25;
+  return p;
+}
+
+ModelFaultProfile ModelFaultProfile::slow() {
+  ModelFaultProfile p;
+  p.name = "slow";
+  p.slow_rate = 0.40;
+  p.slow_ms = 20;
+  return p;
+}
+
+ModelFaultProfile ModelFaultProfile::stalling() {
+  ModelFaultProfile p;
+  p.name = "stalling";
+  p.stall_batches = 2;
+  p.stall_ms = 200;
+  return p;
+}
+
+ModelFaultProfile ModelFaultProfile::chaos() {
+  ModelFaultProfile p;
+  p.name = "chaos";
+  p.throw_rate = 0.15;
+  p.garble_rate = 0.10;
+  p.slow_rate = 0.20;
+  p.slow_ms = 10;
+  p.stall_batches = 1;
+  p.stall_ms = 100;
+  return p;
+}
+
+std::vector<ModelFaultProfile> ModelFaultProfile::builtin_profiles() {
+  return {throwing(), garbled(), slow(), stalling(), chaos()};
+}
+
+ModelFaultInjector::ModelFaultInjector(ModelFaultProfile profile,
+                                       runtime::Clock* clock)
+    : profile_(std::move(profile)),
+      clock_(clock != nullptr ? clock : &runtime::SystemClock::instance()),
+      rng_(profile_.seed),
+      stalls_remaining_(profile_.stall_batches) {}
+
+void ModelFaultInjector::pre_scan() {
+  std::uint64_t sleep = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++injected_.batches;
+    if (stalls_remaining_ > 0) {
+      --stalls_remaining_;
+      ++injected_.stalled;
+      sleep = profile_.stall_ms;
+    } else if (profile_.slow_rate > 0.0 &&
+               rng_.bernoulli(profile_.slow_rate)) {
+      ++injected_.slowed;
+      sleep = profile_.slow_ms;
+    }
+  }
+  // Sleep outside the lock: a wedged batch on one worker must not block
+  // the sibling workers' fault draws.
+  if (sleep > 0) clock_->sleep_ms(sleep);
+}
+
+void ModelFaultInjector::post_scan(std::vector<core::Verdict>& verdicts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (profile_.throw_rate > 0.0 && rng_.bernoulli(profile_.throw_rate)) {
+    ++injected_.throws;
+    throw std::runtime_error("injected model fault (" + profile_.name + ")");
+  }
+  if (profile_.garble_rate > 0.0 && rng_.bernoulli(profile_.garble_rate) &&
+      !verdicts.empty()) {
+    ++injected_.garbled;
+    verdicts.pop_back();
+  }
+}
+
+ModelFaultInjector::InjectedCounts ModelFaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+}  // namespace mev::serve

@@ -1,0 +1,118 @@
+// Serve-side chaos harness: deterministic fault injection in the worker
+// scoring path, mirroring runtime::FaultInjectingOracle (PR 2) on the
+// server side. A ModelFaultInjector sits between batch assembly and the
+// pinned detector and, driven by a seeded RNG, makes some batches slow,
+// stall, throw, or come back with the wrong number of verdicts — the four
+// ways a real model backend misbehaves.
+//
+// Injection is split into two phases because the service's failure model
+// is staged:
+//
+//   pre_scan()   latency faults (slow batch, startup stall) — runs
+//                BEFORE the service's post-dequeue deadline gate, so an
+//                injected delay deterministically expires deadlined work
+//                at the execution stage (under FakeClock, sleep_ms
+//                advances time instantly — no real waiting in tests).
+//   post_scan()  outcome faults (throw, garbled verdict count) — wraps
+//                the verdicts of a completed scan, inside the worker's
+//                containment try-block, so a fault fails that batch with
+//                kInternalError and nothing else.
+//
+// The injector is installed with ScoringService::set_model_fault() and
+// pinned per batch like the model snapshot, so clearing the fault is a
+// hot swap: batches formed after clear_model_fault() returns score clean.
+// The chaos suite (tests/serve/test_chaos.cpp) iterates
+// builtin_profiles() and asserts the core invariant under each: every
+// submitted request completes exactly once with a verdict or a typed
+// rejection, and the service accepts new work after the fault clears.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "math/rng.hpp"
+#include "runtime/clock.hpp"
+
+namespace mev::serve {
+
+struct ModelFaultProfile {
+  std::string name = "none";
+
+  /// Probability a scanned batch throws (after inference, before any
+  /// request resolves) — a crashing model backend.
+  double throw_rate = 0.0;
+  /// Probability a batch's verdict vector loses its last entry — a
+  /// garbled response the service must refuse to mis-attribute.
+  double garble_rate = 0.0;
+  /// Probability a batch is slowed by slow_ms before scoring.
+  double slow_rate = 0.0;
+  std::uint64_t slow_ms = 20;
+  /// The first N batches each stall for stall_ms (a cold backend that
+  /// wedges its worker) — exercises the watchdog.
+  std::size_t stall_batches = 0;
+  std::uint64_t stall_ms = 0;
+
+  std::uint64_t seed = 0x5EEDULL;
+
+  static ModelFaultProfile none();
+  /// 30% of batches throw.
+  static ModelFaultProfile throwing();
+  /// 25% of batches come back one verdict short.
+  static ModelFaultProfile garbled();
+  /// 40% of batches are slowed by slow_ms.
+  static ModelFaultProfile slow();
+  /// The first 2 batches stall for stall_ms each.
+  static ModelFaultProfile stalling();
+  /// Everything at once: throw + garble + slow + a stall burst.
+  static ModelFaultProfile chaos();
+
+  /// All non-trivial built-in profiles (everything above except none()) —
+  /// the chaos suite iterates over these.
+  static std::vector<ModelFaultProfile> builtin_profiles();
+};
+
+class ModelFaultInjector {
+ public:
+  /// `clock` defaults to the shared SystemClock (injected latency then
+  /// really costs wall time); tests pass a FakeClock.
+  explicit ModelFaultInjector(ModelFaultProfile profile,
+                              runtime::Clock* clock = nullptr);
+
+  /// Phase 1: latency faults. May sleep on the injector's clock; never
+  /// throws.
+  void pre_scan();
+
+  /// Phase 2: outcome faults. May throw std::runtime_error or shorten
+  /// `verdicts` — the caller's containment/validation handles both.
+  void post_scan(std::vector<core::Verdict>& verdicts);
+
+  struct InjectedCounts {
+    std::size_t batches = 0;  // pre_scan applications
+    std::size_t throws = 0;
+    std::size_t garbled = 0;
+    std::size_t slowed = 0;
+    std::size_t stalled = 0;
+    std::size_t faults() const noexcept {
+      return throws + garbled + slowed + stalled;
+    }
+  };
+  /// Thread-safe snapshot (workers share one injector).
+  InjectedCounts injected() const;
+  const ModelFaultProfile& profile() const noexcept { return profile_; }
+
+ private:
+  ModelFaultProfile profile_;
+  runtime::Clock* clock_;
+  /// Workers share the injector; the RNG and counters are serialized.
+  /// Sleeps happen outside the lock so a slow batch on one worker does
+  /// not serialize its siblings' draws.
+  mutable std::mutex mutex_;
+  math::Rng rng_;
+  InjectedCounts injected_;
+  std::size_t stalls_remaining_ = 0;
+};
+
+}  // namespace mev::serve

@@ -23,7 +23,8 @@ enum class RejectReason {
   kQueueFull,       // admission control: queued rows would exceed the bound
   kShuttingDown,    // service stopped, not yet started, or stopping
   kDeadline,        // the request's deadline expired before scoring
-  kInternalError,   // scoring threw (callback mode; future mode rethrows)
+  kOverloaded,      // shed at admission by the overload controller
+  kInternalError,   // scoring failed (model threw or garbled its output)
 };
 
 inline const char* to_string(RejectReason reason) noexcept {
@@ -32,7 +33,26 @@ inline const char* to_string(RejectReason reason) noexcept {
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kShuttingDown: return "shutting_down";
     case RejectReason::kDeadline: return "deadline";
+    case RejectReason::kOverloaded: return "overloaded";
     case RejectReason::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+/// Where along the pipeline a deadlined request was found expired. Every
+/// stage rejects with RejectReason::kDeadline; the stage only feeds the
+/// per-stage expiry counters (mev.serve.deadline_expired_total{stage=…}).
+enum class DeadlineStage {
+  kAdmission,    // already expired when submitted (propagated deadline)
+  kQueue,        // expired waiting in a ring / batcher
+  kPostDequeue,  // expired between batch formation and inference
+};
+
+inline const char* to_string(DeadlineStage stage) noexcept {
+  switch (stage) {
+    case DeadlineStage::kAdmission: return "admission";
+    case DeadlineStage::kQueue: return "queue";
+    case DeadlineStage::kPostDequeue: return "post_dequeue";
   }
   return "unknown";
 }
@@ -51,10 +71,18 @@ struct ScoreResult {
 /// Per-submission options.
 struct SubmitOptions {
   /// Relative deadline in milliseconds measured from submission on the
-  /// service clock; 0 means no deadline. A request still queued when its
-  /// deadline passes is rejected with RejectReason::kDeadline instead of
-  /// being scored late.
+  /// service clock; 0 means no deadline. A request whose deadline passes
+  /// before inference — in the queue, or even after its batch formed —
+  /// is rejected with RejectReason::kDeadline instead of being scored
+  /// late.
   std::uint64_t deadline_ms = 0;
+  /// Absolute deadline on the service clock (runtime::Clock::now_ms
+  /// epoch); 0 means none. This is the propagation form: an upstream
+  /// caller forwards its own remaining budget instead of restarting the
+  /// clock at each hop. When both fields are set the earlier deadline
+  /// wins; a submission whose absolute deadline has already passed is
+  /// rejected at admission without consuming queue capacity.
+  std::uint64_t deadline_at_ms = 0;
 };
 
 /// Names one slot in a CompletionArena. The generation tag detects a

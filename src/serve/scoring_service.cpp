@@ -31,19 +31,46 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
       clock_(config.clock != nullptr ? config.clock
                                      : &runtime::SystemClock::instance()),
       tracer_(obs::resolve(config.tracer)),
-      logger_(obs::resolve(config.logger)) {
+      logger_(obs::resolve(config.logger)),
+      overload_(config.overload) {
   obs::MetricsRegistry* registry = obs::resolve(config.metrics);
   obs_.accepted_requests = registry->counter(
       "mev.serve.accepted_requests", "submissions admitted to the queue");
   obs_.accepted_rows =
       registry->counter("mev.serve.accepted_rows", "rows admitted");
+  // One labeled family per breakdown: rejections by reason, deadline
+  // expiries by pipeline stage.
+  const char* rejected_name = "mev.serve.rejected_total";
+  const char* rejected_help = "rejected submissions, by reason";
   obs_.rejected_queue_full = registry->counter(
-      "mev.serve.rejected_queue_full", "submissions rejected: queue full");
-  obs_.rejected_shutting_down =
-      registry->counter("mev.serve.rejected_shutting_down",
-                        "submissions rejected: shutting down");
-  obs_.rejected_deadline = registry->counter(
-      "mev.serve.rejected_deadline", "requests expired before scoring");
+      rejected_name, rejected_help, {{"reason", "queue_full"}});
+  obs_.rejected_shutting_down = registry->counter(
+      rejected_name, rejected_help, {{"reason", "shutting_down"}});
+  obs_.rejected_deadline = registry->counter(rejected_name, rejected_help,
+                                             {{"reason", "deadline"}});
+  obs_.rejected_overloaded = registry->counter(rejected_name, rejected_help,
+                                               {{"reason", "overloaded"}});
+  obs_.rejected_internal = registry->counter(
+      rejected_name, rejected_help, {{"reason", "internal_error"}});
+  const char* expired_name = "mev.serve.deadline_expired_total";
+  const char* expired_help = "deadline expiries, by pipeline stage";
+  obs_.expired_at_admission = registry->counter(expired_name, expired_help,
+                                                {{"stage", "admission"}});
+  obs_.expired_in_queue =
+      registry->counter(expired_name, expired_help, {{"stage", "queue"}});
+  obs_.expired_post_dequeue = registry->counter(
+      expired_name, expired_help, {{"stage", "post_dequeue"}});
+  obs_.callback_errors =
+      registry->counter("mev.serve.callback_errors_total",
+                        "submission callbacks that threw (contained)");
+  obs_.worker_stalls = registry->counter(
+      "mev.serve.worker_stalls_total", "watchdog healthy->stalled verdicts");
+  obs_.worker_recoveries =
+      registry->counter("mev.serve.worker_recoveries_total",
+                        "watchdog stalled->healthy verdicts");
+  obs_.batch_failures = registry->counter(
+      "mev.serve.batch_failures_total",
+      "batches failed kInternalError inside worker containment");
   obs_.completed_requests = registry->counter(
       "mev.serve.completed_requests", "requests scored to completion");
   obs_.completed_rows =
@@ -65,6 +92,13 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
       "mev.serve.e2e_latency_us", "submit-to-verdict latency (us)");
   obs_.queued_rows = registry->gauge(
       "mev.serve.queued_rows", "rows admitted but not yet scored/rejected");
+  obs_.overload_state = registry->gauge(
+      "mev.serve.overload_state",
+      "overload controller state (0 healthy, 1 brownout, 2 recovering)");
+  obs_.shed_fraction = registry->gauge(
+      "mev.serve.shed_fraction", "admission fraction currently being shed");
+  obs_.stalled_workers = registry->gauge("mev.serve.stalled_workers",
+                                         "workers currently flagged stalled");
 
   auto snapshot = std::make_shared<ModelSnapshot>(std::move(pipeline),
                                                   std::move(network),
@@ -94,6 +128,32 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
   for (std::size_t i = 0; i < std::max<std::size_t>(config_.workers, 1); ++i)
     worker_states_.push_back(std::make_unique<WorkerState>(batcher_config));
 
+  WatchdogConfig watchdog_config = config_.watchdog;
+  if (watchdog_config.clock == nullptr) watchdog_config.clock = clock_;
+  watchdog_ = std::make_unique<Watchdog>(worker_states_.size(),
+                                         watchdog_config);
+  watchdog_->set_transition_hook([this](std::size_t worker, bool stalled) {
+    obs_.stalled_workers.set(
+        static_cast<double>(watchdog_->stalled_count()));
+    if (stalled) {
+      obs_.worker_stalls.inc();
+      MEV_LOG(*logger_, obs::LogLevel::kWarn, "serve.service",
+              "worker stalled",
+              {obs::LogField::u64_value("worker", worker),
+               obs::LogField::u64_value("stall_ms",
+                                        config_.watchdog.stall_ms)});
+      // Sibling recruitment: the stuck worker's shards must keep moving,
+      // so wake everyone else to steal its backlog.
+      for (std::size_t i = 0; i < worker_states_.size(); ++i)
+        if (i != worker) worker_states_[i]->signal.notify_all();
+    } else {
+      obs_.worker_recoveries.inc();
+      MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
+              "worker recovered",
+              {obs::LogField::u64_value("worker", worker)});
+    }
+  });
+
   if (config_.autostart) start();
 
   if (config_.admin.enabled) {
@@ -121,6 +181,7 @@ bool ScoringService::start() {
     threads_.reserve(config_.workers);
     for (std::size_t i = 0; i < config_.workers; ++i)
       threads_.emplace_back([this, i] { worker_loop(i); });
+    watchdog_->start();  // no-op unless config_.watchdog.enabled
   }
   MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service", "service started",
           {obs::LogField::u64_value("workers", config_.workers),
@@ -208,6 +269,48 @@ void ScoringService::submit_request(Request request, std::size_t rows,
     return;
   }
 
+  // Deadline resolution before admission: the relative and absolute forms
+  // min-combine, and a request whose propagated deadline has already
+  // passed is rejected here — it must not consume queue capacity or a
+  // batch slot it can never use.
+  request.enqueue_us = clock_->now_us();
+  request.enqueue_ms = clock_->now_ms();
+  if (options.deadline_ms != 0)
+    request.deadline_ms = request.enqueue_ms + options.deadline_ms;
+  if (options.deadline_at_ms != 0)
+    request.deadline_ms = request.deadline_ms == 0
+                              ? options.deadline_at_ms
+                              : std::min(request.deadline_ms,
+                                         options.deadline_at_ms);
+  if (request.expired(request.enqueue_ms)) {
+    inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+    counters_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    obs_.rejected_deadline.inc();
+    count_deadline_stage(DeadlineStage::kAdmission, 1);
+    ScoreResult result;
+    result.rejected = RejectReason::kDeadline;
+    resolve(request, std::move(result));
+    return;
+  }
+
+  // Overload shed gate: under brownout a deterministic fraction of
+  // admissions is turned away with a reason upstream retry policies treat
+  // as transient (back off and come back, unlike queue_full races).
+  overload_.tick(request.enqueue_ms);
+  if (overload_.should_shed()) {
+    inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+    counters_.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+    obs_.rejected_overloaded.inc();
+    MEV_LOG_EVERY(*logger_, obs::LogLevel::kWarn, /*rate_per_s=*/1.0,
+                  /*burst=*/5.0, "serve.service", "submission rejected",
+                  {obs::LogField::string("reason", "overloaded"),
+                   obs::LogField::u64_value("rows", rows)});
+    ScoreResult result;
+    result.rejected = RejectReason::kOverloaded;
+    resolve(request, std::move(result));
+    return;
+  }
+
   // Admission control: one fetch_add on a shared counter, rolled back on
   // rejection. Replaces the old queue mutex + pending_rows() check.
   const std::uint64_t prev =
@@ -216,11 +319,6 @@ void ScoringService::submit_request(Request request, std::size_t rows,
 
   std::size_t shard_index = 0;
   if (admitted) {
-    request.enqueue_us = clock_->now_us();
-    request.enqueue_ms = clock_->now_ms();
-    if (options.deadline_ms != 0)
-      request.deadline_ms = request.enqueue_ms + options.deadline_ms;
-
     // Route to the submitter's home shard; spill to the next ring when
     // it is full. Only when every ring is full is the submission
     // rejected (the rows bound usually trips first).
@@ -269,26 +367,101 @@ void ScoringService::submit_request(Request request, std::size_t rows,
   // stream then coalesces in one batcher instead of fragmenting across
   // whichever workers happened to wake first (each fragment would wait
   // its own flush window — a ~2x tail-latency penalty at low load).
-  worker_states_[shard_index % worker_states_.size()]->signal.notify_one();
+  // Exception: an owner the watchdog has flagged stalled cannot answer a
+  // wakeup — reroute to the next healthy sibling so the request is stolen
+  // instead of waiting out the stall.
+  std::size_t target = shard_index % worker_states_.size();
+  if (worker_states_.size() > 1 && watchdog_->stalled(target)) {
+    for (std::size_t i = 1; i < worker_states_.size(); ++i) {
+      const std::size_t sibling = (target + i) % worker_states_.size();
+      if (!watchdog_->stalled(sibling)) {
+        target = sibling;
+        break;
+      }
+    }
+  }
+  worker_states_[target]->signal.notify_one();
   inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void ScoringService::resolve(Request& request, ScoreResult&& result) {
-  if (request.callback != nullptr)
-    request.callback(request.callback_ctx, std::move(result));
-  else if (request.has_ticket)
+  if (request.callback != nullptr) {
+    // Containment: a throwing caller callback must not unwind into the
+    // worker loop (it would fail the rest of the batch and, pre-PR 7,
+    // killed the thread). The request is already resolved by the call
+    // itself, so swallow, count, continue.
+    try {
+      request.callback(request.callback_ctx, std::move(result));
+    } catch (...) {
+      counters_.callback_errors.fetch_add(1, std::memory_order_relaxed);
+      obs_.callback_errors.inc();
+      MEV_LOG_EVERY(*logger_, obs::LogLevel::kWarn, /*rate_per_s=*/1.0,
+                    /*burst=*/5.0, "serve.service",
+                    "submission callback threw; contained");
+    }
+  } else if (request.has_ticket) {
     arena_->complete(request.ticket, std::move(result));
+  }
 }
 
-void ScoringService::resolve_error(Request& request,
-                                   std::exception_ptr error) {
-  if (request.callback != nullptr) {
-    ScoreResult result;
-    result.rejected = RejectReason::kInternalError;
-    request.callback(request.callback_ctx, std::move(result));
-  } else if (request.has_ticket) {
-    arena_->complete_error(request.ticket, std::move(error));
+void ScoringService::resolve_internal_error(Request& request) {
+  // Both completion modes get a *typed* rejection: futures resolve with
+  // kInternalError rather than rethrowing a service-side fault into the
+  // caller — the client-side taxonomy (ServiceOracle) depends on it.
+  ScoreResult result;
+  result.rejected = RejectReason::kInternalError;
+  resolve(request, std::move(result));
+}
+
+void ScoringService::count_deadline_stage(DeadlineStage stage,
+                                          std::size_t n) {
+  if (n == 0) return;
+  switch (stage) {
+    case DeadlineStage::kAdmission:
+      counters_.expired_at_admission.fetch_add(n, std::memory_order_relaxed);
+      obs_.expired_at_admission.inc(n);
+      break;
+    case DeadlineStage::kQueue:
+      counters_.expired_in_queue.fetch_add(n, std::memory_order_relaxed);
+      obs_.expired_in_queue.inc(n);
+      break;
+    case DeadlineStage::kPostDequeue:
+      counters_.expired_post_dequeue.fetch_add(n, std::memory_order_relaxed);
+      obs_.expired_post_dequeue.inc(n);
+      break;
   }
+}
+
+std::shared_ptr<ModelFaultInjector> ScoringService::set_model_fault(
+    ModelFaultProfile profile) {
+  auto injector =
+      std::make_shared<ModelFaultInjector>(std::move(profile), clock_);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    fault_ = injector;
+  }
+  MEV_LOG(*logger_, obs::LogLevel::kWarn, "serve.service",
+          "model fault injected",
+          {obs::LogField::string("profile", injector->profile().name.c_str())});
+  return injector;
+}
+
+void ScoringService::clear_model_fault() {
+  std::shared_ptr<ModelFaultInjector> retired;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    retired = std::move(fault_);
+  }
+  if (retired != nullptr)
+    MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
+            "model fault cleared",
+            {obs::LogField::string("profile",
+                                   retired->profile().name.c_str())});
+}
+
+std::shared_ptr<ModelFaultInjector> ScoringService::current_fault() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return fault_;
 }
 
 ScoreResult ScoringService::score(math::Matrix counts,
@@ -364,6 +537,9 @@ void ScoringService::shutdown(bool drain) {
   for (auto& worker : worker_states_) worker->signal.notify_all();
 
   join_workers();
+  // Monitor stopped after the join: stall detection (and its sibling
+  // recruitment) stays live while the drain waits out a wedged worker.
+  watchdog_->stop();
   final_sweep(drain);
   state_.store(State::kStopped, std::memory_order_seq_cst);
   // The admin server stays up (serving 503 on /readyz) until destruction:
@@ -380,6 +556,16 @@ obs::Readiness ScoringService::readiness() const {
     case State::kStopped:
       return {false, "stopped"};
     case State::kRunning:
+      break;
+  }
+  // Overload gate: brownout (and the hysteretic recovery tail) reads as
+  // not-ready so load balancers drain away while shedding is active.
+  switch (overload_.state()) {
+    case OverloadState::kBrownout:
+      return {false, "overload brownout"};
+    case OverloadState::kRecovering:
+      return {false, "overload recovering"};
+    case OverloadState::kHealthy:
       break;
   }
   // Saturation gate: flag before admission control starts rejecting, so
@@ -451,14 +637,24 @@ bool ScoringService::all_shards_empty() const {
 std::size_t ScoringService::assemble_and_score(WorkerState& worker,
                                                bool force) {
   const std::uint64_t now = clock_->now_ms();
+  overload_.tick(now);
+  if (overload_.enabled()) {
+    obs_.overload_state.set(static_cast<double>(overload_.state()));
+    obs_.shed_fraction.set(overload_.shed_fraction());
+  }
   std::vector<Request> expired;
   worker.batcher.take_expired(now, expired);
   if (!expired.empty()) {
     std::size_t expired_rows = 0;
     for (const auto& request : expired) expired_rows += request.counts.rows();
+    count_deadline_stage(DeadlineStage::kQueue, expired.size());
     reject_all(std::move(expired), RejectReason::kDeadline, expired_rows);
   }
-  std::optional<Batch> batch = worker.batcher.poll(now, force);
+  // Brownout posture: stop waiting for co-riders — flushing partial
+  // batches immediately trades batching efficiency for queue delay, which
+  // is exactly the trade overload wants.
+  std::optional<Batch> batch =
+      worker.batcher.poll(now, force || overload_.brownout());
   if (!batch.has_value()) return 0;
   const std::size_t rows = batch->rows;
   queued_rows_.fetch_sub(rows, std::memory_order_acq_rel);
@@ -470,14 +666,37 @@ std::size_t ScoringService::assemble_and_score(WorkerState& worker,
 
 void ScoringService::worker_loop(std::size_t worker_index) {
   WorkerState& worker = *worker_states_[worker_index];
+  Watchdog& watchdog = *watchdog_;
   for (;;) {
+    // Progress proof for the stall monitor: bumped every iteration, so a
+    // worker only reads as stalled while wedged *inside* one (gather /
+    // score) pass — normally a model that never returns.
+    watchdog.heartbeat(worker_index);
     const State state = state_.load(std::memory_order_seq_cst);
     if (state == State::kStopped)
       return;  // immediate stop: final_sweep() resolves leftovers
-    const std::size_t moved =
-        gather(worker_index, worker, /*steal=*/true);
-    const std::size_t scored =
-        assemble_and_score(worker, /*force=*/state == State::kDraining);
+    std::size_t moved = 0;
+    std::size_t scored = 0;
+    try {
+      moved = gather(worker_index, worker, /*steal=*/true);
+      scored =
+          assemble_and_score(worker, /*force=*/state == State::kDraining);
+    } catch (const std::exception& error) {
+      // Last-resort containment (score_batch already fails its own batch
+      // kInternalError): nothing may kill a worker thread. Requests the
+      // iteration touched are still in the rings/batcher for the next
+      // pass — none are lost.
+      MEV_LOG_EVERY(*logger_, obs::LogLevel::kError, /*rate_per_s=*/1.0,
+                    /*burst=*/5.0, "serve.service",
+                    "worker iteration threw; contained",
+                    {obs::LogField::u64_value("worker", worker_index),
+                     obs::LogField::string("error", error.what())});
+    } catch (...) {
+      MEV_LOG_EVERY(*logger_, obs::LogLevel::kError, /*rate_per_s=*/1.0,
+                    /*burst=*/5.0, "serve.service",
+                    "worker iteration threw; contained",
+                    {obs::LogField::u64_value("worker", worker_index)});
+    }
     if (scored > 0 && worker_states_.size() > 1) {
       // Work conservation under affinity wakeups: if this worker's own
       // shards refilled with at least a full batch while it was scoring,
@@ -514,48 +733,127 @@ void ScoringService::worker_loop(std::size_t worker_index) {
       worker.signal.cancel_wait();
       continue;
     }
+    // Parked = healthy: the idle flag tells the watchdog a quiet worker
+    // is waiting for work, not wedged in it.
+    watchdog.set_idle(worker_index, true);
     const auto wait_ms = worker.batcher.ms_until_flush(clock_->now_ms());
     if (wait_ms.has_value())
       worker.signal.wait_for_ms(key, std::max<std::uint64_t>(*wait_ms, 1));
     else
       worker.signal.wait(key);
+    watchdog.set_idle(worker_index, false);
   }
 }
 
 void ScoringService::score_batch(WorkerState& worker, Batch batch) {
   obs::Span batch_span = obs::span(tracer_, "mev.serve.batch");
-  const std::uint64_t formed_us = clock_->now_us();
-  const auto snapshot = current_snapshot();
-  if (worker.pinned.get() != snapshot.get()) {
-    // Model changed under us (hot swap) or first batch: bind a fresh
-    // pre-warmed session. This is the only allocating path; between swaps
-    // the steady state reuses every buffer.
-    const std::size_t warm = config_.session_max_batch != 0
-                                 ? config_.session_max_batch
-                                 : config_.max_batch_rows;
-    worker.session = std::make_unique<nn::InferenceSession>(
-        snapshot->detector.make_session(warm));
-    worker.pinned = snapshot;
+  const auto fault = current_fault();
+  // Chaos phase 1 (latency faults) runs before the deadline gate below,
+  // so an injected slow batch or stall deterministically expires
+  // deadlined work at the execution stage.
+  if (fault != nullptr) fault->pre_scan();
+
+  // Post-dequeue deadline gate: time passes between batch formation and
+  // this point (a slow predecessor batch, a wedged backend) — expired
+  // work completes with kDeadline instead of consuming inference.
+  {
+    const std::uint64_t now = clock_->now_ms();
+    bool any_expired = false;
+    for (const auto& request : batch.requests)
+      any_expired |= request.expired(now);
+    if (any_expired) {
+      std::vector<Request> live;
+      std::vector<Request> expired;
+      std::size_t live_rows = 0;
+      live.reserve(batch.requests.size());
+      for (auto& request : batch.requests) {
+        if (request.expired(now)) {
+          expired.push_back(std::move(request));
+        } else {
+          live_rows += request.counts.rows();
+          live.push_back(std::move(request));
+        }
+      }
+      count_deadline_stage(DeadlineStage::kPostDequeue, expired.size());
+      // The whole batch was already uncharged from queued_rows_ when it
+      // was popped, so nothing more to subtract here.
+      reject_all(std::move(expired), RejectReason::kDeadline,
+                 /*charged_rows=*/0);
+      batch.requests = std::move(live);
+      batch.rows = live_rows;
+      if (batch.requests.empty()) return;
+    }
   }
 
-  {
-    obs::Span assemble = obs::span(tracer_, "mev.serve.assemble");
-    worker.batch_counts.resize(batch.rows, snapshot->count_cols);
-    std::size_t row = 0;
+  const std::uint64_t formed_us = clock_->now_us();
+  if (overload_.enabled()) {
+    // CoDel signal: the *minimum* queue delay across this batch — a
+    // burst leaves at least one fresh request per interval, a standing
+    // queue does not.
+    std::uint64_t min_delay_us = UINT64_MAX;
     for (const auto& request : batch.requests)
-      for (std::size_t i = 0; i < request.counts.rows(); ++i)
-        worker.batch_counts.set_row(row++, request.counts.row(i));
-    assemble.arg("rows", static_cast<double>(batch.rows));
-    assemble.arg("requests", static_cast<double>(batch.requests.size()));
+      min_delay_us = std::min(min_delay_us, formed_us - request.enqueue_us);
+    overload_.record_delay(min_delay_us / 1000);
   }
+
+  const auto snapshot = current_snapshot();
+  const auto fail_batch = [this, &batch](const char* what) {
+    // Containment: the model (or the session rebuild feeding it) failed.
+    // The whole batch gets a typed kInternalError — a mis-sized verdict
+    // vector must never be attributed row-by-row — and the worker thread
+    // survives to take the next batch.
+    counters_.batch_failures.fetch_add(1, std::memory_order_relaxed);
+    obs_.batch_failures.inc();
+    counters_.rejected_internal.fetch_add(batch.requests.size(),
+                                          std::memory_order_relaxed);
+    obs_.rejected_internal.inc(batch.requests.size());
+    MEV_LOG_EVERY(*logger_, obs::LogLevel::kWarn, /*rate_per_s=*/1.0,
+                  /*burst=*/5.0, "serve.service", "batch failed",
+                  {obs::LogField::string("error", what),
+                   obs::LogField::u64_value("rows", batch.rows)});
+    for (auto& request : batch.requests) resolve_internal_error(request);
+  };
 
   std::vector<core::Verdict> verdicts;
   try {
+    if (worker.pinned.get() != snapshot.get()) {
+      // Model changed under us (hot swap) or first batch: bind a fresh
+      // pre-warmed session. This is the only allocating path; between
+      // swaps the steady state reuses every buffer.
+      const std::size_t warm = config_.session_max_batch != 0
+                                   ? config_.session_max_batch
+                                   : config_.max_batch_rows;
+      worker.session = std::make_unique<nn::InferenceSession>(
+          snapshot->detector.make_session(warm));
+      worker.pinned = snapshot;
+    }
+
+    {
+      obs::Span assemble = obs::span(tracer_, "mev.serve.assemble");
+      worker.batch_counts.resize(batch.rows, snapshot->count_cols);
+      std::size_t row = 0;
+      for (const auto& request : batch.requests)
+        for (std::size_t i = 0; i < request.counts.rows(); ++i)
+          worker.batch_counts.set_row(row++, request.counts.row(i));
+      assemble.arg("rows", static_cast<double>(batch.rows));
+      assemble.arg("requests", static_cast<double>(batch.requests.size()));
+    }
+
     verdicts =
         snapshot->detector.scan_counts(*worker.session, worker.batch_counts);
+    // Chaos phase 2 (outcome faults) sits inside the containment block:
+    // an injected throw or garble takes the same path a real backend
+    // fault would.
+    if (fault != nullptr) fault->post_scan(verdicts);
+    if (verdicts.size() != batch.rows)
+      throw std::runtime_error(
+          "model returned " + std::to_string(verdicts.size()) +
+          " verdicts for " + std::to_string(batch.rows) + " rows");
+  } catch (const std::exception& error) {
+    fail_batch(error.what());
+    return;
   } catch (...) {
-    for (auto& request : batch.requests)
-      resolve_error(request, std::current_exception());
+    fail_batch("unknown error");
     return;
   }
   const std::uint64_t done_us = clock_->now_us();
@@ -625,8 +923,17 @@ void ScoringService::reject_all(std::vector<Request> requests,
                                             std::memory_order_relaxed);
       obs_.rejected_deadline.inc(requests.size());
       break;
-    case RejectReason::kNone:
+    case RejectReason::kOverloaded:
+      counters_.rejected_overloaded.fetch_add(requests.size(),
+                                              std::memory_order_relaxed);
+      obs_.rejected_overloaded.inc(requests.size());
+      break;
     case RejectReason::kInternalError:
+      counters_.rejected_internal.fetch_add(requests.size(),
+                                            std::memory_order_relaxed);
+      obs_.rejected_internal.inc(requests.size());
+      break;
+    case RejectReason::kNone:
       break;
   }
 }
@@ -700,6 +1007,16 @@ ServiceStats ScoringService::stats() const {
       counters_.rejected_shutting_down.load(std::memory_order_relaxed);
   stats.rejected_deadline =
       counters_.rejected_deadline.load(std::memory_order_relaxed);
+  stats.rejected_overloaded =
+      counters_.rejected_overloaded.load(std::memory_order_relaxed);
+  stats.rejected_internal =
+      counters_.rejected_internal.load(std::memory_order_relaxed);
+  stats.expired_at_admission =
+      counters_.expired_at_admission.load(std::memory_order_relaxed);
+  stats.expired_in_queue =
+      counters_.expired_in_queue.load(std::memory_order_relaxed);
+  stats.expired_post_dequeue =
+      counters_.expired_post_dequeue.load(std::memory_order_relaxed);
   stats.completed_requests =
       counters_.completed_requests.load(std::memory_order_relaxed);
   stats.completed_rows =
@@ -710,6 +1027,15 @@ ServiceStats ScoringService::stats() const {
       counters_.stolen_requests.load(std::memory_order_relaxed);
   stats.spilled_submissions =
       counters_.spilled_submissions.load(std::memory_order_relaxed);
+  stats.callback_errors =
+      counters_.callback_errors.load(std::memory_order_relaxed);
+  stats.batch_failures =
+      counters_.batch_failures.load(std::memory_order_relaxed);
+  stats.worker_stalls = watchdog_->stall_events();
+  stats.worker_recoveries = watchdog_->recoveries();
+  stats.stalled_workers = watchdog_->stalled_count();
+  stats.overload_state = static_cast<std::uint64_t>(overload_.state());
+  stats.shed_fraction = overload_.shed_fraction();
   std::lock_guard<std::mutex> lock(histogram_mutex_);
   stats.batch_rows = batch_rows_hist_;
   stats.queue_delay_us = queue_delay_hist_;

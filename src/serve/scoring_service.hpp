@@ -35,6 +35,16 @@
 //    snapshot they pinned; every request submitted after swap_model()
 //    returns is scored on the new version or later. Zero downtime, no
 //    lost or re-scored requests.
+//  * Failure containment: a throwing or garbling model fails only its own
+//    batch (kInternalError) and never kills the worker thread; a throwing
+//    callback is swallowed and counted. Deadlines are enforced at
+//    admission, at batch assembly, and again post-dequeue, so expired
+//    work never consumes inference. Under sustained overload a
+//    CoDel-style controller (config.overload) sheds a deterministic
+//    admission fraction (kOverloaded) and shrinks the batch window until
+//    queue delay recovers; a wedged worker is detected by the watchdog
+//    and its shards are served by siblings. See DESIGN.md §8 for the
+//    state machine and invariants.
 //
 // Lifecycle: construct → start() → submit traffic → shutdown(). With
 // ServiceConfig::autostart (the default) the constructor calls start()
@@ -65,10 +75,13 @@
 #include "runtime/clock.hpp"
 #include "runtime/event_count.hpp"
 #include "runtime/mpsc_queue.hpp"
+#include "serve/chaos.hpp"
 #include "serve/completion.hpp"
 #include "serve/micro_batcher.hpp"
+#include "serve/overload.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
+#include "serve/watchdog.hpp"
 
 namespace mev::serve {
 
@@ -123,6 +136,18 @@ struct ServiceConfig {
   /// server stops only when the service is destroyed. The config's sink
   /// pointers default to the service's own resolved sinks.
   obs::AdminServerConfig admin;
+  /// Adaptive load shedding (serve/overload.hpp). Disabled by default:
+  /// enabled, sustained queue delay above target flips the service into
+  /// brownout — partial batches flush immediately and a deterministic
+  /// fraction of admissions is rejected kOverloaded — and /readyz reports
+  /// 503 until the controller recovers.
+  OverloadConfig overload;
+  /// Worker stall detection (serve/watchdog.hpp). The watchdog itself is
+  /// always wired (worker heartbeats cost one relaxed atomic add); this
+  /// config's `enabled` controls only the monitor *thread* — tests drive
+  /// watchdog()->poll() by hand instead. A null watchdog clock inherits
+  /// the service clock.
+  WatchdogConfig watchdog;
 };
 
 class ScoringService {
@@ -197,6 +222,22 @@ class ScoringService {
   /// false (or the OBS-off build stubbed it out and start() failed).
   obs::AdminServer* admin_server() noexcept { return admin_.get(); }
 
+  /// Installs a chaos-harness fault injector into the scoring path
+  /// (pinned per batch like the model snapshot — an RCU swap, never
+  /// blocking workers). Batches formed after clear_model_fault() returns
+  /// score clean. The returned injector outlives the swap, so callers can
+  /// read its injected() counts after clearing.
+  std::shared_ptr<ModelFaultInjector> set_model_fault(
+      ModelFaultProfile profile);
+  void clear_model_fault();
+
+  /// The stall detector. Always present; its monitor thread runs only
+  /// when config.watchdog.enabled — tests call watchdog().poll(now)
+  /// directly with FakeClock timestamps.
+  Watchdog& watchdog() noexcept { return *watchdog_; }
+  /// The load-shedding controller (inert unless config.overload.enabled).
+  const OverloadController& overload() const noexcept { return overload_; }
+
   const ServiceConfig& config() const noexcept { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
 
@@ -246,14 +287,21 @@ class ScoringService {
   };
 
   std::shared_ptr<const ModelSnapshot> current_snapshot() const;
+  std::shared_ptr<ModelFaultInjector> current_fault() const;
   /// Shared tail of submit()/submit_with_callback(): admission, shard
   /// routing, wakeup. Resolves the request inline when rejected.
   void submit_request(Request request, std::size_t rows,
                       SubmitOptions options);
   /// Resolves one request with `result` through whichever completion
-  /// mode it carries (arena slot or callback).
+  /// mode it carries (arena slot or callback). A throwing callback is
+  /// contained here — counted, never propagated into the worker loop.
   void resolve(Request& request, ScoreResult&& result);
-  void resolve_error(Request& request, std::exception_ptr error);
+  /// Fails one request with kInternalError (both completion modes get a
+  /// typed rejection — futures do not rethrow service-side faults).
+  void resolve_internal_error(Request& request);
+  /// Bumps the per-stage deadline expiry counters for `n` requests found
+  /// expired at `stage` (all also counted under rejected_deadline).
+  void count_deadline_stage(DeadlineStage stage, std::size_t n);
 
   void worker_loop(std::size_t worker_index);
   /// Moves every request out of `shard`'s ring into `worker`'s batcher.
@@ -280,14 +328,21 @@ class ScoringService {
 
   /// Registry mirrors of the ServiceStats fields (handles, so hot-path
   /// updates are a relaxed atomic op; inert when no registry is wired).
+  /// Rejections share one labeled family,
+  /// mev.serve.rejected_total{reason=…}, and deadline expiries one
+  /// mev.serve.deadline_expired_total{stage=…}.
   struct ObsHandles {
     obs::Counter accepted_requests, accepted_rows;
     obs::Counter rejected_queue_full, rejected_shutting_down,
-        rejected_deadline;
+        rejected_deadline, rejected_overloaded, rejected_internal;
+    obs::Counter expired_at_admission, expired_in_queue,
+        expired_post_dequeue;
     obs::Counter completed_requests, completed_rows;
     obs::Counter batches, model_swaps, stolen_requests, spilled_submissions;
+    obs::Counter callback_errors, worker_stalls, worker_recoveries,
+        batch_failures;
     obs::Histogram batch_rows, queue_delay_us, e2e_latency_us;
-    obs::Gauge queued_rows;
+    obs::Gauge queued_rows, overload_state, shed_fraction, stalled_workers;
   };
 
   /// Lock-free mirrors of the counter half of ServiceStats (the submit
@@ -295,10 +350,14 @@ class ScoringService {
   struct Counters {
     std::atomic<std::uint64_t> accepted_requests{0}, accepted_rows{0};
     std::atomic<std::uint64_t> rejected_queue_full{0},
-        rejected_shutting_down{0}, rejected_deadline{0};
+        rejected_shutting_down{0}, rejected_deadline{0},
+        rejected_overloaded{0}, rejected_internal{0};
+    std::atomic<std::uint64_t> expired_at_admission{0}, expired_in_queue{0},
+        expired_post_dequeue{0};
     std::atomic<std::uint64_t> completed_requests{0}, completed_rows{0};
     std::atomic<std::uint64_t> batches{0}, model_swaps{0};
     std::atomic<std::uint64_t> stolen_requests{0}, spilled_submissions{0};
+    std::atomic<std::uint64_t> callback_errors{0}, batch_failures{0};
   };
 
   ServiceConfig config_;
@@ -327,7 +386,15 @@ class ScoringService {
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
+  /// Chaos-harness injector, published/retired under snapshot_mutex_ like
+  /// the model snapshot (null = no fault).
+  std::shared_ptr<ModelFaultInjector> fault_;
   std::uint64_t next_version_ = 1;
+
+  OverloadController overload_;
+  /// Heap-held so worker threads can touch it during construction races
+  /// without the member moving; sized to the worker count.
+  std::unique_ptr<Watchdog> watchdog_;
 
   Counters counters_;
   /// Histograms are recorded per scored batch (worker-side only), so one

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "serve/overload.hpp"
+
 namespace mev::serve {
 
 std::string ServiceStats::to_string() const {
@@ -11,10 +13,26 @@ std::string ServiceStats::to_string() const {
      << " rows), rejected=" << rejected_total()
      << " [queue_full=" << rejected_queue_full
      << " shutting_down=" << rejected_shutting_down
-     << " deadline=" << rejected_deadline << "]\n";
+     << " deadline=" << rejected_deadline
+     << " overloaded=" << rejected_overloaded
+     << " internal=" << rejected_internal << "]\n";
+  if (rejected_deadline > 0)
+    os << "deadline expiry by stage: admission=" << expired_at_admission
+       << " queue=" << expired_in_queue
+       << " post_dequeue=" << expired_post_dequeue << "\n";
   os << "batches: " << batches << ", model_swaps: " << model_swaps
      << ", stolen=" << stolen_requests << ", spilled=" << spilled_submissions
      << "\n";
+  if (batch_failures > 0 || callback_errors > 0 || worker_stalls > 0)
+    os << "failures: batch_failures=" << batch_failures
+       << " callback_errors=" << callback_errors
+       << " worker_stalls=" << worker_stalls
+       << " worker_recoveries=" << worker_recoveries
+       << " stalled_now=" << stalled_workers << "\n";
+  if (overload_state != 0 || shed_fraction > 0.0 || rejected_overloaded > 0)
+    os << "overload: state="
+       << mev::serve::to_string(static_cast<OverloadState>(overload_state))
+       << " shed_fraction=" << shed_fraction << "\n";
   const auto line = [&os](const char* name, const Log2Histogram& h,
                           const char* unit) {
     const LatencySummary s = summarize(h);

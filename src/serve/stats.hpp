@@ -33,6 +33,17 @@ struct ServiceStats {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_shutting_down = 0;
   std::uint64_t rejected_deadline = 0;
+  /// Shed at admission by the overload controller (kOverloaded).
+  std::uint64_t rejected_overloaded = 0;
+  /// Batches failed by a throwing/garbling model (kInternalError), counted
+  /// per request.
+  std::uint64_t rejected_internal = 0;
+  /// Stage breakdown of rejected_deadline (the three always sum to it):
+  /// expired on arrival / while queued / after dequeue but before
+  /// inference.
+  std::uint64_t expired_at_admission = 0;
+  std::uint64_t expired_in_queue = 0;
+  std::uint64_t expired_post_dequeue = 0;
   std::uint64_t completed_requests = 0;
   std::uint64_t completed_rows = 0;
   std::uint64_t batches = 0;
@@ -41,13 +52,29 @@ struct ServiceStats {
   std::uint64_t stolen_requests = 0;
   /// Submissions whose home shard ring was full and landed on a neighbor.
   std::uint64_t spilled_submissions = 0;
+  /// submit_with_callback() callbacks that threw (contained + counted).
+  std::uint64_t callback_errors = 0;
+  /// Watchdog verdicts: healthy→stalled transitions, stalled→healthy
+  /// transitions, and the current number of stalled workers.
+  std::uint64_t worker_stalls = 0;
+  std::uint64_t worker_recoveries = 0;
+  std::uint64_t stalled_workers = 0;
+  /// Batches failed inside the worker's containment try-block (throwing
+  /// model, garbled output, session rebuild failure) — the thread
+  /// survived each one.
+  std::uint64_t batch_failures = 0;
+  /// Overload controller posture: OverloadState enum value (0 healthy,
+  /// 1 brownout, 2 recovering) and the admission shed fraction [0, 1).
+  std::uint64_t overload_state = 0;
+  double shed_fraction = 0.0;
 
   Log2Histogram batch_rows;        // rows per scored batch
   Log2Histogram queue_delay_us;    // submit -> batch formation, per request
   Log2Histogram e2e_latency_us;    // submit -> verdict ready, per request
 
   std::uint64_t rejected_total() const noexcept {
-    return rejected_queue_full + rejected_shutting_down + rejected_deadline;
+    return rejected_queue_full + rejected_shutting_down + rejected_deadline +
+           rejected_overloaded + rejected_internal;
   }
 
   /// Multi-line human-readable dump (the examples print this).

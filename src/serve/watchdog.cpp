@@ -1,0 +1,81 @@
+#include "serve/watchdog.hpp"
+
+#include <chrono>
+
+namespace mev::serve {
+
+Watchdog::Watchdog(std::size_t workers, WatchdogConfig config)
+    : config_(config),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &runtime::SystemClock::instance()) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.push_back(std::make_unique<WorkerSlot>());
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::size_t Watchdog::poll(std::uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(poll_mutex_);
+  std::size_t stalled_now = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerSlot& slot = *workers_[i];
+    const std::uint64_t beats = slot.beats.load(std::memory_order_relaxed);
+    const bool idle = slot.idle.load(std::memory_order_relaxed);
+    const bool progressed =
+        !slot.sampled || beats != slot.last_beats || idle;
+    if (progressed) {
+      slot.sampled = true;
+      slot.last_beats = beats;
+      slot.last_change_ms = now_ms;
+      if (slot.stalled.load(std::memory_order_relaxed)) {
+        slot.stalled.store(false, std::memory_order_relaxed);
+        stalled_count_.fetch_sub(1, std::memory_order_relaxed);
+        recoveries_.fetch_add(1, std::memory_order_relaxed);
+        if (hook_) hook_(i, false);
+      }
+    } else if (!slot.stalled.load(std::memory_order_relaxed) &&
+               now_ms - slot.last_change_ms >= config_.stall_ms) {
+      slot.stalled.store(true, std::memory_order_relaxed);
+      stalled_count_.fetch_add(1, std::memory_order_relaxed);
+      stall_events_.fetch_add(1, std::memory_order_relaxed);
+      if (hook_) hook_(i, true);
+    }
+    if (slot.stalled.load(std::memory_order_relaxed)) ++stalled_now;
+  }
+  return stalled_now;
+}
+
+void Watchdog::start() {
+  if (!config_.enabled || workers_.empty()) return;
+  std::lock_guard<std::mutex> lock(monitor_mutex_);
+  if (monitor_.joinable()) return;
+  stop_requested_ = false;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    stop_requested_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void Watchdog::monitor_loop() {
+  const auto period =
+      std::chrono::milliseconds(std::max<std::uint64_t>(config_.poll_ms, 1));
+  std::unique_lock<std::mutex> lock(monitor_mutex_);
+  while (!stop_requested_) {
+    // Pace with the cv (so stop() interrupts instantly); decide from the
+    // injectable clock.
+    monitor_cv_.wait_for(lock, period, [this] { return stop_requested_; });
+    if (stop_requested_) return;
+    lock.unlock();
+    poll(clock_->now_ms());
+    lock.lock();
+  }
+}
+
+}  // namespace mev::serve

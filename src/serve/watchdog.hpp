@@ -1,0 +1,137 @@
+// Worker watchdog: per-worker heartbeat counters sampled by a monitor,
+// detecting workers wedged inside inference (a stalling model, a runaway
+// kernel) so the service can route around them.
+//
+// Division of labor:
+//  * Workers are instrumented, not trusted: each loop iteration bumps a
+//    relaxed atomic heartbeat, and parking on the eventcount sets an idle
+//    flag (an idle worker is healthy — only a *non-idle* worker whose
+//    heartbeat stops advancing for stall_ms is stalled).
+//  * The monitor samples every worker in poll(now_ms) — either called by
+//    the watchdog's own monitor thread (start()), or manually by tests
+//    and single-threaded harnesses with a runtime::FakeClock timestamp,
+//    which makes every detection threshold deterministic.
+//  * Transitions (healthy→stalled, stalled→healthy) fire a hook the
+//    service uses to log and to recruit siblings onto the stuck worker's
+//    shards; the stalled flag itself is an atomic the submit path reads
+//    to reroute wakeups away from a worker that cannot answer them.
+//
+// The monitor thread paces itself with a condition variable (so stop()
+// interrupts a sleep immediately) but makes every *decision* from
+// clock->now_ms() — wall pacing, injectable time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/clock.hpp"
+
+namespace mev::serve {
+
+struct WatchdogConfig {
+  /// Spawn the monitor thread on start(). poll() works either way, so
+  /// deterministic tests leave this false and drive poll() by hand.
+  bool enabled = false;
+  /// A non-idle worker whose heartbeat has not advanced for this long is
+  /// declared stalled.
+  std::uint64_t stall_ms = 1000;
+  /// Monitor sampling period.
+  std::uint64_t poll_ms = 100;
+  /// Timestamp source for stall decisions; nullptr = SystemClock. Must
+  /// outlive the watchdog.
+  runtime::Clock* clock = nullptr;
+};
+
+class Watchdog {
+ public:
+  /// `worker` indices passed to the methods below must be < `workers`.
+  Watchdog(std::size_t workers, WatchdogConfig config);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Worker side (lock-free): progress proof, bumped once per loop
+  /// iteration and once per scored batch.
+  void heartbeat(std::size_t worker) noexcept {
+    workers_[worker]->beats.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Worker side: set before parking on the eventcount, cleared after
+  /// waking. An idle worker never counts as stalled.
+  void set_idle(std::size_t worker, bool idle) noexcept {
+    workers_[worker]->idle.store(idle, std::memory_order_relaxed);
+  }
+
+  /// Samples every worker against `now_ms`, updating stall states and
+  /// firing the transition hook on changes. Returns the number of workers
+  /// currently stalled. Thread-safe (internally serialized); normally the
+  /// monitor thread's job, callable directly in tests.
+  std::size_t poll(std::uint64_t now_ms);
+
+  bool stalled(std::size_t worker) const noexcept {
+    return workers_[worker]->stalled.load(std::memory_order_relaxed);
+  }
+  std::size_t stalled_count() const noexcept {
+    return stalled_count_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative healthy→stalled transitions.
+  std::uint64_t stall_events() const noexcept {
+    return stall_events_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative stalled→healthy transitions.
+  std::uint64_t recoveries() const noexcept {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+
+  /// Invoked from poll() (monitor context) on each transition. Set before
+  /// start(); the hook must not call back into poll().
+  using TransitionHook = std::function<void(std::size_t worker, bool stalled)>;
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  /// Spawns the monitor thread (no-op unless config.enabled and not
+  /// already running). stop() joins it; the destructor calls stop().
+  void start();
+  void stop();
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+  const WatchdogConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Heap-held so worker slots never move and hot atomics are not
+  /// false-shared through vector reallocation.
+  struct WorkerSlot {
+    std::atomic<std::uint64_t> beats{0};  // worker-side progress counter
+    std::atomic<bool> idle{false};        // worker-side parked flag
+    std::atomic<bool> stalled{false};     // monitor-side verdict
+    // Monitor-side sampling state (only touched under poll_mutex_):
+    std::uint64_t last_beats = 0;
+    std::uint64_t last_change_ms = 0;
+    bool sampled = false;  // last_change_ms valid
+  };
+
+  void monitor_loop();
+
+  WatchdogConfig config_;
+  runtime::Clock* clock_;
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;
+  TransitionHook hook_;
+
+  std::atomic<std::size_t> stalled_count_{0};
+  std::atomic<std::uint64_t> stall_events_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+
+  std::mutex poll_mutex_;  // serializes poll() (monitor vs. tests)
+
+  std::mutex monitor_mutex_;  // pacing cv + stop flag
+  std::condition_variable monitor_cv_;
+  bool stop_requested_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace mev::serve

@@ -170,6 +170,58 @@ TEST(MetricsRegistry, DigitPrefixedNamesAreSanitizedForPrometheus) {
   EXPECT_NE(text.find("_9lives_of_cats 1\n"), std::string::npos);
 }
 
+TEST(MetricsRegistry, LabeledCellsAreDistinctPerLabelSet) {
+  MetricsRegistry registry;
+  Counter full = registry.counter("mev.test.rejected", "rejections",
+                                  {{"reason", "queue_full"}});
+  Counter deadline = registry.counter("mev.test.rejected", "rejections",
+                                      {{"reason", "deadline"}});
+  full.inc(2);
+  deadline.inc(5);
+  EXPECT_EQ(full.value(), 2u);
+  EXPECT_EQ(deadline.value(), 5u);
+  EXPECT_EQ(registry.size(), 2u);
+  // The same (name, labels) pair resolves to the same cell.
+  Counter again = registry.counter("mev.test.rejected", "rejections",
+                                   {{"reason", "queue_full"}});
+  again.inc();
+  EXPECT_EQ(full.value(), 3u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, LabeledFamilyExportsOneHeaderManySamples) {
+  MetricsRegistry registry;
+  registry
+      .counter("mev.test.rejected", "rejections", {{"reason", "queue_full"}})
+      .inc(2);
+  registry.counter("mev.test.rejected", "rejections", {{"reason", "deadline"}})
+      .inc(5);
+  EXPECT_EQ(registry.prometheus(),
+            "# HELP mev_test_rejected rejections\n"
+            "# TYPE mev_test_rejected counter\n"
+            "mev_test_rejected{reason=\"queue_full\"} 2\n"
+            "mev_test_rejected{reason=\"deadline\"} 5\n");
+}
+
+TEST(MetricsRegistry, LabeledJsonKeysCarryTheLabelSet) {
+  MetricsRegistry registry;
+  registry.counter("mev.test.rejected", "", {{"reason", "overloaded"}}).inc(7);
+  registry.gauge("mev.test.depth", "", {{"shard", "0"}}).set(1.5);
+  EXPECT_EQ(registry.json(),
+            "{\"counters\":{\"mev.test.rejected{reason=overloaded}\":7},"
+            "\"gauges\":{\"mev.test.depth{shard=0}\":1.5},"
+            "\"histograms\":{}}\n");
+}
+
+TEST(MetricsRegistry, KindConflictAcrossLabelSetsThrows) {
+  MetricsRegistry registry;
+  registry.counter("mev.test.family", "", {{"reason", "a"}});
+  // One name owns one TYPE: a gauge under the same family name is
+  // invalid even with different labels.
+  EXPECT_THROW((void)registry.gauge("mev.test.family", "", {{"reason", "b"}}),
+               std::invalid_argument);
+}
+
 TEST(MetricsRegistry, DefaultConstructedHandlesAreInert) {
   Counter counter;
   counter.inc(5);

@@ -191,8 +191,69 @@ TEST(ScoringService, ExpiredDeadlineIsRejectedNotScored) {
 
   const auto stats = service.stats();
   EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.expired_in_queue, 1u);  // aged out waiting in the batcher
   EXPECT_EQ(stats.completed_requests, 1u);
   EXPECT_EQ(stats.completed_rows, 2u);  // the doomed rows never ran
+}
+
+TEST(ScoringService, ExpiredAbsoluteDeadlineRejectedAtAdmission) {
+  Fixture f;
+  runtime::FakeClock clock(100);
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  // The propagation form: an upstream hop forwards an absolute deadline
+  // that has already passed. Rejected synchronously, before admission
+  // charges the queue.
+  SubmitOptions options;
+  options.deadline_at_ms = 50;
+  auto dead_on_arrival = service.submit(random_counts(2, 30), options);
+  ASSERT_EQ(dead_on_arrival.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(dead_on_arrival.get().rejected, RejectReason::kDeadline);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.expired_at_admission, 1u);
+  EXPECT_EQ(stats.accepted_requests, 0u);  // never consumed queue capacity
+}
+
+TEST(ScoringService, EarlierOfRelativeAndAbsoluteDeadlineWins) {
+  Fixture f;
+  runtime::FakeClock clock(100);
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.max_queue_delay_ms = 1000;
+  cfg.clock = &clock;
+  auto service = f.make_service(cfg);
+
+  // Absolute 110 beats relative 100+100: expired once the clock hits 110.
+  SubmitOptions tight_absolute;
+  tight_absolute.deadline_ms = 100;
+  tight_absolute.deadline_at_ms = 110;
+  auto a = service.submit(random_counts(1, 31), tight_absolute);
+  // Relative 100+5 beats absolute 500.
+  SubmitOptions tight_relative;
+  tight_relative.deadline_ms = 5;
+  tight_relative.deadline_at_ms = 500;
+  auto b = service.submit(random_counts(1, 32), tight_relative);
+  // A roomy deadline in the same batch survives.
+  SubmitOptions roomy;
+  roomy.deadline_at_ms = 10'000;
+  auto c = service.submit(random_counts(1, 33), roomy);
+
+  clock.advance(15);  // now 115: past both tight deadlines
+  service.pump(/*force=*/true);
+  EXPECT_EQ(a.get().rejected, RejectReason::kDeadline);
+  EXPECT_EQ(b.get().rejected, RejectReason::kDeadline);
+  EXPECT_TRUE(c.get().ok());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_deadline, 2u);
+  EXPECT_EQ(stats.expired_in_queue, 2u);
+  EXPECT_EQ(stats.completed_rows, 1u);
 }
 
 TEST(ScoringService, QueueFullRejectsImmediately) {

@@ -110,5 +110,37 @@ TEST(ServiceStatsSummary, ToStringMentionsEveryCounter) {
   EXPECT_EQ(stats.rejected_total(), 3u);
 }
 
+TEST(ServiceStatsSummary, RejectedTotalCountsEveryReason) {
+  ServiceStats stats;
+  stats.rejected_queue_full = 1;
+  stats.rejected_shutting_down = 2;
+  stats.rejected_deadline = 4;
+  stats.rejected_overloaded = 8;
+  stats.rejected_internal = 16;
+  EXPECT_EQ(stats.rejected_total(), 31u);
+  const std::string s = stats.to_string();
+  EXPECT_NE(s.find("overloaded=8"), std::string::npos);
+  EXPECT_NE(s.find("internal=16"), std::string::npos);
+}
+
+TEST(ServiceStatsSummary, ToStringReportsFailurePosture) {
+  ServiceStats stats;
+  stats.rejected_deadline = 3;
+  stats.expired_at_admission = 1;
+  stats.expired_in_queue = 1;
+  stats.expired_post_dequeue = 1;
+  stats.callback_errors = 2;
+  stats.batch_failures = 1;
+  stats.worker_stalls = 4;
+  stats.worker_recoveries = 3;
+  stats.overload_state = 1;  // brownout
+  stats.shed_fraction = 0.25;
+  const std::string s = stats.to_string();
+  EXPECT_NE(s.find("post_dequeue=1"), std::string::npos);
+  EXPECT_NE(s.find("callback_errors=2"), std::string::npos);
+  EXPECT_NE(s.find("stalls=4"), std::string::npos);
+  EXPECT_NE(s.find("brownout"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mev::serve
