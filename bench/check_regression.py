@@ -6,7 +6,14 @@ Two report formats are understood:
 * BENCH_micro.json — a flat ``{"BM_Name/arg": ns_per_op}`` map written by
   ``bench/bench_micro``. Lower is better.
 * BENCH_serve.json — the structured report written by ``bench/bench_serve``
-  with ``closed_loop`` / ``open_loop`` sweeps. The pinned signals are the
+  with ``closed_loop`` / ``open_loop`` sweeps.
+* BENCH_http.json — the report written by ``bench/bench_http``. The pinned
+  signals are the HTTP-vs-in-process achieved-rows/s ratio at 1x offered
+  load (higher is better, with an absolute floor: the network edge must
+  keep at least half of the in-process open-loop throughput), the HTTP
+  request latency p95 (lower is better), and the requests-per-connection
+  count (absolute floor — proves keep-alive reuse rather than a
+  connection per request). The pinned signals are the
   end-to-end latency p95 of each sweep point (lower is better), the
   closed-loop speedup-vs-sequential of each worker count (higher is
   better; the ratio, not absolute rows/s, so co-tenant load on the bench
@@ -31,6 +38,8 @@ Usage:
         --fresh build/bench/BENCH_micro.json [--tolerance 0.25]
     check_regression.py --kind serve --baseline BENCH_serve.json \
         --fresh build/bench/BENCH_serve.json
+    check_regression.py --kind http --baseline BENCH_http.json \
+        --fresh build/bench/BENCH_http.json
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/input error.
 """
@@ -56,6 +65,13 @@ PINNED_MICRO_PREFIXES = (
 # idle box, so only a real overload-behavior collapse trips it, not
 # co-tenant noise.
 OVERLOAD_GOODPUT_FLOOR = 0.55
+
+# HTTP frontend contract: achieved rows/s over HTTP at 1x offered load
+# must stay at or above this fraction of the in-process open-loop rate
+# measured in the same run (so box speed cancels out), and each of the
+# bench's keep-alive connections must carry many requests.
+HTTP_RATIO_FLOOR = 0.5
+HTTP_REQUESTS_PER_CONNECTION_FLOOR = 16
 
 
 def load(path):
@@ -242,9 +258,55 @@ def check_overload(comparison, baseline, fresh):
         )
 
 
+def check_http(baseline, fresh, tolerance):
+    if baseline.get("scale") != fresh.get("scale"):
+        print(
+            f"error: scale mismatch: baseline is "
+            f"'{baseline.get('scale')}', fresh is '{fresh.get('scale')}' — "
+            "rerun bench_http at the baseline's scale",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    comparison = Comparison(tolerance)
+
+    # The contract gate: absolute floor on the HTTP/in-process ratio.
+    fresh_ratio = fresh.get("http_vs_inproc_ratio")
+    if fresh_ratio is None:
+        comparison.skip("http_vs_inproc_ratio", "missing from fresh report")
+    elif fresh_ratio < HTTP_RATIO_FLOOR:
+        comparison.regressions.append(
+            f"http_vs_inproc_ratio: {fresh_ratio:.3f} below absolute "
+            f"floor {HTTP_RATIO_FLOOR}"
+        )
+    comparison.check_higher(
+        "http_vs_inproc_ratio",
+        baseline.get("http_vs_inproc_ratio"),
+        fresh_ratio,
+    )
+
+    # Keep-alive reuse: connections must be amortized over many requests.
+    per_conn = fresh.get("requests_per_connection")
+    if per_conn is None:
+        comparison.skip("requests_per_connection", "missing from fresh report")
+    elif per_conn < HTTP_REQUESTS_PER_CONNECTION_FLOOR:
+        comparison.regressions.append(
+            f"requests_per_connection: {per_conn} below absolute floor "
+            f"{HTTP_REQUESTS_PER_CONNECTION_FLOOR} — keep-alive reuse broken"
+        )
+
+    # Latency of the HTTP path, lower is better.
+    comparison.check(
+        "http_open_loop.latency_us.p95",
+        baseline.get("http_open_loop", {}).get("latency_us", {}).get("p95"),
+        fresh.get("http_open_loop", {}).get("latency_us", {}).get("p95"),
+    )
+    return comparison.report("http")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--kind", choices=("micro", "serve"), required=True)
+    parser.add_argument(
+        "--kind", choices=("micro", "serve", "http"), required=True)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--fresh", required=True)
     parser.add_argument(
@@ -259,8 +321,9 @@ def main():
 
     baseline = load(options.baseline)
     fresh = load(options.fresh)
-    checker = check_micro if options.kind == "micro" else check_serve
-    ok = checker(baseline, fresh, options.tolerance)
+    checkers = {"micro": check_micro, "serve": check_serve,
+                "http": check_http}
+    ok = checkers[options.kind](baseline, fresh, options.tolerance)
     sys.exit(0 if ok else 1)
 
 

@@ -3,12 +3,17 @@
 // defense retrain (defensive distillation) is hot-swapped in mid-run with
 // zero downtime; the run ends with the service's stats summary.
 //
-//   ./scoring_service [tiny|fast|full] [--admin-port N] [--hold-ms N]
-//                     [--chaos PROFILE] [--overload]
+//   ./scoring_service [tiny|fast|full] [--admin-port N] [--http-port N]
+//                     [--hold-ms N] [--chaos PROFILE] [--overload]
 //
 //   --admin-port N  start the embedded HTTP admin plane on port N (0 =
 //                   kernel-assigned; the bound port is printed) serving
 //                   /metrics /varz /healthz /readyz /tracez
+//   --http-port N   start the scoring HTTP frontend on port N (0 =
+//                   kernel-assigned; the bound port is printed) serving
+//                   POST /v1/score with two demo API keys: "demo"
+//                   (effectively unlimited) and "throttled" (1 row/s,
+//                   burst 4 — for exercising 429s)
 //   --hold-ms N     keep the service (and admin endpoints) up for N ms
 //                   after the traffic finishes, so an external scraper
 //                   can observe the live state before shutdown
@@ -33,6 +38,7 @@
 #include "data/api_vocab.hpp"
 #include "data/synthetic.hpp"
 #include "defense/distillation.hpp"
+#include "net/frontend.hpp"
 #include "serve/scoring_service.hpp"
 
 using namespace mev;
@@ -55,6 +61,8 @@ int main(int argc, char** argv) {
   std::string scale = "tiny";
   bool admin_enabled = false;
   int admin_port = 0;
+  bool http_enabled = false;
+  int http_port = 0;
   long hold_ms = 0;
   bool overload = false;
   bool chaos = false;
@@ -64,6 +72,9 @@ int main(int argc, char** argv) {
     if (arg == "--admin-port" && i + 1 < argc) {
       admin_enabled = true;
       admin_port = std::atoi(argv[++i]);
+    } else if (arg == "--http-port" && i + 1 < argc) {
+      http_enabled = true;
+      http_port = std::atoi(argv[++i]);
     } else if (arg == "--hold-ms" && i + 1 < argc) {
       hold_ms = std::atol(argv[++i]);
     } else if (arg == "--chaos" && i + 1 < argc) {
@@ -80,8 +91,8 @@ int main(int argc, char** argv) {
       overload = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: " << argv[0]
-                << " [tiny|fast|full] [--admin-port N] [--hold-ms N]"
-                   " [--chaos PROFILE] [--overload]\n";
+                << " [tiny|fast|full] [--admin-port N] [--http-port N]"
+                   " [--hold-ms N] [--chaos PROFILE] [--overload]\n";
       return 2;
     } else {
       scale = arg;
@@ -130,6 +141,27 @@ int main(int argc, char** argv) {
     else
       std::cout << "      admin server unavailable (obs disabled or bind "
                    "failed)"
+                << std::endl;
+  }
+  std::unique_ptr<net::ScoringFrontend> frontend;
+  if (http_enabled) {
+    net::FrontendConfig http_cfg;
+    http_cfg.port = static_cast<std::uint16_t>(http_port);
+    // "demo" is effectively unlimited; "throttled" exists so an external
+    // driver (the CI smoke job) can provoke deterministic 429s.
+    http_cfg.api_keys = {
+        net::ApiKey{"demo", "demo", 1e6, 2e6},
+        net::ApiKey{"throttled", "throttled", 1.0, 4.0},
+    };
+    frontend = std::make_unique<net::ScoringFrontend>(service, http_cfg);
+    // std::endl for the same reason as the admin line: scrapers need the
+    // port (and the expected row width) before traffic starts.
+    if (frontend->start())
+      std::cout << "      scoring endpoint listening on 127.0.0.1:"
+                << frontend->port() << " (cols=" << vocab.size() << ")"
+                << std::endl;
+    else
+      std::cout << "      scoring endpoint unavailable (bind failed)"
                 << std::endl;
   }
   std::shared_ptr<serve::ModelFaultInjector> injector;
@@ -207,6 +239,7 @@ int main(int argc, char** argv) {
     // Scrape window: the admin endpoints answer with the service live.
     std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
   }
+  if (frontend != nullptr) frontend->stop();  // before the service drains
   service.shutdown();  // drain
 
   std::cout << "[4/4] done: scored " << scored_rows.load() << " rows, "

@@ -1,0 +1,355 @@
+#include "net/frontend.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "obs/scope.hpp"
+
+namespace mev::net {
+
+namespace {
+
+constexpr const char* kTextPlain = "text/plain; charset=utf-8";
+constexpr const char* kJson = "application/json";
+
+/// The statuses the score path can answer with; pre-registered so every
+/// labeled family exists (at zero) from the first /metrics scrape.
+constexpr int kStatuses[] = {200, 400, 401, 404, 405, 429, 500, 503, 504};
+
+constexpr const char* kRejectReasons[] = {"queue_full", "overloaded",
+                                          "shutting_down", "deadline",
+                                          "internal_error"};
+
+/// Content-Type up to any ";parameter", trimmed — "application/json;
+/// charset=utf-8" negotiates the same as "application/json".
+std::string_view media_type(const std::string& content_type) noexcept {
+  std::string_view type = content_type;
+  const std::size_t semi = type.find(';');
+  if (semi != std::string_view::npos) type = type.substr(0, semi);
+  while (!type.empty() && (type.back() == ' ' || type.back() == '\t'))
+    type.remove_suffix(1);
+  return type;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) noexcept {
+  if (s.empty() || s.size() > 18) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::size_t reject_index(serve::RejectReason reason) noexcept {
+  switch (reason) {
+    case serve::RejectReason::kQueueFull: return 0;
+    case serve::RejectReason::kOverloaded: return 1;
+    case serve::RejectReason::kShuttingDown: return 2;
+    case serve::RejectReason::kDeadline: return 3;
+    default: return 4;  // kInternalError (kNone never reaches here)
+  }
+}
+
+}  // namespace
+
+/// Callback context for one in-flight scored request: owns the response
+/// ticket until the service resolves the submission (exactly once —
+/// scored, rejected, or swept at shutdown).
+struct ScoringFrontend::PendingScore {
+  ScoringFrontend* frontend;
+  obs::http::ResponseTicket ticket;
+  std::uint64_t start_us;
+  std::size_t rows;
+};
+
+ScoringFrontend::ScoringFrontend(serve::ScoringService& service,
+                                 FrontendConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : &service.clock()),
+      logger_(config_.logger != nullptr ? config_.logger
+                                        : &obs::default_logger()),
+      limiter_(config_.api_keys, clock_) {
+  obs::MetricsRegistry* registry = obs::resolve(config_.metrics);
+  rows_counter_ = registry->counter("mev.net.rows_total",
+                                    "rows received on /v1/score");
+  auth_failures_counter_ =
+      registry->counter("mev.net.auth_failures_total",
+                        "requests rejected 401 (unknown/missing API key)");
+  rate_limited_counter_ = registry->counter(
+      "mev.net.rate_limited_total", "requests rejected 429 (over rate)");
+  latency_us_ = registry->histogram(
+      "mev.net.request_latency_us",
+      "score request latency, dispatch to response (us)");
+  for (const int status : kStatuses)
+    status_counters_.emplace_back(
+        status,
+        registry->counter("mev.net.http_responses_total",
+                          "HTTP responses by status",
+                          {{"status", std::to_string(status)}}));
+  for (const char* reason : kRejectReasons)
+    reject_counters_.emplace_back(
+        reason, registry->counter("mev.net.rejected_total",
+                                  "score requests rejected by the service",
+                                  {{"reason", reason}}));
+}
+
+ScoringFrontend::~ScoringFrontend() { stop(); }
+
+bool ScoringFrontend::start() {
+  if (server_ != nullptr && server_->running()) return true;
+  obs::MetricsRegistry* registry = obs::resolve(config_.metrics);
+
+  obs::http::SocketServerConfig socket_cfg;
+  socket_cfg.port = config_.port;
+  socket_cfg.bind_address = config_.bind_address;
+  socket_cfg.worker_threads = config_.worker_threads;
+  socket_cfg.max_queued_connections = config_.max_queued_connections;
+  socket_cfg.io_timeout_ms = config_.io_timeout_ms;
+  socket_cfg.keep_alive = true;
+  socket_cfg.max_pipeline = config_.max_pipeline;
+  socket_cfg.limits.max_body_bytes = config_.max_body_bytes;
+  socket_cfg.log_component = "net.http";
+  socket_cfg.logger = logger_;
+  socket_cfg.shed_counter = registry->counter(
+      "mev.net.connections_shed_total",
+      "connections closed unserved because the accept queue was full");
+  socket_cfg.parse_error_counter = registry->counter(
+      "mev.net.parse_errors_total",
+      "connections answered from an HTTP parse error");
+  server_ = std::make_unique<obs::http::SocketServer>(
+      std::move(socket_cfg),
+      [this](obs::http::Request&& request,
+             obs::http::ResponseTicket ticket) {
+        dispatch(std::move(request), std::move(ticket));
+      });
+  if (!server_->start()) {
+    server_.reset();
+    return false;
+  }
+  return true;
+}
+
+void ScoringFrontend::stop() {
+  if (server_ != nullptr) server_->stop();
+}
+
+bool ScoringFrontend::running() const noexcept {
+  return server_ != nullptr && server_->running();
+}
+
+std::uint16_t ScoringFrontend::port() const noexcept {
+  return server_ != nullptr ? server_->port() : 0;
+}
+
+FrontendStats ScoringFrontend::stats() const noexcept {
+  FrontendStats stats;
+  if (server_ != nullptr) {
+    const obs::http::SocketServer::Stats socket = server_->stats();
+    stats.connections_accepted = socket.connections_accepted;
+    stats.connections_shed = socket.connections_shed;
+    stats.requests = socket.requests;
+  }
+  stats.scored_requests = scored_requests_.load(std::memory_order_relaxed);
+  stats.scored_rows = scored_rows_.load(std::memory_order_relaxed);
+  stats.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+  stats.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  stats.rejected_queue_full = rejected_[0].load(std::memory_order_relaxed);
+  stats.rejected_overloaded = rejected_[1].load(std::memory_order_relaxed);
+  stats.rejected_shutting_down =
+      rejected_[2].load(std::memory_order_relaxed);
+  stats.rejected_deadline = rejected_[3].load(std::memory_order_relaxed);
+  stats.rejected_internal = rejected_[4].load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ScoringFrontend::bump_status(int status) noexcept {
+  for (auto& [candidate, counter] : status_counters_) {
+    if (candidate == status) {
+      counter.inc();
+      return;
+    }
+  }
+}
+
+void ScoringFrontend::respond_error(obs::http::ResponseTicket& ticket,
+                                    int status, std::string_view reason,
+                                    std::string_view detail,
+                                    std::uint64_t retry_after_s) {
+  bump_status(status);
+  std::vector<obs::http::HeaderView> extra;
+  std::string retry_value;
+  if (retry_after_s > 0) {
+    retry_value = std::to_string(retry_after_s);
+    extra.emplace_back("Retry-After", retry_value);
+  }
+  ticket.respond(obs::http::format_response(
+      status, kJson, format_error_json(reason, detail), ticket.keep_alive(),
+      extra));
+}
+
+void ScoringFrontend::dispatch(obs::http::Request&& request,
+                               obs::http::ResponseTicket ticket) {
+  try {
+    const std::string_view path = request.path();
+    if (path == "/v1/score") {
+      if (request.method != "POST") {
+        bump_status(405);
+        ticket.respond(obs::http::format_response(
+            405, kJson,
+            format_error_json("method_not_allowed", "use POST"),
+            ticket.keep_alive(), {{"Allow", "POST"}}));
+        return;
+      }
+      handle_score(request, ticket);
+      return;
+    }
+    if (path == "/healthz") {
+      bump_status(200);
+      ticket.respond(obs::http::format_response(
+          200, kTextPlain, "ok\n", ticket.keep_alive(), {}));
+      return;
+    }
+    if (path == "/readyz") {
+      const obs::Readiness readiness = service_.readiness();
+      const int status = readiness.ready ? 200 : 503;
+      bump_status(status);
+      ticket.respond(obs::http::format_response(
+          status, kTextPlain, readiness.reason + "\n", ticket.keep_alive(),
+          {}));
+      return;
+    }
+    respond_error(ticket, 404, "not_found", "unknown path");
+  } catch (const std::exception& e) {
+    // Containment: a routing/parse bug answers 500, never a wedged
+    // connection or a torn-down worker.
+    respond_error(ticket, 500, "internal_error", e.what());
+  }
+}
+
+void ScoringFrontend::handle_score(obs::http::Request& request,
+                                   obs::http::ResponseTicket& ticket) {
+  // 1. Authentication (presence only — the bucket charge needs the row
+  //    count, so over-rate is decided after decode).
+  const std::string* api_key = request.header("X-Api-Key");
+  if (!limiter_.open() && api_key == nullptr) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    auth_failures_counter_.inc();
+    respond_error(ticket, 401, "unauthorized", "missing X-Api-Key");
+    return;
+  }
+
+  // 2. Decode rows per Content-Type.
+  const std::string* content_type = request.header("Content-Type");
+  const std::string_view type =
+      content_type != nullptr ? media_type(*content_type)
+                              : std::string_view{};
+  BodyParseResult parsed;
+  if (type == kJsonContentType) {
+    parsed = parse_json_rows(request.body, service_.count_cols(),
+                             config_.max_request_rows);
+  } else if (type == kBinaryContentType) {
+    parsed = parse_binary_rows(request.body, service_.count_cols(),
+                               config_.max_request_rows);
+  } else {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    respond_error(ticket, 415, "unsupported_media_type",
+                  "use application/json or application/x-mev-rows");
+    return;
+  }
+  if (!parsed.ok) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    respond_error(ticket, 400, "bad_request", parsed.error);
+    return;
+  }
+  const std::size_t rows = parsed.rows.rows();
+  rows_counter_.inc(rows);
+
+  // 3. Rate limit, charged per row against this key's bucket.
+  if (!limiter_.open()) {
+    const ApiKeyLimiter::Decision decision =
+        limiter_.check(*api_key, static_cast<double>(rows));
+    if (decision.outcome == ApiKeyLimiter::Outcome::kUnknownKey) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      auth_failures_counter_.inc();
+      respond_error(ticket, 401, "unauthorized", "unknown API key");
+      return;
+    }
+    if (decision.outcome == ApiKeyLimiter::Outcome::kOverRate) {
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      rate_limited_counter_.inc();
+      respond_error(ticket, 429, "rate_limited",
+                    "per-key row budget exhausted", decision.retry_after_s);
+      return;
+    }
+  }
+
+  // 4. Deadline: explicit header wins; otherwise the configured default.
+  serve::SubmitOptions options;
+  options.deadline_ms = config_.default_deadline_ms;
+  const std::string* deadline_header = request.header("X-Deadline-Ms");
+  if (deadline_header != nullptr) {
+    std::uint64_t deadline_ms = 0;
+    if (!parse_u64(*deadline_header, &deadline_ms)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      respond_error(ticket, 400, "bad_request",
+                    "X-Deadline-Ms must be a non-negative integer");
+      return;
+    }
+    options.deadline_ms = deadline_ms;
+  }
+
+  // 5. Hand off to the service. The callback context owns the ticket
+  //    from here; the socket worker returns to its connection loop. A
+  //    synchronous rejection may already have fired on_score before
+  //    submit_with_callback returns — hence release-before-call.
+  auto pending = std::make_unique<PendingScore>();
+  pending->frontend = this;
+  pending->ticket = std::move(ticket);
+  pending->start_us = clock_->now_us();
+  pending->rows = rows;
+  PendingScore* raw = pending.release();
+  try {
+    service_.submit_with_callback(std::move(parsed.rows), options,
+                                  &ScoringFrontend::on_score, raw);
+  } catch (const std::exception& e) {
+    // Validation threw before admission: the callback never fires;
+    // reclaim the context and answer.
+    std::unique_ptr<PendingScore> reclaim(raw);
+    respond_error(reclaim->ticket, 500, "internal_error", e.what());
+  }
+}
+
+void ScoringFrontend::on_score(void* ctx, serve::ScoreResult&& result) {
+  std::unique_ptr<PendingScore> pending(static_cast<PendingScore*>(ctx));
+  pending->frontend->finish_score(*pending, std::move(result));
+}
+
+void ScoringFrontend::finish_score(PendingScore& pending,
+                                   serve::ScoreResult&& result) {
+  const std::uint64_t now_us = clock_->now_us();
+  if (now_us > pending.start_us)
+    latency_us_.record(now_us - pending.start_us);
+  if (result.ok()) {
+    scored_requests_.fetch_add(1, std::memory_order_relaxed);
+    scored_rows_.fetch_add(pending.rows, std::memory_order_relaxed);
+    bump_status(200);
+    pending.ticket.respond(obs::http::format_response(
+        200, kJson, format_verdicts_json(result),
+        pending.ticket.keep_alive(), {}));
+    return;
+  }
+  const HttpStatus mapped = status_for(result.rejected);
+  const std::size_t index = reject_index(result.rejected);
+  rejected_[index].fetch_add(1, std::memory_order_relaxed);
+  reject_counters_[index].second.inc();
+  // 503s are retryable backpressure — say when; 504/500 are not.
+  respond_error(pending.ticket, mapped.status, mapped.reason,
+                serve::to_string(result.rejected),
+                /*retry_after_s=*/mapped.status == 503 ? 1 : 0);
+}
+
+}  // namespace mev::net

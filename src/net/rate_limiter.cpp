@@ -1,0 +1,65 @@
+#include "net/rate_limiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mev::net {
+
+ApiKeyLimiter::ApiKeyLimiter(std::vector<ApiKey> keys, runtime::Clock* clock)
+    : clock_(clock != nullptr ? clock : &runtime::SystemClock::instance()) {
+  for (ApiKey& key : keys) {
+    Bucket bucket;
+    bucket.config = std::move(key);
+    // Defensive floors: a zero/negative burst would deadlock every
+    // request; rate 0 means "burst only, never refills" which is valid.
+    if (bucket.config.burst_rows < 1.0) bucket.config.burst_rows = 1.0;
+    if (bucket.config.rows_per_s < 0.0) bucket.config.rows_per_s = 0.0;
+    buckets_.emplace(bucket.config.key, std::move(bucket));
+  }
+}
+
+ApiKeyLimiter::Decision ApiKeyLimiter::check(std::string_view key,
+                                             double cost_rows) {
+  if (open()) return Decision{Outcome::kAllowed, 0, "open"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  // C++20 heterogeneous lookup needs a transparent hash; at this
+  // cardinality a temporary string is simpler and just as fast.
+  const auto it = buckets_.find(std::string(key));
+  if (it == buckets_.end()) return Decision{Outcome::kUnknownKey, 0, ""};
+  Bucket& bucket = it->second;
+
+  // Same refill shape as the logger's LogSite bucket: elapsed time adds
+  // tokens at the configured rate, capped at the burst size.
+  const std::uint64_t now_us = clock_->now_us();
+  if (!bucket.initialized) {
+    bucket.tokens = bucket.config.burst_rows;
+    bucket.last_refill_us = now_us;
+    bucket.initialized = true;
+  } else if (now_us > bucket.last_refill_us) {
+    const double elapsed_s =
+        static_cast<double>(now_us - bucket.last_refill_us) * 1e-6;
+    bucket.tokens = std::min(bucket.config.burst_rows,
+                             bucket.tokens +
+                                 elapsed_s * bucket.config.rows_per_s);
+    bucket.last_refill_us = now_us;
+  }
+
+  if (bucket.tokens >= cost_rows) {
+    bucket.tokens -= cost_rows;
+    return Decision{Outcome::kAllowed, 0, bucket.config.client};
+  }
+  // Whole seconds until the deficit refills; a request larger than the
+  // burst can never pass, so answer with the time to a full bucket (the
+  // honest "try a smaller request" signal is the 429 body).
+  const double deficit =
+      std::min(cost_rows, bucket.config.burst_rows) - bucket.tokens;
+  double wait_s = 1.0;
+  if (bucket.config.rows_per_s > 0.0 && deficit > 0.0)
+    wait_s = deficit / bucket.config.rows_per_s;
+  const double rounded = std::ceil(std::max(wait_s, 1.0));
+  return Decision{Outcome::kOverRate,
+                  static_cast<std::uint64_t>(rounded),
+                  bucket.config.client};
+}
+
+}  // namespace mev::net

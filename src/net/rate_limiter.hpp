@@ -1,0 +1,73 @@
+// Per-client API-key authentication + token-bucket rate limiting for the
+// scoring frontend. The same bucket idiom as the logger's per-site limiter
+// (obs/log.cpp): continuous refill at rate_per_s capped at burst, spend on
+// admit — but keyed by client and charged per ROW, so a 16-row batch
+// costs 16 tokens and a flood of small requests is limited the same as a
+// few large ones.
+//
+//   limiter.check("key", rows) →  kAllowed      (tokens spent)
+//                                 kUnknownKey   (HTTP 401)
+//                                 kOverRate     (HTTP 429 + Retry-After)
+//
+// Deterministically testable: timestamps come from an injectable
+// runtime::Clock (FakeClock in tests). Thread-safe; one mutex is fine at
+// admin-key cardinality (a handful of clients, not a handful of millions).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/clock.hpp"
+
+namespace mev::net {
+
+/// One client credential. `rows_per_s` refills the bucket; `burst_rows`
+/// caps it (and bounds the largest single request that can ever pass).
+struct ApiKey {
+  std::string key;            // the secret presented in X-Api-Key
+  std::string client;         // label for logs/metrics (not secret)
+  double rows_per_s = 1000.0;
+  double burst_rows = 2000.0;
+};
+
+class ApiKeyLimiter {
+ public:
+  enum class Outcome { kAllowed, kUnknownKey, kOverRate };
+
+  struct Decision {
+    Outcome outcome = Outcome::kAllowed;
+    /// Whole seconds until `cost_rows` tokens will exist (≥1); only
+    /// meaningful for kOverRate — served as Retry-After.
+    std::uint64_t retry_after_s = 0;
+    /// The matched client label; empty for kUnknownKey.
+    std::string client;
+  };
+
+  /// `clock` nullptr = the system clock. Must outlive the limiter.
+  explicit ApiKeyLimiter(std::vector<ApiKey> keys,
+                         runtime::Clock* clock = nullptr);
+
+  /// No keys configured = authentication disabled (every check allows).
+  bool open() const noexcept { return buckets_.empty(); }
+
+  /// Charges `cost_rows` against `key`'s bucket.
+  Decision check(std::string_view key, double cost_rows);
+
+ private:
+  struct Bucket {
+    ApiKey config;
+    double tokens = 0.0;
+    std::uint64_t last_refill_us = 0;
+    bool initialized = false;
+  };
+
+  runtime::Clock* clock_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace mev::net

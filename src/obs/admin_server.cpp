@@ -2,17 +2,9 @@
 
 #if MEV_OBS_ENABLED
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <charconv>
 #include <cstdio>
-#include <cstring>
+#include <utility>
 
 #include "obs/scope.hpp"
 
@@ -51,17 +43,6 @@ void append_double(std::string& out, double v) {
   }
 }
 
-/// Writes `size` bytes, tolerating partial sends; MSG_NOSIGNAL so a
-/// scraper that hangs up mid-response does not SIGPIPE the process.
-void send_all(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;  // timeout, reset, or shutdown — give up quietly
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
 }  // namespace
 
 AdminServer::AdminServer(AdminServerConfig config)
@@ -87,166 +68,43 @@ void AdminServer::set_readiness_probe(ReadinessProbe probe) {
 }
 
 bool AdminServer::start() {
-  if (running_.load(std::memory_order_acquire)) return true;
+  if (server_ != nullptr && server_->running()) return true;
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    MEV_LOG(*logger_, LogLevel::kError, "obs.admin", "socket() failed",
-            {LogField::i64_value("errno", errno)});
+  // All socket handling lives in the shared http::SocketServer; the admin
+  // plane is its connection-per-request configuration (keep_alive off,
+  // default parser limits = bodies rejected) with synchronous routing.
+  http::SocketServerConfig socket_cfg;
+  socket_cfg.port = config_.port;
+  socket_cfg.bind_address = config_.bind_address;
+  socket_cfg.worker_threads = config_.worker_threads;
+  socket_cfg.max_queued_connections = config_.max_queued_connections;
+  socket_cfg.io_timeout_ms = config_.io_timeout_ms;
+  socket_cfg.keep_alive = false;
+  socket_cfg.log_component = "obs.admin";
+  socket_cfg.logger = logger_;
+  socket_cfg.shed_counter = shed_counter_;
+  server_ = std::make_unique<http::SocketServer>(
+      std::move(socket_cfg),
+      [this](http::Request&& request, http::ResponseTicket ticket) {
+        ticket.respond(handle(request));
+      });
+  if (!server_->start()) {
+    server_.reset();
     return false;
   }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    MEV_LOG(*logger_, LogLevel::kError, "obs.admin", "bad bind address",
-            {LogField::string("address", config_.bind_address.c_str())});
-    ::close(fd);
-    return false;
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
-    MEV_LOG(*logger_, LogLevel::kError, "obs.admin", "bind/listen failed",
-            {LogField::string("address", config_.bind_address.c_str()),
-             LogField::u64_value("port", config_.port),
-             LogField::i64_value("errno", errno)});
-    ::close(fd);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
-      0)
-    bound_port_ = ntohs(bound.sin_port);
-
-  listen_fd_ = fd;
-  running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  workers_.reserve(config_.worker_threads);
-  for (std::size_t i = 0; i < config_.worker_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
-
-  MEV_LOG(*logger_, LogLevel::kInfo, "obs.admin", "admin server started",
-          {LogField::string("address", config_.bind_address.c_str()),
-           LogField::u64_value("port", bound_port_),
-           LogField::u64_value("workers", config_.worker_threads)});
   return true;
 }
 
 void AdminServer::stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // Wake a blocked accept(); the fd itself is closed only after the
-  // accept thread is joined, so it can never race onto a recycled fd.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  queue_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& worker : workers_)
-    if (worker.joinable()) worker.join();
-  workers_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Shed anything still queued; every accepted fd is closed exactly once.
-  std::lock_guard<std::mutex> lock(queue_mutex_);
-  for (int fd : pending_fds_) ::close(fd);
-  pending_fds_.clear();
-  MEV_LOG(*logger_, LogLevel::kInfo, "obs.admin", "admin server stopped",
-          {LogField::u64_value("port", bound_port_)});
+  if (server_ != nullptr) server_->stop();
 }
 
 bool AdminServer::running() const noexcept {
-  return running_.load(std::memory_order_acquire);
+  return server_ != nullptr && server_->running();
 }
 
 std::uint16_t AdminServer::port() const noexcept {
-  return running() ? bound_port_ : 0;
-}
-
-void AdminServer::accept_loop() {
-  while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (!running_.load(std::memory_order_acquire)) break;
-    if (ready <= 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-    bool shed = false;
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (pending_fds_.size() >= config_.max_queued_connections)
-        shed = true;
-      else
-        pending_fds_.push_back(conn);
-    }
-    if (shed) {
-      // Bounded model: close unserved rather than queue without limit.
-      ::close(conn);
-      shed_counter_.inc();
-      MEV_LOG_EVERY(*logger_, LogLevel::kWarn, /*rate_per_s=*/1.0,
-                    /*burst=*/3.0, "obs.admin",
-                    "admin connection shed: queue full",
-                    {LogField::u64_value("max_queued",
-                                         config_.max_queued_connections)});
-    } else {
-      queue_cv_.notify_one();
-    }
-  }
-}
-
-void AdminServer::worker_loop() {
-  for (;;) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return !pending_fds_.empty() ||
-               !running_.load(std::memory_order_acquire);
-      });
-      if (pending_fds_.empty()) return;  // stopping and drained
-      fd = pending_fds_.front();
-      pending_fds_.pop_front();
-    }
-    serve_connection(fd);
-  }
-}
-
-void AdminServer::serve_connection(int fd) {
-  timeval timeout{};
-  timeout.tv_sec = static_cast<time_t>(config_.io_timeout_ms / 1000);
-  timeout.tv_usec =
-      static_cast<suseconds_t>((config_.io_timeout_ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-
-  http::RequestParser parser;
-  char buffer[4096];
-  std::string response;
-  // Connection-per-request: read until one request parses (tolerating any
-  // byte-boundary splits), answer it, close. A scraper that never
-  // completes a request hits the receive timeout and is dropped.
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;  // EOF, timeout, or error: nothing to answer
-    parser.feed(buffer, static_cast<std::size_t>(n));
-    if (parser.status() == http::ParseStatus::kComplete) {
-      response = handle(parser.request());
-      break;
-    }
-    if (parser.status() == http::ParseStatus::kError) {
-      response = http::format_response(parser.error_status(), kTextPlain,
-                                       std::string(http::status_text(
-                                           parser.error_status())) +
-                                           "\n");
-      break;
-    }
-  }
-  if (!response.empty()) send_all(fd, response.data(), response.size());
-  ::close(fd);
+  return server_ != nullptr ? server_->port() : 0;
 }
 
 std::string AdminServer::metrics_body() const {

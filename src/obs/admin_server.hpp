@@ -12,30 +12,28 @@
 //                  queue high-water mark here)
 //   GET /tracez    last-N completed spans from the tracer rings, JSON
 //
-// Model: one accept thread multiplexing on poll(), a BOUNDED connection
-// queue, and a small worker pool; when the queue is full new connections
-// are shed immediately (and counted) — the admin plane must never become
-// a memory or latency liability for the process it observes. Connections
-// are handled request-per-connection (Connection: close) with a receive
-// timeout, so a stuck scraper cannot pin a worker. stop() is idempotent
-// and joins every thread; routing (handle()) is a pure function of the
-// parsed request, unit-testable without sockets.
+// Model: the shared http::SocketServer (one accept thread multiplexing on
+// poll(), a BOUNDED connection queue, a small worker pool; full queue =
+// connections shed immediately and counted) — the admin plane must never
+// become a memory or latency liability for the process it observes.
+// Connections are handled request-per-connection (Connection: close,
+// keep-alive disabled) with a receive timeout, so a stuck scraper cannot
+// pin a worker. stop() is idempotent and joins every thread; routing
+// (handle()) is a pure function of the parsed request, unit-testable
+// without sockets.
 //
 // With MEV_ENABLE_OBS=OFF the server is a same-shape stub whose start()
 // reports failure (port() stays 0) — call sites compile unchanged.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "obs/http.hpp"
+#include "obs/http_server.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -119,10 +117,6 @@ class AdminServer {
   const AdminServerConfig& config() const noexcept { return config_; }
 
  private:
-  void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
-
   std::string metrics_body() const;
   std::string tracez_body() const;
 
@@ -137,16 +131,7 @@ class AdminServer {
   mutable std::mutex probe_mutex_;
   ReadinessProbe probe_;
 
-  std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
-  std::uint16_t bound_port_ = 0;
-
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_;
-
-  std::thread accept_thread_;
-  std::vector<std::thread> workers_;
+  std::unique_ptr<http::SocketServer> server_;
 };
 
 #else  // MEV_OBS_ENABLED == 0: inline no-op stub, same shape.

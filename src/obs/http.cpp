@@ -25,6 +25,18 @@ std::string_view trim(std::string_view s) noexcept {
   return s;
 }
 
+/// Strict non-negative decimal; false on empty, sign, or stray chars.
+bool parse_content_length(std::string_view s, std::uint64_t* out) noexcept {
+  if (s.empty() || s.size() > 18) return false;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 const std::string* Request::header(std::string_view name) const noexcept {
@@ -70,10 +82,58 @@ bool RequestParser::parse_header_line(std::string_view line) {
   return true;
 }
 
+void RequestParser::finish_headers() {
+  // Framing decision point. Chunked bodies are out of scope entirely; a
+  // Content-Length body is accepted up to the configured cap (0 = never).
+  if (request_.header("Transfer-Encoding") != nullptr) {
+    fail(400);
+    return;
+  }
+  const std::string* length_header = request_.header("Content-Length");
+  std::uint64_t length = 0;
+  if (length_header != nullptr &&
+      !parse_content_length(*length_header, &length)) {
+    fail(400);
+    return;
+  }
+  if (length_header == nullptr &&
+      (request_.method == "POST" || request_.method == "PUT")) {
+    // A bodyless POST is almost always a broken client; demand explicit
+    // framing rather than silently treating it as empty.
+    fail(411);
+    return;
+  }
+  if (length > limits_.max_body_bytes) {
+    fail(413);
+    return;
+  }
+  if (length == 0) {
+    state_ = State::kComplete;
+    status_ = ParseStatus::kComplete;
+    return;
+  }
+  body_remaining_ = static_cast<std::size_t>(length);
+  request_.body.reserve(body_remaining_);
+  state_ = State::kBody;
+}
+
 std::size_t RequestParser::feed(const char* data, std::size_t size) {
   std::size_t consumed = 0;
   while (consumed < size && state_ != State::kComplete &&
          state_ != State::kError) {
+    if (state_ == State::kBody) {
+      // Raw byte accumulation — no line splitting inside a body.
+      const std::size_t take =
+          std::min(body_remaining_, size - consumed);
+      request_.body.append(data + consumed, take);
+      consumed += take;
+      body_remaining_ -= take;
+      if (body_remaining_ == 0) {
+        state_ = State::kComplete;
+        status_ = ParseStatus::kComplete;
+      }
+      continue;
+    }
     // Accumulate one line, tolerating any split point in the input.
     const char* begin = data + consumed;
     const char* nl = static_cast<const char*>(
@@ -84,7 +144,10 @@ std::size_t RequestParser::feed(const char* data, std::size_t size) {
     if (nl == nullptr) {
       line_.append(begin, size - consumed);
       consumed = size;
-      if (line_.size() > limit) fail(431);
+      if (line_.size() > limit ||
+          (state_ == State::kHeaders &&
+           header_bytes_ + line_.size() > limits_.max_header_bytes))
+        fail(431);
       break;
     }
     line_.append(begin, static_cast<std::size_t>(nl - begin));
@@ -92,6 +155,13 @@ std::size_t RequestParser::feed(const char* data, std::size_t size) {
     if (line_.size() > limit) {
       fail(431);
       break;
+    }
+    if (state_ == State::kHeaders) {
+      header_bytes_ += line_.size() + 1;  // +1: the consumed newline
+      if (header_bytes_ > limits_.max_header_bytes) {
+        fail(431);
+        break;
+      }
     }
     if (!line_.empty() && line_.back() == '\r') line_.pop_back();
 
@@ -106,16 +176,7 @@ std::size_t RequestParser::feed(const char* data, std::size_t size) {
         break;
       case State::kHeaders:
         if (line_.empty()) {
-          // End of headers. The admin plane never accepts a body: a
-          // request that announces one would desynchronize pipelining.
-          const std::string* length = request_.header("Content-Length");
-          if ((length != nullptr && *length != "0") ||
-              request_.header("Transfer-Encoding") != nullptr) {
-            fail(400);
-            break;
-          }
-          state_ = State::kComplete;
-          status_ = ParseStatus::kComplete;
+          finish_headers();
           break;
         }
         if (request_.headers.size() >= limits_.max_headers) {
@@ -127,6 +188,7 @@ std::size_t RequestParser::feed(const char* data, std::size_t size) {
           break;
         }
         break;
+      case State::kBody:
       case State::kComplete:
       case State::kError:
         break;
@@ -141,6 +203,8 @@ void RequestParser::reset() {
   status_ = ParseStatus::kNeedMore;
   error_status_ = 0;
   line_.clear();
+  header_bytes_ = 0;
+  body_remaining_ = 0;
   request_ = Request{};
 }
 
@@ -148,18 +212,33 @@ const char* status_text(int status) noexcept {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
 
 std::string format_response(int status, std::string_view content_type,
                             std::string_view body) {
+  return format_response(status, content_type, body, /*keep_alive=*/false,
+                         {});
+}
+
+std::string format_response(int status, std::string_view content_type,
+                            std::string_view body, bool keep_alive,
+                            const std::vector<HeaderView>& extra_headers) {
   std::string out;
-  out.reserve(96 + body.size());
+  out.reserve(128 + body.size());
   out += "HTTP/1.1 ";
   out += std::to_string(status);
   out += ' ';
@@ -168,7 +247,14 @@ std::string format_response(int status, std::string_view content_type,
   out += content_type;
   out += "\r\nContent-Length: ";
   out += std::to_string(body.size());
-  out += "\r\nConnection: close\r\n\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;
 }

@@ -240,6 +240,12 @@ class ScoringService {
 
   const ServiceConfig& config() const noexcept { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// The resolved timing source (config clock or the system clock); the
+  /// HTTP frontend shares it so deadlines agree across layers.
+  runtime::Clock& clock() const noexcept { return *clock_; }
+  /// Expected column count of every submitted matrix (the feature
+  /// vocabulary size) — invariant across model swaps, validated on swap.
+  std::size_t count_cols() const noexcept { return count_cols_; }
 
  private:
   /// Immutable published model: pipeline + network wrapped back into a

@@ -1,0 +1,88 @@
+// ApiKeyLimiter: per-key token buckets charged per row, driven entirely by
+// a FakeClock for deterministic refill arithmetic. Runs in every build
+// mode (the limiter has no obs dependency at all).
+#include <gtest/gtest.h>
+
+#include "net/rate_limiter.hpp"
+#include "runtime/clock.hpp"
+
+namespace {
+
+using mev::net::ApiKey;
+using mev::net::ApiKeyLimiter;
+using Outcome = mev::net::ApiKeyLimiter::Outcome;
+
+TEST(ApiKeyLimiter, NoKeysConfiguredMeansOpen) {
+  ApiKeyLimiter limiter({});
+  EXPECT_TRUE(limiter.open());
+  EXPECT_EQ(limiter.check("anything", 1e9).outcome, Outcome::kAllowed);
+}
+
+TEST(ApiKeyLimiter, UnknownKeyIsRejected) {
+  mev::runtime::FakeClock clock;
+  ApiKeyLimiter limiter({ApiKey{"secret", "client-a", 10.0, 20.0}}, &clock);
+  EXPECT_FALSE(limiter.open());
+  EXPECT_EQ(limiter.check("wrong", 1.0).outcome, Outcome::kUnknownKey);
+  EXPECT_EQ(limiter.check("", 1.0).outcome, Outcome::kUnknownKey);
+  EXPECT_EQ(limiter.check("secret", 1.0).outcome, Outcome::kAllowed);
+}
+
+TEST(ApiKeyLimiter, BurstThenRefillAtTheConfiguredRate) {
+  mev::runtime::FakeClock clock(1000);
+  // 10 rows/s, burst 20: the first 20 rows pass immediately, then the
+  // bucket is dry until time passes.
+  ApiKeyLimiter limiter({ApiKey{"k", "c", 10.0, 20.0}}, &clock);
+  EXPECT_EQ(limiter.check("k", 20.0).outcome, Outcome::kAllowed);
+  const auto dry = limiter.check("k", 1.0);
+  EXPECT_EQ(dry.outcome, Outcome::kOverRate);
+  EXPECT_GE(dry.retry_after_s, 1u);
+  EXPECT_EQ(dry.client, "c");
+
+  clock.advance(500);  // +5 tokens
+  EXPECT_EQ(limiter.check("k", 5.0).outcome, Outcome::kAllowed);
+  EXPECT_EQ(limiter.check("k", 1.0).outcome, Outcome::kOverRate);
+
+  clock.advance(10'000);  // refill caps at burst, not 100 tokens
+  EXPECT_EQ(limiter.check("k", 20.0).outcome, Outcome::kAllowed);
+  EXPECT_EQ(limiter.check("k", 1.0).outcome, Outcome::kOverRate);
+}
+
+TEST(ApiKeyLimiter, RetryAfterReflectsTheDeficit) {
+  mev::runtime::FakeClock clock(1000);
+  ApiKeyLimiter limiter({ApiKey{"k", "c", 2.0, 10.0}}, &clock);
+  EXPECT_EQ(limiter.check("k", 10.0).outcome, Outcome::kAllowed);
+  // 6 rows wanted, 0 tokens, 2 rows/s → 3 seconds.
+  EXPECT_EQ(limiter.check("k", 6.0).retry_after_s, 3u);
+}
+
+TEST(ApiKeyLimiter, KeysAreIsolatedFromEachOther) {
+  mev::runtime::FakeClock clock(1000);
+  ApiKeyLimiter limiter(
+      {ApiKey{"starved", "s", 1.0, 2.0}, ApiKey{"rich", "r", 1e6, 1e6}},
+      &clock);
+  EXPECT_EQ(limiter.check("starved", 2.0).outcome, Outcome::kAllowed);
+  EXPECT_EQ(limiter.check("starved", 1.0).outcome, Outcome::kOverRate);
+  // The starved bucket being dry must not affect the rich key at all.
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(limiter.check("rich", 100.0).outcome, Outcome::kAllowed);
+  EXPECT_EQ(limiter.check("starved", 1.0).outcome, Outcome::kOverRate);
+}
+
+TEST(ApiKeyLimiter, RequestsLargerThanBurstNeverPass) {
+  mev::runtime::FakeClock clock(1000);
+  ApiKeyLimiter limiter({ApiKey{"k", "c", 10.0, 16.0}}, &clock);
+  const auto decision = limiter.check("k", 64.0);
+  EXPECT_EQ(decision.outcome, Outcome::kOverRate);
+  // Advertised wait is the time to a FULL bucket, not to 64 tokens.
+  EXPECT_LE(decision.retry_after_s, 2u);
+}
+
+TEST(ApiKeyLimiter, ZeroRateIsBurstOnly) {
+  mev::runtime::FakeClock clock(1000);
+  ApiKeyLimiter limiter({ApiKey{"k", "c", 0.0, 3.0}}, &clock);
+  EXPECT_EQ(limiter.check("k", 3.0).outcome, Outcome::kAllowed);
+  clock.advance(1'000'000);
+  EXPECT_EQ(limiter.check("k", 1.0).outcome, Outcome::kOverRate);
+}
+
+}  // namespace

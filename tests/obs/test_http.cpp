@@ -1,7 +1,8 @@
 // RequestParser edge cases: torn reads at every byte boundary, pipelined
-// requests, limit enforcement (431), and malformed input (400). The parser
-// is pure string code compiled in every build mode, so these tests run
-// with and without MEV_ENABLE_OBS.
+// requests, limit enforcement (431 for lines/count/total header bytes,
+// 413 over-cap bodies, 411 unframed POSTs), and malformed input (400).
+// The parser is pure string code compiled in every build mode, so these
+// tests run with and without MEV_ENABLE_OBS.
 #include <string>
 
 #include <gtest/gtest.h>
@@ -129,12 +130,15 @@ TEST(RequestParser, HeaderWithoutColonFailsWith400) {
 }
 
 TEST(RequestParser, RequestsWithBodiesAreRejected) {
+  // Default limits (max_body_bytes == 0): any announced body is over the
+  // cap — 413, the admin plane's posture.
   RequestParser parser;
   parser.feed(std::string_view(
       "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"));
   ASSERT_EQ(parser.status(), ParseStatus::kError);
-  EXPECT_EQ(parser.error_status(), 400);
+  EXPECT_EQ(parser.error_status(), 413);
 
+  // Chunked framing is out of scope in every configuration: 400.
   parser.reset();
   parser.feed(std::string_view(
       "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"));
@@ -145,6 +149,117 @@ TEST(RequestParser, RequestsWithBodiesAreRejected) {
   parser.reset();
   parser.feed(std::string_view("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
   EXPECT_EQ(parser.status(), ParseStatus::kComplete);
+}
+
+TEST(RequestParser, ParsesABodyWithinTheCap) {
+  ParserLimits limits;
+  limits.max_body_bytes = 64;
+  RequestParser parser(limits);
+  const std::string input =
+      "POST /v1/score HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+  const std::size_t consumed = parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(consumed, input.size());
+  EXPECT_EQ(parser.request().body, "hello world");
+}
+
+TEST(RequestParser, BodyTornAtEveryByteBoundaryStillParses) {
+  ParserLimits limits;
+  limits.max_body_bytes = 64;
+  const std::string input =
+      "POST /v1/score HTTP/1.1\r\nContent-Length: 12\r\n\r\nabcdefghijkl";
+  for (std::size_t split = 1; split < input.size(); ++split) {
+    RequestParser parser(limits);
+    std::size_t consumed = parser.feed(input.data(), split);
+    EXPECT_EQ(parser.status(), ParseStatus::kNeedMore)
+        << "split at " << split;
+    consumed += parser.feed(input.data() + consumed, input.size() - consumed);
+    ASSERT_EQ(parser.status(), ParseStatus::kComplete)
+        << "split at " << split;
+    EXPECT_EQ(consumed, input.size()) << "split at " << split;
+    EXPECT_EQ(parser.request().body, "abcdefghijkl")
+        << "split at " << split;
+  }
+}
+
+TEST(RequestParser, BodyLeavesPipelinedBytesUnconsumed) {
+  ParserLimits limits;
+  limits.max_body_bytes = 64;
+  RequestParser parser(limits);
+  const std::string input =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET /b HTTP/1.1\r\n\r\n";
+  const std::size_t first = parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().body, "xyz");
+  EXPECT_LT(first, input.size());
+  parser.reset();
+  parser.feed(input.data() + first, input.size() - first);
+  ASSERT_EQ(parser.status(), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(RequestParser, BodyOverTheCapFailsWith413BeforeBuffering) {
+  ParserLimits limits;
+  limits.max_body_bytes = 16;
+  RequestParser parser(limits);
+  // The rejection comes from the declared length at end-of-headers; the
+  // parser never waits for (or stores) the oversized payload.
+  parser.feed(std::string_view(
+      "POST /v1/score HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n"));
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParser, PostWithoutContentLengthFailsWith411) {
+  ParserLimits limits;
+  limits.max_body_bytes = 64;
+  for (const char* method : {"POST", "PUT"}) {
+    RequestParser parser(limits);
+    parser.feed(std::string(method) + " /v1/score HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(parser.status(), ParseStatus::kError) << method;
+    EXPECT_EQ(parser.error_status(), 411) << method;
+  }
+  // GET without a length stays a complete bodyless request.
+  RequestParser parser(limits);
+  parser.feed(std::string_view("GET /healthz HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(parser.status(), ParseStatus::kComplete);
+}
+
+TEST(RequestParser, GarbageContentLengthFailsWith400) {
+  ParserLimits limits;
+  limits.max_body_bytes = 64;
+  for (const char* bad : {"abc", "-1", "1 2", "0x10", ""}) {
+    RequestParser parser(limits);
+    parser.feed("POST / HTTP/1.1\r\nContent-Length: " + std::string(bad) +
+                "\r\n\r\n");
+    ASSERT_EQ(parser.status(), ParseStatus::kError) << "'" << bad << "'";
+    EXPECT_EQ(parser.error_status(), 400) << "'" << bad << "'";
+  }
+}
+
+TEST(RequestParser, TotalHeaderBytesOverTheCapFailWith431) {
+  ParserLimits limits;
+  limits.max_header_line = 4096;
+  limits.max_headers = 64;
+  limits.max_header_bytes = 256;
+  // Each line is far under the per-line cap and the count cap; only the
+  // total-bytes cap can catch this shape.
+  std::string input = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 10; ++i)
+    input += "X-Pad-" + std::to_string(i) + ": " + std::string(40, 'v') +
+             "\r\n";
+  input += "\r\n";
+  RequestParser parser(limits);
+  parser.feed(input);
+  ASSERT_EQ(parser.status(), ParseStatus::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+
+  // And eagerly, even when the oversized header block never completes a
+  // line (no newline at all past the cap).
+  RequestParser eager(limits);
+  eager.feed("GET / HTTP/1.1\r\nX-Pad: " + std::string(300, 'v'));
+  ASSERT_EQ(eager.status(), ParseStatus::kError);
+  EXPECT_EQ(eager.error_status(), 431);
 }
 
 TEST(RequestParser, BareLfAndLeadingBlankLinesAreTolerated) {
@@ -187,6 +302,28 @@ TEST(FormatResponse, ProducesAFramedCloseDelimitedResponse) {
   EXPECT_NE(mev::obs::http::format_response(503, "text/plain", "draining\n")
                 .find("503 Service Unavailable"),
             std::string::npos);
+}
+
+TEST(FormatResponse, KeepAliveVariantWithExtraHeaders) {
+  const std::string response = mev::obs::http::format_response(
+      429, "application/json", "{}\n", /*keep_alive=*/true,
+      {{"Retry-After", "2"}});
+  EXPECT_NE(response.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n\r\n{}\n"),
+            std::string::npos);
+  EXPECT_EQ(response.find("Connection: close"), std::string::npos);
+}
+
+TEST(FormatResponse, StatusTextCoversTheFrontendStatuses) {
+  using mev::obs::http::status_text;
+  EXPECT_STREQ(status_text(401), "Unauthorized");
+  EXPECT_STREQ(status_text(411), "Length Required");
+  EXPECT_STREQ(status_text(413), "Payload Too Large");
+  EXPECT_STREQ(status_text(415), "Unsupported Media Type");
+  EXPECT_STREQ(status_text(429), "Too Many Requests");
+  EXPECT_STREQ(status_text(504), "Gateway Timeout");
 }
 
 }  // namespace

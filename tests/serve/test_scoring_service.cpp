@@ -455,6 +455,69 @@ TEST(ScoringService, ConcurrentSubmitAndHotSwapExactlyOnce) {
   EXPECT_EQ(stats.e2e_latency_us.count(), completed);
 }
 
+TEST(ScoringService, ConcurrentCallbackSubmittersExactlyOnce) {
+  // The frontend's path: submit_with_callback() from many non-worker
+  // threads at once, completions racing on worker threads. Every
+  // submission's callback must fire exactly once — no drops, no
+  // double-fires — and per-submission verdict counts must match the rows
+  // submitted. Runs under the TSan stress filter (ScoringService.Concurrent*).
+  Fixture f;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch_rows = 8;
+  cfg.max_queue_delay_ms = 1;
+  cfg.max_queue_rows = 1u << 20;  // no backpressure: every submit lands
+  auto service = f.make_service(cfg);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 50;
+  struct Completion {
+    std::atomic<int> fires{0};
+    std::size_t rows = 0;
+    std::size_t got_verdicts = 0;
+    RejectReason rejected = RejectReason::kNone;
+  };
+  std::vector<std::vector<Completion>> completions(kProducers);
+  for (auto& per_producer : completions)
+    per_producer = std::vector<Completion>(kPerProducer);
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::size_t rows = 1 + (i % 3);
+        completions[p][i].rows = rows;
+        service.submit_with_callback(
+            random_counts(rows, 5000 + p * 1000 + i), SubmitOptions{},
+            [](void* ctx, ScoreResult&& result) {
+              auto* completion = static_cast<Completion*>(ctx);
+              completion->fires.fetch_add(1, std::memory_order_relaxed);
+              completion->got_verdicts = result.verdicts.size();
+              completion->rejected = result.rejected;
+            },
+            &completions[p][i]);
+      }
+    });
+  for (auto& t : producers) t.join();
+  service.shutdown(/*drain=*/true);
+
+  std::size_t completed = 0;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    for (std::size_t i = 0; i < kPerProducer; ++i) {
+      const Completion& c = completions[p][i];
+      // Exactly once, from whichever thread resolved it.
+      ASSERT_EQ(c.fires.load(), 1) << "p=" << p << " i=" << i;
+      ASSERT_EQ(c.rejected, RejectReason::kNone) << "p=" << p << " i=" << i;
+      EXPECT_EQ(c.got_verdicts, c.rows);
+      ++completed;
+    }
+  EXPECT_EQ(completed, kProducers * kPerProducer);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted_requests, completed);
+  EXPECT_EQ(stats.completed_requests, completed);
+  EXPECT_EQ(stats.rejected_total(), 0u);
+}
+
 TEST(ScoringService, StatsHistogramsTrackBatchesAndLatency) {
   Fixture f;
   runtime::FakeClock clock(1000);
