@@ -29,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_meta.hpp"
 #include "math/rng.hpp"
 #include "net/frontend.hpp"
 #include "net/wire.hpp"
@@ -297,13 +299,26 @@ LoopResult run_http_open_loop(bench::Environment& env,
   // the client's encoder.
   std::vector<std::string> wire;
   wire.reserve(requests.size());
+  std::size_t request_index = 0;
   for (const math::Matrix& request : requests) {
     const std::string body = net::encode_binary_rows(request);
+    // Correlation enabled: every request carries a deterministic W3C
+    // traceparent so the bench exercises the full tracing ingest path
+    // (parse, context inheritance, X-Trace-Id echo, Server-Timing).
+    char traceparent[64];
+    std::snprintf(traceparent, sizeof(traceparent),
+                  "00-%016llxdeadbeefcafe%04llx-%016llx-01",
+                  static_cast<unsigned long long>(request_index + 1),
+                  static_cast<unsigned long long>(request_index & 0xffff),
+                  static_cast<unsigned long long>(request_index * 2 + 1));
+    ++request_index;
     std::string req =
         "POST /v1/score HTTP/1.1\r\n"
         "Content-Type: application/x-mev-rows\r\n"
         "X-Api-Key: ";
     req += kBenchKey;
+    req += "\r\ntraceparent: ";
+    req += traceparent;
     req += "\r\nX-Deadline-Ms: " + std::to_string(kDeadlineMs) +
            "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n";
     req += body;
@@ -479,7 +494,9 @@ int main(int argc, char** argv) {
             << " (keep-alive reuse, floor 16)\n";
 
   std::ofstream out("BENCH_http.json");
-  out << "{\n"
+  out << "{\n";
+  mev::bench::write_meta_json(out);
+  out << ",\n"
       << "  \"scale\": \"" << core::to_string(config.scale) << "\",\n"
       << "  \"seed\": " << config.seed << ",\n"
       << "  \"requests\": " << n_requests << ",\n"

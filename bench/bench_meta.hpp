@@ -1,0 +1,44 @@
+// The provenance block every BENCH_*.json carries under the "meta" key:
+// git SHA, build flags, and the box's hardware_concurrency. Without it a
+// bench trajectory across commits/boxes is unattributable — a regression
+// report cannot say whether the code or the machine changed.
+// check_regression.py ignores the key entirely.
+//
+// MEV_GIT_SHA / MEV_BUILD_FLAGS are configure-time compile definitions
+// from bench/CMakeLists.txt; the fallbacks keep out-of-tree compiles
+// working.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#ifndef MEV_GIT_SHA
+#define MEV_GIT_SHA "unknown"
+#endif
+#ifndef MEV_BUILD_FLAGS
+#define MEV_BUILD_FLAGS "unknown"
+#endif
+
+namespace mev::bench {
+
+inline std::string meta_json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    if (static_cast<unsigned char>(*s) >= 0x20) out += *s;
+  }
+  return out;
+}
+
+/// Writes `"meta": {...}` (no trailing comma or newline) at `indent`.
+inline void write_meta_json(std::ostream& os, const char* indent = "  ") {
+  os << indent << "\"meta\": {\"git_sha\": \""
+     << meta_json_escape(MEV_GIT_SHA) << "\", \"build_flags\": \""
+     << meta_json_escape(MEV_BUILD_FLAGS)
+     << "\", \"hardware_concurrency\": "
+     << std::max(1u, std::thread::hardware_concurrency()) << "}";
+}
+
+}  // namespace mev::bench

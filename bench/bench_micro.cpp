@@ -23,9 +23,13 @@
 #include "nn/loss.hpp"
 #include "nn/network.hpp"
 #include "nn/session.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
+#include "bench_meta.hpp"
+
 using namespace mev;
+using mev::bench::write_meta_json;
 
 namespace {
 
@@ -224,6 +228,39 @@ void BM_ObsSpanDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsSpanDisabled);
 
+// Correlated-span cost on top of BM_ObsSpanEnabled: id allocation + the
+// extra TraceEvent fields. Informational (not pinned by check_regression).
+void BM_ObsSpanWithContext(benchmark::State& state) {
+  obs::Tracer tracer(obs::TracerConfig{.ring_capacity = 1 << 16});
+  const obs::TraceContext root = tracer.make_context();
+  for (auto _ : state) {
+    obs::Span s = tracer.span("mev.bench.op", root);
+    benchmark::DoNotOptimize(&s);
+    if (tracer.event_count() >= (1u << 15)) tracer.clear();
+  }
+}
+BENCHMARK(BM_ObsSpanWithContext);
+
+// One completed request offered to the flight recorder (the per-response
+// cost the HTTP frontend pays, slow-bank min-scan included).
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder(
+      obs::FlightRecorderConfig{.slow_slots = 16, .error_slots = 32});
+  obs::FlightRecord record;
+  record.trace_id = 1;
+  record.root_span_id = 2;
+  record.num_spans = 7;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    record.start_us = n;
+    record.duration_us = 1 + (n & 0x3ff);
+    ++n;
+    recorder.record(record);
+    benchmark::DoNotOptimize(&recorder);
+  }
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
 void BM_ObsCounterInc(benchmark::State& state) {
   obs::MetricsRegistry registry;
   obs::Counter counter = registry.counter("mev.bench.counter");
@@ -317,11 +354,10 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
   void write_json(const std::string& path) const {
     std::ofstream out(path);
     out << "{\n";
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-      out << "  \"" << results_[i].first << "\": " << results_[i].second
-          << (i + 1 < results_.size() ? "," : "") << "\n";
-    }
-    out << "}\n";
+    for (const auto& [name, ns_per_op] : results_)
+      out << "  \"" << name << "\": " << ns_per_op << ",\n";
+    write_meta_json(out);  // last entry: every result line ends with ','
+    out << "\n}\n";
   }
 
  private:

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_meta.hpp"
 #include "math/rng.hpp"
 #include "nn/session.hpp"
 #include "serve/scoring_service.hpp"
@@ -359,7 +360,9 @@ int main(int argc, char** argv) {
   std::cout << ")\n";
 
   std::ofstream out("BENCH_serve.json");
-  out << "{\n"
+  out << "{\n";
+  mev::bench::write_meta_json(out);
+  out << ",\n"
       << "  \"scale\": \"" << core::to_string(config.scale) << "\",\n"
       << "  \"seed\": " << config.seed << ",\n"
       << "  \"requests\": " << n_requests << ",\n"

@@ -321,6 +321,11 @@ def main():
 
     baseline = load(options.baseline)
     fresh = load(options.fresh)
+    # The "meta" provenance block (git SHA, build flags, core count) is
+    # informational only — it must never make two reports incomparable.
+    for report in (baseline, fresh):
+        if isinstance(report, dict):
+            report.pop("meta", None)
     checkers = {"micro": check_micro, "serve": check_serve,
                 "http": check_http}
     ok = checkers[options.kind](baseline, fresh, options.tolerance)

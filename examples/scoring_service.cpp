@@ -154,6 +154,11 @@ int main(int argc, char** argv) {
         net::ApiKey{"throttled", "throttled", 1.0, 4.0},
     };
     frontend = std::make_unique<net::ScoringFrontend>(service, http_cfg);
+    // Surface the frontend's flight recorder on the admin plane's
+    // /requestz (the frontend outlives the scrape window below).
+    if (service.admin_server() != nullptr)
+      service.admin_server()->set_flight_recorder(
+          &frontend->flight_recorder());
     // std::endl for the same reason as the admin line: scrapers need the
     // port (and the expected row width) before traffic starts.
     if (frontend->start())
@@ -239,7 +244,13 @@ int main(int argc, char** argv) {
     // Scrape window: the admin endpoints answer with the service live.
     std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
   }
-  if (frontend != nullptr) frontend->stop();  // before the service drains
+  if (frontend != nullptr) {
+    // Detach the recorder first: the frontend (declared after the
+    // service) is destroyed before the admin server that serves it.
+    if (service.admin_server() != nullptr)
+      service.admin_server()->set_flight_recorder(nullptr);
+    frontend->stop();  // before the service drains
+  }
   service.shutdown();  // drain
 
   std::cout << "[4/4] done: scored " << scored_rows.load() << " rows, "

@@ -60,8 +60,7 @@ std::size_t reject_index(serve::RejectReason reason) noexcept {
 struct ScoringFrontend::PendingScore {
   ScoringFrontend* frontend;
   obs::http::ResponseTicket ticket;
-  std::uint64_t start_us;
-  std::size_t rows;
+  ScoreContext sc;
 };
 
 ScoringFrontend::ScoringFrontend(serve::ScoringService& service,
@@ -71,10 +70,16 @@ ScoringFrontend::ScoringFrontend(serve::ScoringService& service,
       clock_(config_.clock != nullptr ? config_.clock : &service.clock()),
       logger_(config_.logger != nullptr ? config_.logger
                                         : &obs::default_logger()),
-      limiter_(config_.api_keys, clock_) {
+      tracer_(obs::resolve(config_.tracer)),
+      limiter_(config_.api_keys, clock_),
+      recorder_(config_.flight) {
   obs::MetricsRegistry* registry = obs::resolve(config_.metrics);
   rows_counter_ = registry->counter("mev.net.rows_total",
                                     "rows received on /v1/score");
+  for (std::size_t i = 0; i < obs::kFlightStages; ++i)
+    stage_hist_[i] = registry->histogram(
+        "mev.net.stage_us", "score request stage duration (us)",
+        {{"stage", obs::kFlightStageNames[i]}});
   auth_failures_counter_ =
       registry->counter("mev.net.auth_failures_total",
                         "requests rejected 401 (unknown/missing API key)");
@@ -204,7 +209,7 @@ void ScoringFrontend::dispatch(obs::http::Request&& request,
             ticket.keep_alive(), {{"Allow", "POST"}}));
         return;
       }
-      handle_score(request, ticket);
+      handle_score(request, ticket, clock_->now_us());
       return;
     }
     if (path == "/healthz") {
@@ -231,14 +236,36 @@ void ScoringFrontend::dispatch(obs::http::Request&& request,
 }
 
 void ScoringFrontend::handle_score(obs::http::Request& request,
-                                   obs::http::ResponseTicket& ticket) {
+                                   obs::http::ResponseTicket& ticket,
+                                   std::uint64_t dispatch_us) {
+  // 0. Correlation. An incoming W3C traceparent joins this request to the
+  //    caller's trace; a malformed (or absent) one silently starts a
+  //    fresh trace — correlation is never a reason to reject. Every exit
+  //    below goes through respond_traced, which stamps X-Trace-Id and the
+  //    Server-Timing stage breakdown.
+  ScoreContext sc;
+  sc.dispatch_us = dispatch_us;
+  obs::TraceContext incoming;
+  const std::string* traceparent = request.header("traceparent");
+  if (traceparent != nullptr)
+    incoming = obs::parse_traceparent(*traceparent);
+  sc.trace = tracer_->make_context(incoming);
+  sc.parent_span = incoming.span_id;
+  const auto fail = [&](int status, const char* reason,
+                        std::string_view detail,
+                        std::uint64_t retry_after_s = 0) {
+    respond_traced(ticket, sc, serve::StageStamps{}, status,
+                   serve::RejectReason::kNone,
+                   format_error_json(reason, detail), retry_after_s);
+  };
+
   // 1. Authentication (presence only — the bucket charge needs the row
   //    count, so over-rate is decided after decode).
   const std::string* api_key = request.header("X-Api-Key");
   if (!limiter_.open() && api_key == nullptr) {
     auth_failures_.fetch_add(1, std::memory_order_relaxed);
     auth_failures_counter_.inc();
-    respond_error(ticket, 401, "unauthorized", "missing X-Api-Key");
+    fail(401, "unauthorized", "missing X-Api-Key");
     return;
   }
 
@@ -256,16 +283,18 @@ void ScoringFrontend::handle_score(obs::http::Request& request,
                                config_.max_request_rows);
   } else {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    respond_error(ticket, 415, "unsupported_media_type",
-                  "use application/json or application/x-mev-rows");
+    fail(415, "unsupported_media_type",
+         "use application/json or application/x-mev-rows");
     return;
   }
+  sc.parse_end_us = clock_->now_us();
   if (!parsed.ok) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    respond_error(ticket, 400, "bad_request", parsed.error);
+    fail(400, "bad_request", parsed.error);
     return;
   }
   const std::size_t rows = parsed.rows.rows();
+  sc.rows = static_cast<std::uint32_t>(rows);
   rows_counter_.inc(rows);
 
   // 3. Rate limit, charged per row against this key's bucket.
@@ -275,14 +304,14 @@ void ScoringFrontend::handle_score(obs::http::Request& request,
     if (decision.outcome == ApiKeyLimiter::Outcome::kUnknownKey) {
       auth_failures_.fetch_add(1, std::memory_order_relaxed);
       auth_failures_counter_.inc();
-      respond_error(ticket, 401, "unauthorized", "unknown API key");
+      fail(401, "unauthorized", "unknown API key");
       return;
     }
     if (decision.outcome == ApiKeyLimiter::Outcome::kOverRate) {
       rate_limited_.fetch_add(1, std::memory_order_relaxed);
       rate_limited_counter_.inc();
-      respond_error(ticket, 429, "rate_limited",
-                    "per-key row budget exhausted", decision.retry_after_s);
+      fail(429, "rate_limited", "per-key row budget exhausted",
+           decision.retry_after_s);
       return;
     }
   }
@@ -290,13 +319,14 @@ void ScoringFrontend::handle_score(obs::http::Request& request,
   // 4. Deadline: explicit header wins; otherwise the configured default.
   serve::SubmitOptions options;
   options.deadline_ms = config_.default_deadline_ms;
+  options.trace = sc.trace;
   const std::string* deadline_header = request.header("X-Deadline-Ms");
   if (deadline_header != nullptr) {
     std::uint64_t deadline_ms = 0;
     if (!parse_u64(*deadline_header, &deadline_ms)) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      respond_error(ticket, 400, "bad_request",
-                    "X-Deadline-Ms must be a non-negative integer");
+      fail(400, "bad_request",
+           "X-Deadline-Ms must be a non-negative integer");
       return;
     }
     options.deadline_ms = deadline_ms;
@@ -309,8 +339,7 @@ void ScoringFrontend::handle_score(obs::http::Request& request,
   auto pending = std::make_unique<PendingScore>();
   pending->frontend = this;
   pending->ticket = std::move(ticket);
-  pending->start_us = clock_->now_us();
-  pending->rows = rows;
+  pending->sc = sc;
   PendingScore* raw = pending.release();
   try {
     service_.submit_with_callback(std::move(parsed.rows), options,
@@ -319,7 +348,10 @@ void ScoringFrontend::handle_score(obs::http::Request& request,
     // Validation threw before admission: the callback never fires;
     // reclaim the context and answer.
     std::unique_ptr<PendingScore> reclaim(raw);
-    respond_error(reclaim->ticket, 500, "internal_error", e.what());
+    respond_traced(reclaim->ticket, reclaim->sc, serve::StageStamps{}, 500,
+                   serve::RejectReason::kNone,
+                   format_error_json("internal_error", e.what()),
+                   /*retry_after_s=*/0);
   }
 }
 
@@ -330,16 +362,12 @@ void ScoringFrontend::on_score(void* ctx, serve::ScoreResult&& result) {
 
 void ScoringFrontend::finish_score(PendingScore& pending,
                                    serve::ScoreResult&& result) {
-  const std::uint64_t now_us = clock_->now_us();
-  if (now_us > pending.start_us)
-    latency_us_.record(now_us - pending.start_us);
   if (result.ok()) {
     scored_requests_.fetch_add(1, std::memory_order_relaxed);
-    scored_rows_.fetch_add(pending.rows, std::memory_order_relaxed);
-    bump_status(200);
-    pending.ticket.respond(obs::http::format_response(
-        200, kJson, format_verdicts_json(result),
-        pending.ticket.keep_alive(), {}));
+    scored_rows_.fetch_add(pending.sc.rows, std::memory_order_relaxed);
+    respond_traced(pending.ticket, pending.sc, result.stages, 200,
+                   serve::RejectReason::kNone, format_verdicts_json(result),
+                   /*retry_after_s=*/0);
     return;
   }
   const HttpStatus mapped = status_for(result.rejected);
@@ -347,9 +375,106 @@ void ScoringFrontend::finish_score(PendingScore& pending,
   rejected_[index].fetch_add(1, std::memory_order_relaxed);
   reject_counters_[index].second.inc();
   // 503s are retryable backpressure — say when; 504/500 are not.
-  respond_error(pending.ticket, mapped.status, mapped.reason,
-                serve::to_string(result.rejected),
-                /*retry_after_s=*/mapped.status == 503 ? 1 : 0);
+  respond_traced(pending.ticket, pending.sc, result.stages, mapped.status,
+                 result.rejected,
+                 format_error_json(mapped.reason,
+                                   serve::to_string(result.rejected)),
+                 /*retry_after_s=*/mapped.status == 503 ? 1 : 0);
+}
+
+void ScoringFrontend::respond_traced(obs::http::ResponseTicket& ticket,
+                                     const ScoreContext& sc,
+                                     const serve::StageStamps& stamps,
+                                     int status, serve::RejectReason reject,
+                                     std::string_view body,
+                                     std::uint64_t retry_after_s) {
+  const std::uint64_t respond_us = clock_->now_us();
+
+  // Telescoping stage boundaries over [dispatch, respond]. A zero stamp
+  // (the request never reached that boundary — early error, reject) and
+  // any cross-clock skew both collapse to "carry the previous boundary
+  // forward", so consecutive diffs always partition the e2e latency:
+  // their sum EQUALS respond - dispatch by construction.
+  std::uint64_t t[obs::kFlightStages + 1] = {
+      sc.dispatch_us,      sc.parse_end_us,    stamps.admitted_us,
+      stamps.formed_us,    stamps.scan_start_us, stamps.scan_end_us,
+      respond_us};
+  for (std::size_t i = 1; i <= obs::kFlightStages; ++i)
+    if (t[i] < t[i - 1]) t[i] = t[i - 1];
+  std::array<std::uint64_t, obs::kFlightStages> stage_us;
+  for (std::size_t i = 0; i < obs::kFlightStages; ++i)
+    stage_us[i] = t[i + 1] - t[i];
+  const std::uint64_t total_us = t[obs::kFlightStages] - t[0];
+
+  latency_us_.record(total_us);
+  for (std::size_t i = 0; i < obs::kFlightStages; ++i)
+    stage_hist_[i].record(stage_us[i]);
+  bump_status(status);
+
+  // Spans: the net-side root + parse child; the service worker already
+  // emitted mev.serve.queue / mev.serve.scan under the same trace id.
+  if (tracer_->enabled()) {
+    tracer_->complete_span("mev.net.parse", sc.trace, t[0], t[1]);
+    tracer_->complete_span("mev.net.request", sc.trace, sc.parent_span, t[0],
+                           respond_us);
+  }
+
+  // Flight record: the full stage tree in one POD. Stage span ids are
+  // synthesized (root ^ stage#) — stable, collision-free within a trace,
+  // and allocation-free.
+  obs::FlightRecord record;
+  record.trace_id = sc.trace.trace_id;
+  record.trace_hi = sc.trace.trace_hi;
+  record.root_span_id = sc.trace.span_id;
+  record.start_us = t[0];
+  record.duration_us = total_us;
+  record.stage_us = stage_us;
+  record.rows = sc.rows;
+  record.http_status = static_cast<std::uint16_t>(status);
+  record.reject_reason = static_cast<std::uint8_t>(reject);
+  record.error = status != 200;
+  record.spans[0] = obs::FlightSpan{"mev.net.request", sc.trace.span_id,
+                                    sc.parent_span, t[0], total_us};
+  for (std::size_t i = 0; i < obs::kFlightStages; ++i)
+    record.spans[i + 1] =
+        obs::FlightSpan{obs::kFlightStageNames[i],
+                        sc.trace.span_id ^ (i + 1), sc.trace.span_id, t[i],
+                        stage_us[i]};
+  record.num_spans = obs::kFlightStages + 1;
+  recorder_.record(record);
+
+  // Correlation headers on every score-path response. Server-Timing
+  // durations are milliseconds (the header's unit), microsecond-precise.
+  std::string trace_id = obs::format_trace_id(sc.trace);
+  std::string timing;
+  timing.reserve(128);
+  const auto append_ms = [&timing](std::uint64_t us) {
+    timing += std::to_string(us / 1000);
+    timing += '.';
+    const std::uint64_t frac = us % 1000;
+    timing += static_cast<char>('0' + frac / 100);
+    timing += static_cast<char>('0' + frac / 10 % 10);
+    timing += static_cast<char>('0' + frac % 10);
+  };
+  for (std::size_t i = 0; i < obs::kFlightStages; ++i) {
+    timing += obs::kFlightStageNames[i];
+    timing += ";dur=";
+    append_ms(stage_us[i]);
+    timing += ", ";
+  }
+  timing += "total;dur=";
+  append_ms(total_us);
+
+  std::vector<obs::http::HeaderView> extra;
+  extra.emplace_back("X-Trace-Id", trace_id);
+  extra.emplace_back("Server-Timing", timing);
+  std::string retry_value;
+  if (retry_after_s > 0) {
+    retry_value = std::to_string(retry_after_s);
+    extra.emplace_back("Retry-After", retry_value);
+  }
+  ticket.respond(obs::http::format_response(status, kJson, body,
+                                            ticket.keep_alive(), extra));
 }
 
 }  // namespace mev::net

@@ -33,6 +33,7 @@
 // being enabled.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -41,8 +42,11 @@
 
 #include "net/rate_limiter.hpp"
 #include "net/wire.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/scoring_service.hpp"
 
 namespace mev::net {
@@ -74,6 +78,12 @@ struct FrontendConfig {
   /// Telemetry sinks; nullptr = ambient. All stub-safe when obs is off.
   obs::Logger* logger = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Trace-id source and span sink; nullptr = ambient tracer. Correlation
+  /// headers (X-Trace-Id, Server-Timing) are stamped on every score-path
+  /// response regardless of whether recording is enabled.
+  obs::Tracer* tracer = nullptr;
+  /// Tail retention for /requestz: the N slowest + all error responses.
+  obs::FlightRecorderConfig flight;
 };
 
 /// Plain-counter mirror of the frontend's activity, live in every build
@@ -118,15 +128,42 @@ class ScoringFrontend {
   FrontendStats stats() const noexcept;
   const FrontendConfig& config() const noexcept { return config_; }
 
+  /// Tail-retained span trees of slow and error requests — hand to
+  /// obs::AdminServer::set_flight_recorder() to serve them on /requestz.
+  const obs::FlightRecorder& flight_recorder() const noexcept {
+    return recorder_;
+  }
+
  private:
   struct PendingScore;
+
+  /// Per-score-request correlation + net-side timing, carried from
+  /// dispatch through the completion callback.
+  struct ScoreContext {
+    obs::TraceContext trace;        // this request's root span identity
+    std::uint64_t parent_span = 0;  // incoming traceparent's span id (or 0)
+    std::uint64_t dispatch_us = 0;  // request handed to dispatch()
+    std::uint64_t parse_end_us = 0; // body decoded (0 = never got there)
+    std::uint32_t rows = 0;
+  };
 
   void dispatch(obs::http::Request&& request,
                 obs::http::ResponseTicket ticket);
   void handle_score(obs::http::Request& request,
-                    obs::http::ResponseTicket& ticket);
+                    obs::http::ResponseTicket& ticket,
+                    std::uint64_t dispatch_us);
   static void on_score(void* ctx, serve::ScoreResult&& result);
   void finish_score(PendingScore& pending, serve::ScoreResult&& result);
+
+  /// The single exit for every score-path response: computes the
+  /// telescoping stage breakdown, stamps X-Trace-Id + Server-Timing,
+  /// emits the root/parse spans, offers the flight record, records the
+  /// per-stage histograms, and writes the response.
+  void respond_traced(obs::http::ResponseTicket& ticket,
+                      const ScoreContext& sc,
+                      const serve::StageStamps& stamps, int status,
+                      serve::RejectReason reject, std::string_view body,
+                      std::uint64_t retry_after_s);
 
   void respond_error(obs::http::ResponseTicket& ticket, int status,
                      std::string_view reason, std::string_view detail,
@@ -137,7 +174,9 @@ class ScoringFrontend {
   FrontendConfig config_;
   runtime::Clock* clock_;
   obs::Logger* logger_;
+  obs::Tracer* tracer_;
   ApiKeyLimiter limiter_;
+  obs::FlightRecorder recorder_;
 
   std::atomic<std::uint64_t> scored_requests_{0};
   std::atomic<std::uint64_t> scored_rows_{0};
@@ -150,6 +189,7 @@ class ScoringFrontend {
   obs::Counter auth_failures_counter_;
   obs::Counter rate_limited_counter_;
   obs::Histogram latency_us_;
+  std::array<obs::Histogram, obs::kFlightStages> stage_hist_;
   std::vector<std::pair<int, obs::Counter>> status_counters_;
   std::vector<std::pair<const char*, obs::Counter>> reject_counters_;
 

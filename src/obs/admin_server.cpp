@@ -2,11 +2,14 @@
 
 #if MEV_OBS_ENABLED
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "obs/scope.hpp"
+#include "obs/trace_context.hpp"
 
 namespace mev::obs {
 
@@ -127,8 +130,35 @@ std::string AdminServer::metrics_body() const {
   return body;
 }
 
-std::string AdminServer::tracez_body() const {
-  const std::vector<TraceEvent> events = tracer_->recent(config_.tracez_spans);
+std::string AdminServer::tracez_body(const http::Request& request) const {
+  // Filters narrow WITHIN the retained window (the per-thread rings keep
+  // the newest tracez_spans-ish events): ?name_prefix= and ?min_dur_us=
+  // drop non-matching spans, ?limit= keeps the newest N survivors.
+  const auto params = http::parse_query(request.target);
+  std::string_view name_prefix;
+  if (const std::string* v = http::query_param(params, "name_prefix"))
+    name_prefix = *v;
+  std::uint64_t min_dur_us = 0;
+  if (const std::string* v = http::query_param(params, "min_dur_us"))
+    min_dur_us = std::strtoull(v->c_str(), nullptr, 10);
+  std::size_t limit = config_.tracez_spans;
+  if (const std::string* v = http::query_param(params, "limit")) {
+    limit = std::strtoull(v->c_str(), nullptr, 10);
+    if (limit == 0 || limit > config_.tracez_spans)
+      limit = config_.tracez_spans;
+  }
+
+  std::vector<TraceEvent> events = tracer_->recent(config_.tracez_spans);
+  std::erase_if(events, [&](const TraceEvent& e) {
+    if (e.dur_us < min_dur_us) return true;
+    return !name_prefix.empty() &&
+           std::string_view(e.name).substr(0, name_prefix.size()) !=
+               name_prefix;
+  });
+  if (events.size() > limit)
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(limit));
+
   std::string body = "{\"spans\":[";
   bool first = true;
   for (const TraceEvent& e : events) {
@@ -144,6 +174,18 @@ std::string AdminServer::tracez_body() const {
     body += std::to_string(e.ts_us);
     body += ",\"dur_us\":";
     body += std::to_string(e.dur_us);
+    if (e.trace_id != 0) {
+      body += ",\"trace_id\":\"";
+      body += format_hex64(e.trace_id);
+      body += "\",\"span_id\":\"";
+      body += format_hex64(e.span_id);
+      body += '"';
+      if (e.parent_span_id != 0) {
+        body += ",\"parent_span_id\":\"";
+        body += format_hex64(e.parent_span_id);
+        body += '"';
+      }
+    }
     if (e.num_args > 0) {
       body += ",\"args\":{";
       for (std::uint8_t a = 0; a < e.num_args; ++a) {
@@ -161,6 +203,143 @@ std::string AdminServer::tracez_body() const {
   body += std::to_string(tracer_->dropped());
   body += ",\"buffered\":";
   body += std::to_string(tracer_->event_count());
+  body += "}\n";
+  return body;
+}
+
+namespace {
+
+void append_flight_spans(std::string& body, const FlightRecord& r) {
+  body += "\"spans\":[";
+  for (std::uint8_t s = 0; s < r.num_spans; ++s) {
+    const FlightSpan& span = r.spans[s];
+    if (s > 0) body += ',';
+    body += "{\"name\":\"";
+    append_json_escaped(body, span.name);
+    body += "\",\"span_id\":\"";
+    body += format_hex64(span.span_id);
+    body += '"';
+    if (span.parent_span_id != 0) {
+      body += ",\"parent_span_id\":\"";
+      body += format_hex64(span.parent_span_id);
+      body += '"';
+    }
+    body += ",\"start_us\":";
+    body += std::to_string(span.start_us);
+    body += ",\"dur_us\":";
+    body += std::to_string(span.dur_us);
+    body += '}';
+  }
+  body += ']';
+}
+
+std::string flight_record_json(const FlightRecord& r) {
+  std::string body = "{\"trace_id\":\"";
+  TraceContext ctx;
+  ctx.trace_id = r.trace_id;
+  ctx.trace_hi = r.trace_hi;
+  body += format_trace_id(ctx);
+  body += "\",\"root_span_id\":\"";
+  body += format_hex64(r.root_span_id);
+  body += "\",\"status\":";
+  body += std::to_string(r.http_status);
+  body += ",\"error\":";
+  body += r.error ? "true" : "false";
+  body += ",\"reject_reason\":";
+  body += std::to_string(r.reject_reason);
+  body += ",\"rows\":";
+  body += std::to_string(r.rows);
+  body += ",\"start_us\":";
+  body += std::to_string(r.start_us);
+  body += ",\"duration_us\":";
+  body += std::to_string(r.duration_us);
+  body += ",\"stages\":{";
+  for (std::size_t i = 0; i < kFlightStages; ++i) {
+    if (i > 0) body += ',';
+    body += '"';
+    body += kFlightStageNames[i];
+    body += "\":";
+    body += std::to_string(r.stage_us[i]);
+  }
+  body += "},";
+  append_flight_spans(body, r);
+  body += '}';
+  return body;
+}
+
+/// One request as a self-contained Chrome trace (chrome://tracing,
+/// ui.perfetto.dev): each retained span becomes a complete 'X' event.
+std::string flight_record_chrome(const FlightRecord& r) {
+  std::string body = "{\"traceEvents\":[";
+  for (std::uint8_t s = 0; s < r.num_spans; ++s) {
+    const FlightSpan& span = r.spans[s];
+    if (s > 0) body += ',';
+    body += "{\"name\":\"";
+    append_json_escaped(body, span.name);
+    body += "\",\"cat\":\"mev\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    body += std::to_string(span.start_us);
+    body += ",\"dur\":";
+    body += std::to_string(span.dur_us);
+    body += ",\"trace_id\":\"";
+    body += format_hex64(r.trace_id);
+    body += "\",\"span_id\":\"";
+    body += format_hex64(span.span_id);
+    body += '"';
+    if (span.parent_span_id != 0) {
+      body += ",\"parent_span_id\":\"";
+      body += format_hex64(span.parent_span_id);
+      body += '"';
+    }
+    body += '}';
+  }
+  body += "],\"displayTimeUnit\":\"ms\"}\n";
+  return body;
+}
+
+}  // namespace
+
+std::string AdminServer::requestz_body(const http::Request& request) const {
+  const FlightRecorder* recorder = flight_.load(std::memory_order_acquire);
+  if (recorder == nullptr)
+    return "{\"records\":[],\"recorded\":0,\"dropped\":0,"
+           "\"detail\":\"no flight recorder attached\"}\n";
+
+  std::vector<FlightRecord> records = recorder->snapshot();
+  std::sort(records.begin(), records.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.duration_us > b.duration_us;
+            });
+
+  const auto params = http::parse_query(request.target);
+  if (const std::string* wanted = http::query_param(params, "trace_id")) {
+    // Single-record lookup, optionally as a Chrome trace. Accepts the
+    // 16-hex internal id or the full 32-hex W3C form (low half counts).
+    std::uint64_t id = 0;
+    std::string_view hex = *wanted;
+    if (hex.size() == 32) hex = hex.substr(16);
+    if (!parse_hex64(hex, &id))
+      return "{\"error\":\"trace_id must be 16 or 32 hex chars\"}\n";
+    for (const FlightRecord& r : records) {
+      if (r.trace_id != id) continue;
+      const std::string* format = http::query_param(params, "format");
+      if (format != nullptr && *format == "chrome")
+        return flight_record_chrome(r);
+      std::string body = flight_record_json(r);
+      body += '\n';
+      return body;
+    }
+    return "{\"error\":\"trace_id not retained\"}\n";
+  }
+
+  std::string body = "{\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) body += ',';
+    body += flight_record_json(records[i]);
+  }
+  body += "],\"recorded\":";
+  body += std::to_string(recorder->recorded());
+  body += ",\"dropped\":";
+  body += std::to_string(recorder->dropped());
   body += "}\n";
   return body;
 }
@@ -188,7 +367,9 @@ std::string AdminServer::handle(const http::Request& request) {
   if (path == "/varz")
     return http::format_response(200, kJson, registry_->json());
   if (path == "/tracez")
-    return http::format_response(200, kJson, tracez_body());
+    return http::format_response(200, kJson, tracez_body(request));
+  if (path == "/requestz")
+    return http::format_response(200, kJson, requestz_body(request));
   return http::format_response(404, kTextPlain, "not found\n");
 }
 

@@ -10,7 +10,12 @@
 //   GET /readyz    readiness: 200/503 from the installed probe (the
 //                  scoring service wires accepting-vs-draining and the
 //                  queue high-water mark here)
-//   GET /tracez    last-N completed spans from the tracer rings, JSON
+//   GET /tracez    last-N completed spans from the tracer rings, JSON;
+//                  filters: ?name_prefix=&min_dur_us=&limit=
+//   GET /requestz  flight-recorder dump — complete span trees + stage
+//                  breakdowns of the slowest and error requests; one
+//                  request as Chrome trace via ?trace_id=<16hex>&
+//                  format=chrome
 //
 // Model: the shared http::SocketServer (one accept thread multiplexing on
 // poll(), a BOUNDED connection queue, a small worker pool; full queue =
@@ -26,12 +31,14 @@
 // reports failure (port() stays 0) — call sites compile unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/http_server.hpp"
 #include "obs/log.hpp"
@@ -95,6 +102,14 @@ class AdminServer {
   /// before or after start().
   void set_readiness_probe(ReadinessProbe probe);
 
+  /// Wires the /requestz source. A post-hoc setter (not config) because
+  /// the frontend that owns the recorder is typically constructed after
+  /// the service that owns this server. nullptr detaches; the recorder
+  /// must outlive the server while attached.
+  void set_flight_recorder(const FlightRecorder* recorder) noexcept {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
   /// Binds, listens, and spawns the accept/worker threads. Returns false
   /// (with an error log) when the socket cannot be bound; the process
   /// keeps running — telemetry must never take the workload down.
@@ -118,12 +133,14 @@ class AdminServer {
 
  private:
   std::string metrics_body() const;
-  std::string tracez_body() const;
+  std::string tracez_body(const http::Request& request) const;
+  std::string requestz_body(const http::Request& request) const;
 
   AdminServerConfig config_;
   Tracer* tracer_;
   MetricsRegistry* registry_;
   Logger* logger_;
+  std::atomic<const FlightRecorder*> flight_{nullptr};
 
   Counter requests_counter_;
   Counter shed_counter_;
@@ -146,6 +163,7 @@ class AdminServer {
   AdminServer& operator=(const AdminServer&) = delete;
 
   void set_readiness_probe(ReadinessProbe) {}
+  void set_flight_recorder(const FlightRecorder*) noexcept {}
   bool start() { return false; }
   void stop() {}
   bool running() const noexcept { return false; }

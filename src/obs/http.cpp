@@ -259,4 +259,70 @@ std::string format_response(int status, std::string_view content_type,
   return out;
 }
 
+namespace {
+
+int query_hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string decode_query_component(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < s.size()) {
+      const int hi = query_hex_value(s[i + 1]);
+      const int lo = query_hex_value(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+      } else {
+        out += c;  // malformed escape: keep the '%' literally
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view target) {
+  std::vector<std::pair<std::string, std::string>> params;
+  const std::size_t q = target.find('?');
+  if (q == std::string_view::npos) return params;
+  std::string_view rest = target.substr(q + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      params.emplace_back(decode_query_component(pair), std::string{});
+    } else {
+      params.emplace_back(decode_query_component(pair.substr(0, eq)),
+                          decode_query_component(pair.substr(eq + 1)));
+    }
+  }
+  return params;
+}
+
+const std::string* query_param(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::string_view name) noexcept {
+  for (const auto& [key, value] : params)
+    if (key == name) return &value;
+  return nullptr;
+}
+
 }  // namespace mev::obs::http

@@ -127,4 +127,18 @@ std::string format_response(int status, std::string_view content_type,
 /// Reason phrase for the statuses the embedded servers use.
 const char* status_text(int status) noexcept;
 
+/// Decodes the query string of an origin-form target ("/tracez?a=1&b=x%20y")
+/// into name/value pairs in wire order. Percent-escapes and '+' (as space)
+/// are decoded in both names and values; a parameter without '=' gets an
+/// empty value; empty segments ("a=1&&b=2") are skipped. Malformed
+/// percent-escapes are kept literally rather than rejected — query parsing
+/// never fails, it just yields what was sent.
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view target);
+
+/// First value for `name` in parse_query() output; nullptr when absent.
+const std::string* query_param(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::string_view name) noexcept;
+
 }  // namespace mev::obs::http

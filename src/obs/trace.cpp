@@ -64,6 +64,20 @@ void append_event(std::string& out, const TraceEvent& e, bool& first) {
   } else if (e.phase == 'i') {
     out += ",\"s\":\"t\"";
   }
+  if (e.trace_id != 0) {
+    // Hex strings, not JSON numbers: 64-bit ids do not survive a double.
+    // Chrome's viewer ignores unknown keys; /requestz and tests read them.
+    out += ",\"trace_id\":\"";
+    out += format_hex64(e.trace_id);
+    out += "\",\"span_id\":\"";
+    out += format_hex64(e.span_id);
+    out += '"';
+    if (e.parent_span_id != 0) {
+      out += ",\"parent_span_id\":\"";
+      out += format_hex64(e.parent_span_id);
+      out += '"';
+    }
+  }
   if (e.num_args > 0) {
     out += ",\"args\":{";
     for (std::uint8_t a = 0; a < e.num_args; ++a) {
@@ -88,6 +102,9 @@ void Span::finish() noexcept {
   event.ts_us = start_us_;
   const std::uint64_t now = tracer->clock().now_us();
   event.dur_us = now >= start_us_ ? now - start_us_ : 0;
+  event.trace_id = ctx_.trace_id;
+  event.span_id = ctx_.span_id;
+  event.parent_span_id = parent_span_;
   event.args = args_;
   event.num_args = num_args_;
   tracer->emit(event);
@@ -98,8 +115,32 @@ Tracer::Tracer(TracerConfig config)
       config_(config),
       clock_(config.clock != nullptr ? config.clock
                                      : &runtime::SystemClock::instance()),
+      ids_(clock_->now_us()),
       enabled_(config.enabled) {
   if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+void Tracer::complete_span(const char* name, TraceContext parent,
+                           std::uint64_t start_us,
+                           std::uint64_t end_us) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  complete_span(name, make_context(parent), parent.span_id, start_us, end_us);
+}
+
+void Tracer::complete_span(const char* name, TraceContext self,
+                           std::uint64_t parent_span_id,
+                           std::uint64_t start_us,
+                           std::uint64_t end_us) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'X';
+  event.ts_us = start_us;
+  event.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  event.trace_id = self.trace_id;
+  event.span_id = self.span_id;
+  event.parent_span_id = parent_span_id;
+  emit(event);
 }
 
 Tracer::ThreadBuffer& Tracer::local_buffer() {

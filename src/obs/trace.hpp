@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_context.hpp"
 #include "runtime/clock.hpp"
 
 #ifndef MEV_OBS_ENABLED
@@ -75,6 +76,11 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;
+  // Request correlation: all zero for anonymous spans (span(name) with no
+  // context); nonzero ids link the event into a cross-thread span tree.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
   std::array<TraceArg, 4> args{};
   std::uint8_t num_args = 0;
 };
@@ -96,6 +102,8 @@ class Span {
       tracer_ = std::exchange(other.tracer_, nullptr);
       name_ = other.name_;
       start_us_ = other.start_us_;
+      ctx_ = other.ctx_;
+      parent_span_ = other.parent_span_;
       args_ = other.args_;
       num_args_ = other.num_args_;
     }
@@ -113,14 +121,28 @@ class Span {
   /// Emits the event now instead of at scope exit. Idempotent.
   void finish() noexcept;
 
+  /// This span's identity within its trace — pass to Tracer::span() or
+  /// make_context() to open children of this span. Zero-ids (invalid) for
+  /// anonymous or inert spans.
+  TraceContext context() const noexcept { return ctx_; }
+
  private:
   friend class Tracer;
   Span(Tracer* tracer, const char* name, std::uint64_t start_us) noexcept
       : tracer_(tracer), name_(name), start_us_(start_us) {}
+  Span(Tracer* tracer, const char* name, std::uint64_t start_us,
+       TraceContext ctx, std::uint64_t parent_span) noexcept
+      : tracer_(tracer),
+        name_(name),
+        start_us_(start_us),
+        ctx_(ctx),
+        parent_span_(parent_span) {}
 
   Tracer* tracer_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t start_us_ = 0;
+  TraceContext ctx_{};
+  std::uint64_t parent_span_ = 0;
   std::array<TraceArg, 4> args_{};
   std::uint8_t num_args_ = 0;
 };
@@ -133,15 +155,56 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Opens a span; emitted when the returned object dies. `name` must
-  /// outlive the tracer (use string literals).
+  /// Opens an anonymous span (no trace ids — the cheap instrumentation
+  /// path); emitted when the returned object dies. `name` must outlive
+  /// the tracer (use string literals).
   Span span(const char* name) noexcept {
     if (!enabled_.load(std::memory_order_relaxed)) return Span();
     return Span(this, name, clock_->now_us());
   }
 
+  /// Opens a correlated span as a child of `parent` (a fresh trace when
+  /// `parent` is invalid). The returned Span's context() identifies it to
+  /// further children.
+  Span span(const char* name, TraceContext parent) noexcept {
+    if (!enabled_.load(std::memory_order_relaxed)) return Span();
+    return Span(this, name, clock_->now_us(), make_context(parent),
+                parent.span_id);
+  }
+
   /// Records a zero-duration instant event.
   void instant(const char* name) noexcept;
+
+  /// Allocates a new span identity: `parent` valid → same trace, fresh
+  /// span id (trace_hi carried through); invalid → a fresh trace rooted
+  /// at the new span. Works whether or not the tracer is enabled —
+  /// correlation ids must flow even when recording is off — and is
+  /// deterministic under a FakeClock-seeded tracer.
+  TraceContext make_context(TraceContext parent = {}) noexcept {
+    TraceContext ctx;
+    if (parent.valid()) {
+      ctx.trace_id = parent.trace_id;
+      ctx.trace_hi = parent.trace_hi;
+    } else {
+      ctx.trace_id = ids_.next();
+    }
+    ctx.span_id = ids_.next();
+    return ctx;
+  }
+
+  /// Emits one already-timed complete span as a child of `parent` — the
+  /// retroactive form used when a stage's boundaries were captured as
+  /// plain timestamps on another thread (queue wait, batch scan) rather
+  /// than with a live Span object.
+  void complete_span(const char* name, TraceContext parent,
+                     std::uint64_t start_us, std::uint64_t end_us) noexcept;
+
+  /// Same, but with an explicit identity for the emitted span (the HTTP
+  /// root span, whose id was allocated at ingress and already handed to
+  /// children and response headers).
+  void complete_span(const char* name, TraceContext self,
+                     std::uint64_t parent_span_id, std::uint64_t start_us,
+                     std::uint64_t end_us) noexcept;
 
   void set_enabled(bool enabled) noexcept {
     enabled_.store(enabled, std::memory_order_relaxed);
@@ -193,6 +256,7 @@ class Tracer {
   std::uint64_t id_;  // process-unique, keys the thread-local buffer cache
   TracerConfig config_;
   runtime::Clock* clock_;
+  TraceIdGenerator ids_;  // seeded from the clock at construction
   std::atomic<bool> enabled_;
 
   mutable std::mutex mutex_;  // guards buffers_ (registration + export)
@@ -210,18 +274,38 @@ class Span {
   Span() = default;
   void arg(const char*, double) noexcept {}
   void finish() noexcept {}
+  TraceContext context() const noexcept { return {}; }
 };
 
 class Tracer {
  public:
   explicit Tracer(TracerConfig config = {})
       : clock_(config.clock != nullptr ? config.clock
-                                       : &runtime::SystemClock::instance()) {}
+                                       : &runtime::SystemClock::instance()),
+        ids_(clock_->now_us()) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   Span span(const char*) noexcept { return Span(); }
+  Span span(const char*, TraceContext) noexcept { return Span(); }
   void instant(const char*) noexcept {}
+  // Id allocation survives the compile-out: the net layer's correlation
+  // headers (X-Trace-Id, traceparent echo) still work with tracing off.
+  TraceContext make_context(TraceContext parent = {}) noexcept {
+    TraceContext ctx;
+    if (parent.valid()) {
+      ctx.trace_id = parent.trace_id;
+      ctx.trace_hi = parent.trace_hi;
+    } else {
+      ctx.trace_id = ids_.next();
+    }
+    ctx.span_id = ids_.next();
+    return ctx;
+  }
+  void complete_span(const char*, TraceContext, std::uint64_t,
+                     std::uint64_t) noexcept {}
+  void complete_span(const char*, TraceContext, std::uint64_t, std::uint64_t,
+                     std::uint64_t) noexcept {}
   void set_enabled(bool) noexcept {}
   bool enabled() const noexcept { return false; }
   runtime::Clock& clock() const noexcept { return *clock_; }
@@ -234,6 +318,7 @@ class Tracer {
 
  private:
   runtime::Clock* clock_;
+  TraceIdGenerator ids_;
 };
 
 #endif  // MEV_OBS_ENABLED
@@ -242,8 +327,16 @@ class Tracer {
 inline Span span(Tracer* tracer, const char* name) noexcept {
   return tracer != nullptr ? tracer->span(name) : Span();
 }
+inline Span span(Tracer* tracer, const char* name,
+                 TraceContext parent) noexcept {
+  return tracer != nullptr ? tracer->span(name, parent) : Span();
+}
 inline void instant(Tracer* tracer, const char* name) noexcept {
   if (tracer != nullptr) tracer->instant(name);
+}
+inline TraceContext make_context(Tracer* tracer,
+                                 TraceContext parent = {}) noexcept {
+  return tracer != nullptr ? tracer->make_context(parent) : TraceContext{};
 }
 
 }  // namespace mev::obs

@@ -1,0 +1,104 @@
+#include "obs/trace_context.hpp"
+
+namespace mev::obs {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Parses `count` hex chars from s[pos..]; false on any non-hex digit.
+bool parse_hex(std::string_view s, std::size_t pos, std::size_t count,
+               std::uint64_t* out) noexcept {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int digit = hex_value(s[pos + i]);
+    if (digit < 0) return false;
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+void append_hex64(std::string& out, std::uint64_t value) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(value >> shift) & 0xf]);
+  }
+}
+
+}  // namespace
+
+TraceContext parse_traceparent(std::string_view header) noexcept {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2) == 55 chars.
+  // Unknown future versions may append fields after the flags, but only
+  // behind another dash; version "ff" is explicitly forbidden by the spec.
+  constexpr std::size_t kBaseLength = 55;
+  if (header.size() < kBaseLength) return {};
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return {};
+
+  std::uint64_t version = 0;
+  if (!parse_hex(header, 0, 2, &version)) return {};
+  if (version == 0xff) return {};
+  if (version == 0x00 && header.size() != kBaseLength) return {};
+  if (header.size() > kBaseLength && header[kBaseLength] != '-') return {};
+
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t flags = 0;
+  if (!parse_hex(header, 3, 16, &trace_hi)) return {};
+  if (!parse_hex(header, 19, 16, &trace_lo)) return {};
+  if (!parse_hex(header, 36, 16, &parent)) return {};
+  if (!parse_hex(header, 53, 2, &flags)) return {};
+
+  if (trace_hi == 0 && trace_lo == 0) return {};  // all-zero trace id
+  if (parent == 0) return {};                     // all-zero parent id
+  // The low 64 bits are the internal identity; a nonzero-high/zero-low id
+  // cannot be represented as a valid context, so treat it as unusable.
+  if (trace_lo == 0) return {};
+
+  TraceContext ctx;
+  ctx.trace_id = trace_lo;
+  ctx.trace_hi = trace_hi;
+  ctx.span_id = parent;
+  return ctx;
+}
+
+std::string format_traceparent(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  append_hex64(out, ctx.trace_hi);
+  append_hex64(out, ctx.trace_id);
+  out.push_back('-');
+  append_hex64(out, ctx.span_id);
+  out += "-01";
+  return out;
+}
+
+std::string format_trace_id(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, ctx.trace_hi);
+  append_hex64(out, ctx.trace_id);
+  return out;
+}
+
+std::string format_hex64(std::uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  append_hex64(out, id);
+  return out;
+}
+
+bool parse_hex64(std::string_view s, std::uint64_t* out) noexcept {
+  if (s.size() != 16) return false;
+  return parse_hex(s, 0, 16, out);
+}
+
+}  // namespace mev::obs

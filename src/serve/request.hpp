@@ -14,6 +14,7 @@
 
 #include "core/detector.hpp"
 #include "math/matrix.hpp"
+#include "obs/trace_context.hpp"
 
 namespace mev::serve {
 
@@ -57,6 +58,18 @@ inline const char* to_string(DeadlineStage stage) noexcept {
   return "unknown";
 }
 
+/// Service-side timestamps (service clock, now_us) marking where one
+/// request crossed each pipeline boundary. Zero = the request never
+/// reached that boundary (e.g. a synchronous admission reject). The
+/// frontend turns consecutive stamps into the queue/batch/scan entries of
+/// the Server-Timing stage breakdown.
+struct StageStamps {
+  std::uint64_t admitted_us = 0;    // accepted into a submission shard
+  std::uint64_t formed_us = 0;      // its batch was sealed by a worker
+  std::uint64_t scan_start_us = 0;  // model forward began
+  std::uint64_t scan_end_us = 0;    // verdicts materialized
+};
+
 /// Outcome of one submission: either verdicts (one per submitted row, in
 /// submission order) or a rejection reason.
 struct ScoreResult {
@@ -64,6 +77,8 @@ struct ScoreResult {
   std::vector<core::Verdict> verdicts;
   /// Model snapshot version that scored this request (0 when rejected).
   std::uint64_t model_version = 0;
+  /// Pipeline boundary timestamps for latency attribution.
+  StageStamps stages;
 
   bool ok() const noexcept { return rejected == RejectReason::kNone; }
 };
@@ -83,6 +98,11 @@ struct SubmitOptions {
   /// wins; a submission whose absolute deadline has already passed is
   /// rejected at admission without consuming queue capacity.
   std::uint64_t deadline_at_ms = 0;
+  /// Request-scoped trace identity. An invalid (default) context means
+  /// uncorrelated: the service emits no per-request spans for it. A valid
+  /// one rides in the request slot across shard/batcher/worker threads
+  /// and parents the service-side queue/scan spans.
+  obs::TraceContext trace;
 };
 
 /// Names one slot in a CompletionArena. The generation tag detects a
@@ -112,6 +132,7 @@ struct Request {
   std::uint64_t enqueue_us = 0;   // clock->now_us() at submit (histograms)
   std::uint64_t enqueue_ms = 0;   // clock->now_ms() at submit (batch delay)
   std::uint64_t deadline_ms = 0;  // absolute clock ms; 0 = none
+  obs::TraceContext trace;        // copied from SubmitOptions; may be invalid
 
   bool expired(std::uint64_t now_ms) const noexcept {
     return deadline_ms != 0 && now_ms >= deadline_ms;

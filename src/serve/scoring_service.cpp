@@ -236,6 +236,7 @@ void ScoringService::submit_with_callback(math::Matrix counts,
 
 void ScoringService::submit_request(Request request, std::size_t rows,
                                     SubmitOptions options) {
+  request.trace = options.trace;
   if (rows == 0) {
     // Nothing to score: complete immediately with the current version.
     ScoreResult result;
@@ -410,6 +411,7 @@ void ScoringService::resolve_internal_error(Request& request) {
   // caller — the client-side taxonomy (ServiceOracle) depends on it.
   ScoreResult result;
   result.rejected = RejectReason::kInternalError;
+  result.stages.admitted_us = request.enqueue_us;
   resolve(request, std::move(result));
 }
 
@@ -815,6 +817,7 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
   };
 
   std::vector<core::Verdict> verdicts;
+  std::uint64_t scan_start_us = formed_us;
   try {
     if (worker.pinned.get() != snapshot.get()) {
       // Model changed under us (hot swap) or first batch: bind a fresh
@@ -839,6 +842,7 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
       assemble.arg("requests", static_cast<double>(batch.requests.size()));
     }
 
+    scan_start_us = clock_->now_us();
     verdicts =
         snapshot->detector.scan_counts(*worker.session, worker.batch_counts);
     // Chaos phase 2 (outcome faults) sits inside the containment block:
@@ -869,6 +873,19 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
     result.verdicts.assign(verdicts.begin() + offset,
                            verdicts.begin() + offset + n);
     offset += n;
+    result.stages.admitted_us = request.enqueue_us;
+    result.stages.formed_us = formed_us;
+    result.stages.scan_start_us = scan_start_us;
+    result.stages.scan_end_us = done_us;
+    if (request.trace.valid()) {
+      // Retroactive service-side spans, emitted on THIS worker thread but
+      // parented under the submitter's request span — the cross-thread
+      // half of the span tree.
+      tracer_->complete_span("mev.serve.queue", request.trace,
+                             request.enqueue_us, formed_us);
+      tracer_->complete_span("mev.serve.scan", request.trace, scan_start_us,
+                             done_us);
+    }
     resolve(request, std::move(result));
   }
 
@@ -905,6 +922,7 @@ void ScoringService::reject_all(std::vector<Request> requests,
   for (auto& request : requests) {
     ScoreResult result;
     result.rejected = reason;
+    result.stages.admitted_us = request.enqueue_us;
     resolve(request, std::move(result));
   }
   switch (reason) {

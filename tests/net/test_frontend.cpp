@@ -565,8 +565,14 @@ TEST(ScoringFrontend, ExportsLabeledPrometheusCounters) {
   EXPECT_NE(
       exposition.find("mev_net_rejected_total{reason=\"queue_full\"} 0"),
       std::string::npos);
-  EXPECT_NE(exposition.find("mev_net_request_latency_us_count 1"),
+  // Both the 200 and the 401 are score-path responses: each records one
+  // e2e latency sample (errors have latency too).
+  EXPECT_NE(exposition.find("mev_net_request_latency_us_count 2"),
             std::string::npos);
+  // Per-stage attribution families exist with the same sample count.
+  EXPECT_NE(exposition.find("mev_net_stage_us_count{stage=\"parse\"} 2"),
+            std::string::npos)
+      << exposition;
 }
 #endif  // MEV_OBS_ENABLED
 

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "obs/admin_server.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/clock.hpp"
 
 #if MEV_OBS_ENABLED
@@ -111,6 +113,164 @@ TEST(AdminServer, TracezServesRecentSpansAsJson) {
   EXPECT_NE(response.find("\"dur_us\":2000"), std::string::npos);
   EXPECT_NE(response.find("\"args\":{\"rows\":3}"), std::string::npos);
   EXPECT_NE(response.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(AdminServer, TracezFiltersByPrefixDurationAndLimit) {
+  AdminFixture f;
+  // Three fast net spans, two slow serve spans, one slow net span.
+  for (int i = 0; i < 3; ++i) {
+    auto s = f.tracer.span("mev.net.parse");
+    f.clock.advance(1);  // 1000 us
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto s = f.tracer.span("mev.serve.scan");
+    f.clock.advance(5);  // 5000 us
+  }
+  {
+    auto s = f.tracer.span("mev.net.request");
+    f.clock.advance(9);  // 9000 us
+  }
+  AdminServer server = f.make();
+
+  // Prefix filter: serve spans only.
+  std::string response =
+      server.handle(make_request("GET", "/tracez?name_prefix=mev.serve"));
+  EXPECT_NE(response.find("mev.serve.scan"), std::string::npos);
+  EXPECT_EQ(response.find("mev.net"), std::string::npos);
+
+  // Duration filter: only the two 5 ms spans and the 9 ms span survive.
+  response = server.handle(make_request("GET", "/tracez?min_dur_us=5000"));
+  EXPECT_EQ(response.find("mev.net.parse"), std::string::npos);
+  EXPECT_NE(response.find("mev.serve.scan"), std::string::npos);
+  EXPECT_NE(response.find("mev.net.request"), std::string::npos);
+
+  // Combined: slow AND net-prefixed leaves one span.
+  response = server.handle(
+      make_request("GET", "/tracez?name_prefix=mev.net&min_dur_us=5000"));
+  EXPECT_EQ(response.find("mev.serve.scan"), std::string::npos);
+  EXPECT_EQ(response.find("mev.net.parse"), std::string::npos);
+  EXPECT_NE(response.find("mev.net.request"), std::string::npos);
+
+  // Limit keeps the NEWEST survivors: limit=1 over everything is the
+  // final span.
+  response = server.handle(make_request("GET", "/tracez?limit=1"));
+  EXPECT_EQ(response.find("mev.serve.scan"), std::string::npos);
+  EXPECT_NE(response.find("mev.net.request"), std::string::npos);
+
+  // Garbage filter values degrade to "no filter", never an error.
+  response =
+      server.handle(make_request("GET", "/tracez?limit=banana&min_dur_us=x"));
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("mev.net.parse"), std::string::npos);
+}
+
+TEST(AdminServer, TracezIncludesCorrelationIdsWhenPresent) {
+  AdminFixture f;
+  const mev::obs::TraceContext ctx = f.tracer.make_context();
+  f.tracer.complete_span("mev.net.request", ctx, /*parent_span_id=*/0, 0,
+                         250);
+  AdminServer server = f.make();
+  const std::string response =
+      server.handle(make_request("GET", "/tracez"));
+  EXPECT_NE(response.find("\"trace_id\":\""), std::string::npos) << response;
+  EXPECT_NE(response.find(mev::obs::format_hex64(ctx.trace_id)),
+            std::string::npos);
+  EXPECT_NE(response.find(mev::obs::format_hex64(ctx.span_id)),
+            std::string::npos);
+}
+
+TEST(AdminServer, RequestzWithoutARecorderExplainsItself) {
+  AdminFixture f;
+  AdminServer server = f.make();
+  const std::string response =
+      server.handle(make_request("GET", "/requestz"));
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("no flight recorder attached"), std::string::npos);
+}
+
+TEST(AdminServer, RequestzServesRetainedRecordsSlowestFirst) {
+  AdminFixture f;
+  mev::obs::FlightRecorder recorder;
+  mev::obs::FlightRecord fast;
+  fast.trace_id = 0x11;
+  fast.root_span_id = 0x12;
+  fast.start_us = 100;
+  fast.duration_us = 500;
+  fast.http_status = 200;
+  fast.rows = 4;
+  fast.stage_us = {10, 20, 30, 40, 50, 350};
+  fast.spans[0] = {"mev.net.request", 0x12, 0, 100, 500};
+  fast.spans[1] = {"scan", 0x12 ^ 5, 0x12, 250, 50};
+  fast.num_spans = 2;
+  mev::obs::FlightRecord slow = fast;
+  slow.trace_id = 0x21;
+  slow.root_span_id = 0x22;
+  slow.duration_us = 9000;
+  recorder.record(fast);
+  recorder.record(slow);
+
+  AdminServer server = f.make();
+  server.set_flight_recorder(&recorder);
+  const std::string response =
+      server.handle(make_request("GET", "/requestz"));
+  // Slowest first: trace 21 appears before trace 11.
+  const std::size_t slow_at = response.find("0000000000000021");
+  const std::size_t fast_at = response.find("0000000000000011");
+  ASSERT_NE(slow_at, std::string::npos) << response;
+  ASSERT_NE(fast_at, std::string::npos);
+  EXPECT_LT(slow_at, fast_at);
+  // Stage taxonomy and span tree are embedded per record.
+  EXPECT_NE(response.find("\"parse\":10"), std::string::npos);
+  EXPECT_NE(response.find("\"serialize\":350"), std::string::npos);
+  EXPECT_NE(response.find("\"name\":\"mev.net.request\""), std::string::npos);
+  EXPECT_NE(response.find("\"recorded\":2"), std::string::npos);
+
+  // Detaching the recorder (the example does this before frontend
+  // teardown) restores the explain-yourself response.
+  server.set_flight_recorder(nullptr);
+  EXPECT_NE(server.handle(make_request("GET", "/requestz"))
+                .find("no flight recorder attached"),
+            std::string::npos);
+}
+
+TEST(AdminServer, RequestzLooksUpOneTraceInBothIdForms) {
+  AdminFixture f;
+  mev::obs::FlightRecorder recorder;
+  mev::obs::FlightRecord record;
+  record.trace_id = 0xabc;
+  record.trace_hi = 0xdef;
+  record.root_span_id = 0x1;
+  record.start_us = 0;
+  record.duration_us = 100;
+  record.http_status = 200;
+  record.spans[0] = {"mev.net.request", 0x1, 0, 0, 100};
+  record.num_spans = 1;
+  recorder.record(record);
+  AdminServer server = f.make();
+  server.set_flight_recorder(&recorder);
+
+  // 16-hex internal id.
+  std::string response = server.handle(
+      make_request("GET", "/requestz?trace_id=0000000000000abc"));
+  EXPECT_NE(response.find("\"duration_us\":100"), std::string::npos)
+      << response;
+  // 32-hex W3C form (low half selects).
+  response = server.handle(make_request(
+      "GET",
+      "/requestz?trace_id=0000000000000def0000000000000abc"));
+  EXPECT_NE(response.find("\"duration_us\":100"), std::string::npos);
+  // Chrome export of a single record.
+  response = server.handle(make_request(
+      "GET", "/requestz?trace_id=0000000000000abc&format=chrome"));
+  EXPECT_NE(response.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(response.find("\"ph\":\"X\""), std::string::npos);
+  // Unknown id and malformed id both answer with a JSON error, not 4xx.
+  response = server.handle(
+      make_request("GET", "/requestz?trace_id=00000000000000ff"));
+  EXPECT_NE(response.find("not retained"), std::string::npos);
+  response =
+      server.handle(make_request("GET", "/requestz?trace_id=zzz"));
+  EXPECT_NE(response.find("16 or 32 hex"), std::string::npos);
 }
 
 TEST(AdminServer, VarzServesTheJsonSnapshot) {

@@ -326,4 +326,64 @@ TEST(FormatResponse, StatusTextCoversTheFrontendStatuses) {
   EXPECT_STREQ(status_text(504), "Gateway Timeout");
 }
 
+TEST(ParseQuery, SplitsPairsAndIgnoresThePath) {
+  using mev::obs::http::parse_query;
+  const auto params = parse_query("/tracez?name_prefix=mev.net&limit=10");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].first, "name_prefix");
+  EXPECT_EQ(params[0].second, "mev.net");
+  EXPECT_EQ(params[1].first, "limit");
+  EXPECT_EQ(params[1].second, "10");
+}
+
+TEST(ParseQuery, NoQueryStringYieldsNoParams) {
+  using mev::obs::http::parse_query;
+  EXPECT_TRUE(parse_query("/tracez").empty());
+  EXPECT_TRUE(parse_query("/tracez?").empty());
+  EXPECT_TRUE(parse_query("").empty());
+}
+
+TEST(ParseQuery, ValuelessKeysAndEmptySegmentsAreTolerated) {
+  using mev::obs::http::parse_query;
+  const auto params = parse_query("/x?flag&&a=1&=orphan");
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].first, "flag");
+  EXPECT_EQ(params[0].second, "");
+  EXPECT_EQ(params[1].first, "a");
+  EXPECT_EQ(params[1].second, "1");
+  EXPECT_EQ(params[2].first, "");
+  EXPECT_EQ(params[2].second, "orphan");
+}
+
+TEST(ParseQuery, PercentEscapesAndPlusDecode) {
+  using mev::obs::http::parse_query;
+  const auto params = parse_query("/x?name=mev%2Enet+scan&pct=100%25");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].second, "mev.net scan");
+  EXPECT_EQ(params[1].second, "100%");
+}
+
+TEST(ParseQuery, MalformedEscapesAreKeptLiterally) {
+  // Query parsing never fails: a bad escape is surfaced, not rejected.
+  using mev::obs::http::parse_query;
+  const auto params = parse_query("/x?a=%zz&b=%2&c=%");
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].second, "%zz");
+  EXPECT_EQ(params[1].second, "%2");
+  EXPECT_EQ(params[2].second, "%");
+}
+
+TEST(ParseQuery, QueryParamReturnsFirstMatchOrNull) {
+  using mev::obs::http::parse_query;
+  using mev::obs::http::query_param;
+  const auto params = parse_query("/x?a=1&b=2&a=3");
+  const std::string* a = query_param(params, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, "1");
+  const std::string* b = query_param(params, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*b, "2");
+  EXPECT_EQ(query_param(params, "missing"), nullptr);
+}
+
 }  // namespace

@@ -155,7 +155,158 @@ TEST(Scope, DefaultTracerStartsDisabled) {
   EXPECT_FALSE(mev::obs::default_tracer().enabled());
 }
 
+TEST(Tracer, CorrelatedSpansFormAParentChildTree) {
+  FakeClock clock;
+  Tracer tracer(TracerConfig{.ring_capacity = 16, .clock = &clock});
+  mev::obs::TraceContext root_ctx;
+  {
+    Span root = tracer.span("mev.test.root", mev::obs::TraceContext{});
+    root_ctx = root.context();
+    ASSERT_TRUE(root_ctx.valid());
+    {
+      Span child = tracer.span("mev.test.child", root_ctx);
+      EXPECT_EQ(child.context().trace_id, root_ctx.trace_id);
+      EXPECT_NE(child.context().span_id, root_ctx.span_id);
+    }
+  }
+  const auto events = tracer.recent(16);
+  ASSERT_EQ(events.size(), 2u);  // child finished first
+  const auto& child = events[0];
+  const auto& root = events[1];
+  EXPECT_STREQ(root.name, "mev.test.root");
+  EXPECT_EQ(root.trace_id, root_ctx.trace_id);
+  EXPECT_EQ(root.span_id, root_ctx.span_id);
+  EXPECT_EQ(root.parent_span_id, 0u);  // fresh trace: no parent
+  EXPECT_STREQ(child.name, "mev.test.child");
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+}
+
+TEST(Tracer, AnonymousSpansCarryNoIds) {
+  FakeClock clock;
+  Tracer tracer(TracerConfig{.ring_capacity = 4, .clock = &clock});
+  { Span s = tracer.span("mev.test.op"); }
+  const auto events = tracer.recent(4);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[0].span_id, 0u);
+}
+
+TEST(Tracer, MakeContextInheritsTheTraceAndAllocatesFreshSpanIds) {
+  FakeClock clock;
+  Tracer tracer(TracerConfig{.ring_capacity = 4, .clock = &clock});
+  const auto root = tracer.make_context();
+  EXPECT_TRUE(root.valid());
+  EXPECT_NE(root.span_id, 0u);
+  mev::obs::TraceContext incoming;
+  incoming.trace_id = 0x1234;
+  incoming.trace_hi = 0x5678;
+  incoming.span_id = 0x9abc;
+  const auto child = tracer.make_context(incoming);
+  EXPECT_EQ(child.trace_id, incoming.trace_id);
+  EXPECT_EQ(child.trace_hi, incoming.trace_hi);
+  EXPECT_NE(child.span_id, incoming.span_id);
+  EXPECT_NE(child.span_id, 0u);
+}
+
+TEST(Tracer, MakeContextStillAllocatesWhenRecordingIsDisabled) {
+  // Correlation headers must flow even when nothing is recorded.
+  FakeClock clock;
+  Tracer tracer(
+      TracerConfig{.ring_capacity = 4, .clock = &clock, .enabled = false});
+  const auto ctx = tracer.make_context();
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_NE(ctx.span_id, 0u);
+}
+
+TEST(Tracer, CompleteSpanEmitsRetroactivelyTimedChildren) {
+  FakeClock clock;
+  Tracer tracer(TracerConfig{.ring_capacity = 8, .clock = &clock});
+  const auto root = tracer.make_context();
+  // Parent form: allocates a child identity under `root`.
+  tracer.complete_span("mev.serve.queue", root, 100, 350);
+  // Explicit-identity form: emits `root` itself with an upstream parent.
+  tracer.complete_span("mev.net.request", root, /*parent_span_id=*/0xfeed,
+                       /*start_us=*/50, /*end_us=*/500);
+  const auto events = tracer.recent(8);  // ts-sorted: request(50) first
+  ASSERT_EQ(events.size(), 2u);
+  const auto& queue = events[1];
+  EXPECT_STREQ(queue.name, "mev.serve.queue");
+  EXPECT_EQ(queue.trace_id, root.trace_id);
+  EXPECT_EQ(queue.parent_span_id, root.span_id);
+  EXPECT_NE(queue.span_id, root.span_id);
+  EXPECT_EQ(queue.ts_us, 100u);
+  EXPECT_EQ(queue.dur_us, 250u);
+  const auto& request = events[0];
+  EXPECT_STREQ(request.name, "mev.net.request");
+  EXPECT_EQ(request.span_id, root.span_id);
+  EXPECT_EQ(request.parent_span_id, 0xfeedu);
+  EXPECT_EQ(request.dur_us, 450u);
+}
+
+TEST(Tracer, ChromeTraceExportsIdsAsHexStrings) {
+  // 64-bit ids do not survive JSON number (double) round-trips, so the
+  // export writes them as hex strings; Chrome ignores unknown keys.
+  FakeClock clock;
+  Tracer tracer(TracerConfig{.ring_capacity = 4, .clock = &clock});
+  mev::obs::TraceContext ctx;
+  ctx.trace_id = 0xabcdef12345678ULL;
+  ctx.span_id = 0x11;
+  tracer.complete_span("mev.test.op", ctx, /*parent_span_id=*/0x22, 0, 10);
+  const std::string json = tracer.chrome_trace();
+  EXPECT_NE(json.find("\"trace_id\":\"00abcdef12345678\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"span_id\":\"0000000000000011\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":\"0000000000000022\""),
+            std::string::npos);
+}
+
+TEST(Tracer, CorrelatedTracesAreByteIdenticalUnderFakeClock) {
+  // The tentpole determinism contract: a FakeClock-seeded tracer mints
+  // the same ids in the same order, so two identical runs produce
+  // byte-identical Chrome traces INCLUDING correlation ids.
+  const auto run = [] {
+    FakeClock clock(100);
+    Tracer tracer(TracerConfig{.ring_capacity = 64, .clock = &clock});
+    for (int round = 0; round < 3; ++round) {
+      Span root = tracer.span("mev.test.request", mev::obs::TraceContext{});
+      clock.advance(2);
+      {
+        Span child = tracer.span("mev.test.scan", root.context());
+        clock.advance(3);
+      }
+      tracer.complete_span("mev.test.queue", root.context(), 0, 1000);
+    }
+    return tracer.chrome_trace();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_NE(first.find("trace_id"), std::string::npos);
+  EXPECT_EQ(first, second);
+}
+
 #endif  // MEV_OBS_ENABLED
+
+TEST(Tracer, ContextPlumbingIsCallableInEveryBuildConfiguration) {
+  // The correlation surface (make_context, correlated span, both
+  // complete_span forms) must compile and run with obs on or off — the
+  // serving path calls it unconditionally.
+  FakeClock clock;
+  Tracer tracer(TracerConfig{.ring_capacity = 4, .clock = &clock});
+  const mev::obs::TraceContext ctx = tracer.make_context();
+  EXPECT_TRUE(ctx.valid());
+  {
+    Span s = tracer.span("mev.test.op", ctx);
+    s.finish();
+  }
+  tracer.complete_span("mev.test.stage", ctx, 0, 5);
+  tracer.complete_span("mev.test.root", ctx, 0, 0, 5);
+  // Null-safe free helpers: invalid context, inert span.
+  EXPECT_FALSE(mev::obs::make_context(nullptr).valid());
+  Span inert = mev::obs::span(nullptr, "mev.test.op", ctx);
+  inert.finish();
+}
 
 TEST(Tracer, NullSafeHelpersAreInert) {
   // Compiles and runs identically with obs on or off.
