@@ -4,9 +4,10 @@
 // report cannot say whether the code or the machine changed.
 // check_regression.py ignores the key entirely.
 //
-// MEV_GIT_SHA / MEV_BUILD_FLAGS are configure-time compile definitions
-// from bench/CMakeLists.txt; the fallbacks keep out-of-tree compiles
-// working.
+// The SHA/flags themselves live in obs/build_info.hpp (header-only
+// accessors over top-level configure-time definitions), shared with the
+// admin plane's /statusz so a bench JSON and a serving process report the
+// same provenance.
 #pragma once
 
 #include <algorithm>
@@ -14,12 +15,7 @@
 #include <string>
 #include <thread>
 
-#ifndef MEV_GIT_SHA
-#define MEV_GIT_SHA "unknown"
-#endif
-#ifndef MEV_BUILD_FLAGS
-#define MEV_BUILD_FLAGS "unknown"
-#endif
+#include "obs/build_info.hpp"
 
 namespace mev::bench {
 
@@ -35,8 +31,8 @@ inline std::string meta_json_escape(const char* s) {
 /// Writes `"meta": {...}` (no trailing comma or newline) at `indent`.
 inline void write_meta_json(std::ostream& os, const char* indent = "  ") {
   os << indent << "\"meta\": {\"git_sha\": \""
-     << meta_json_escape(MEV_GIT_SHA) << "\", \"build_flags\": \""
-     << meta_json_escape(MEV_BUILD_FLAGS)
+     << meta_json_escape(mev::obs::build_git_sha()) << "\", \"build_flags\": \""
+     << meta_json_escape(mev::obs::build_flags())
      << "\", \"hardware_concurrency\": "
      << std::max(1u, std::thread::hardware_concurrency()) << "}";
 }

@@ -25,6 +25,8 @@
 #include "nn/session.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
+#include "obs/window.hpp"
 
 #include "bench_meta.hpp"
 
@@ -281,6 +283,35 @@ void BM_ObsHistogramRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHistogramRecord);
+
+// One add into the sliding-window counter with an advancing timestamp —
+// the per-event cost of every windowed rate on /metrics and /sloz. The
+// advancing clock exercises the occasional bucket rotation, not just the
+// fast already-claimed path.
+void BM_WindowRecord(benchmark::State& state) {
+  obs::SlidingCounter counter(obs::WindowConfig{5'000'000, 60});
+  std::uint64_t now_us = 0;
+  for (auto _ : state) {
+    counter.add(now_us);
+    now_us += 100;  // 10 kHz event rate: a rotation every 50k adds
+    benchmark::DoNotOptimize(&counter);
+  }
+}
+BENCHMARK(BM_WindowRecord);
+
+// One resolved request recorded against both SLO objectives (two sliding
+// counters each for availability and latency) — the per-request cost the
+// scoring service pays on the resolve path.
+void BM_SloUpdate(benchmark::State& state) {
+  obs::SloTracker tracker;
+  std::uint64_t now_us = 0;
+  for (auto _ : state) {
+    tracker.record(now_us, true, 1'000 + (now_us & 0x3ff));
+    now_us += 100;
+    benchmark::DoNotOptimize(&tracker);
+  }
+}
+BENCHMARK(BM_SloUpdate);
 
 void BM_CountTransform(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));

@@ -57,6 +57,8 @@ PINNED_MICRO_PREFIXES = (
     "BM_ObsSpanEnabled",
     "BM_ObsCounterInc",
     "BM_ObsHistogramRecord",
+    "BM_WindowRecord",
+    "BM_SloUpdate",
 )
 
 # Overload-phase absolute floor: at 2x offered load with shedding on, the

@@ -153,6 +153,9 @@ int main(int argc, char** argv) {
         net::ApiKey{"demo", "demo", 1e6, 2e6},
         net::ApiKey{"throttled", "throttled", 1.0, 4.0},
     };
+    // Register the per-client stats endpoint on the service's admin
+    // plane (null when the admin is off — the frontend skips it).
+    http_cfg.admin = service.admin_server();
     frontend = std::make_unique<net::ScoringFrontend>(service, http_cfg);
     // Surface the frontend's flight recorder on the admin plane's
     // /requestz (the frontend outlives the scrape window below).

@@ -72,7 +72,8 @@ ScoringFrontend::ScoringFrontend(serve::ScoringService& service,
                                         : &obs::default_logger()),
       tracer_(obs::resolve(config_.tracer)),
       limiter_(config_.api_keys, clock_),
-      recorder_(config_.flight) {
+      recorder_(config_.flight),
+      clients_(config_.client_stats, obs::resolve(config_.metrics)) {
   obs::MetricsRegistry* registry = obs::resolve(config_.metrics);
   rows_counter_ = registry->counter("mev.net.rows_total",
                                     "rows received on /v1/score");
@@ -85,9 +86,11 @@ ScoringFrontend::ScoringFrontend(serve::ScoringService& service,
                         "requests rejected 401 (unknown/missing API key)");
   rate_limited_counter_ = registry->counter(
       "mev.net.rate_limited_total", "requests rejected 429 (over rate)");
-  latency_us_ = registry->histogram(
+  // Windowed: 1m/5m p50/p95/p99 gauges ride next to the lifetime
+  // buckets on /metrics, timestamped by the frontend clock.
+  latency_us_ = registry->windowed_histogram(
       "mev.net.request_latency_us",
-      "score request latency, dispatch to response (us)");
+      "score request latency, dispatch to response (us)", clock_);
   for (const int status : kStatuses)
     status_counters_.emplace_back(
         status,
@@ -99,9 +102,19 @@ ScoringFrontend::ScoringFrontend(serve::ScoringService& service,
         reason, registry->counter("mev.net.rejected_total",
                                   "score requests rejected by the service",
                                   {{"reason", reason}}));
+  if (config_.admin != nullptr)
+    config_.admin->add_endpoint(
+        "/clientz", "per-client windowed query stats + score PSI, JSON",
+        [this](const obs::http::Request&) {
+          return obs::http::format_response(
+              200, kJson, clients_.to_json(clock_->now_us()));
+        });
 }
 
-ScoringFrontend::~ScoringFrontend() { stop(); }
+ScoringFrontend::~ScoringFrontend() {
+  stop();
+  if (config_.admin != nullptr) config_.admin->remove_endpoint("/clientz");
+}
 
 bool ScoringFrontend::start() {
   if (server_ != nullptr && server_->running()) return true;
@@ -297,7 +310,10 @@ void ScoringFrontend::handle_score(obs::http::Request& request,
   sc.rows = static_cast<std::uint32_t>(rows);
   rows_counter_.inc(rows);
 
-  // 3. Rate limit, charged per row against this key's bucket.
+  // 3. Rate limit, charged per row against this key's bucket. The
+  //    limiter's client label keys the per-client stats: every request
+  //    that authenticates is counted against its client's windows (an
+  //    over-rate one both counts and records a rejection).
   if (!limiter_.open()) {
     const ApiKeyLimiter::Decision decision =
         limiter_.check(*api_key, static_cast<double>(rows));
@@ -307,13 +323,19 @@ void ScoringFrontend::handle_score(obs::http::Request& request,
       fail(401, "unauthorized", "unknown API key");
       return;
     }
+    sc.client = clients_.entry(decision.client);
+    sc.client->record_request(sc.parse_end_us, rows);
     if (decision.outcome == ApiKeyLimiter::Outcome::kOverRate) {
+      sc.client->record_reject(sc.parse_end_us);
       rate_limited_.fetch_add(1, std::memory_order_relaxed);
       rate_limited_counter_.inc();
       fail(429, "rate_limited", "per-key row budget exhausted",
            decision.retry_after_s);
       return;
     }
+  } else {
+    sc.client = clients_.entry("(anon)");
+    sc.client->record_request(sc.parse_end_us, rows);
   }
 
   // 4. Deadline: explicit header wins; otherwise the configured default.
@@ -365,11 +387,21 @@ void ScoringFrontend::finish_score(PendingScore& pending,
   if (result.ok()) {
     scored_requests_.fetch_add(1, std::memory_order_relaxed);
     scored_rows_.fetch_add(pending.sc.rows, std::memory_order_relaxed);
+    if (pending.sc.client != nullptr) {
+      // Per-client drift: every verdict confidence feeds this client's
+      // score window; the PSI gauge refreshes on the same timestamps.
+      const std::uint64_t now_us = clock_->now_us();
+      for (const auto& verdict : result.verdicts)
+        pending.sc.client->record_score(now_us, verdict.malware_confidence);
+      pending.sc.client->refresh_psi(now_us);
+    }
     respond_traced(pending.ticket, pending.sc, result.stages, 200,
                    serve::RejectReason::kNone, format_verdicts_json(result),
                    /*retry_after_s=*/0);
     return;
   }
+  if (pending.sc.client != nullptr)
+    pending.sc.client->record_reject(clock_->now_us());
   const HttpStatus mapped = status_for(result.rejected);
   const std::size_t index = reject_index(result.rejected);
   rejected_[index].fetch_add(1, std::memory_order_relaxed);

@@ -40,8 +40,10 @@
 #include <string>
 #include <vector>
 
+#include "net/client_stats.hpp"
 #include "net/rate_limiter.hpp"
 #include "net/wire.hpp"
+#include "obs/admin_server.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
@@ -84,6 +86,13 @@ struct FrontendConfig {
   obs::Tracer* tracer = nullptr;
   /// Tail retention for /requestz: the N slowest + all error responses.
   obs::FlightRecorderConfig flight;
+  /// Per-client windowed stats + score-drift PSI (net/client_stats.hpp),
+  /// keyed by the limiter's client label ("(anon)" when no keys are
+  /// configured).
+  ClientStatsConfig client_stats;
+  /// When set, the frontend registers GET /clientz on this admin server
+  /// (and deregisters on destruction). Must outlive the frontend.
+  obs::AdminServer* admin = nullptr;
 };
 
 /// Plain-counter mirror of the frontend's activity, live in every build
@@ -134,6 +143,10 @@ class ScoringFrontend {
     return recorder_;
   }
 
+  /// Per-client windowed stats (the /clientz source). Entries appear on a
+  /// client's first authenticated request.
+  ClientStatsTracker& client_stats() noexcept { return clients_; }
+
  private:
   struct PendingScore;
 
@@ -145,6 +158,10 @@ class ScoringFrontend {
     std::uint64_t dispatch_us = 0;  // request handed to dispatch()
     std::uint64_t parse_end_us = 0; // body decoded (0 = never got there)
     std::uint32_t rows = 0;
+    /// This request's client entry (tracker-owned, never evicted), set
+    /// once the limiter resolves an identity; completion charges verdict
+    /// scores or a rejection to it.
+    ClientEntry* client = nullptr;
   };
 
   void dispatch(obs::http::Request&& request,
@@ -177,6 +194,7 @@ class ScoringFrontend {
   obs::Tracer* tracer_;
   ApiKeyLimiter limiter_;
   obs::FlightRecorder recorder_;
+  ClientStatsTracker clients_;
 
   std::atomic<std::uint64_t> scored_requests_{0};
   std::atomic<std::uint64_t> scored_rows_{0};
@@ -188,7 +206,7 @@ class ScoringFrontend {
   obs::Counter rows_counter_;
   obs::Counter auth_failures_counter_;
   obs::Counter rate_limited_counter_;
-  obs::Histogram latency_us_;
+  obs::WindowedHistogram latency_us_;
   std::array<obs::Histogram, obs::kFlightStages> stage_hist_;
   std::vector<std::pair<int, obs::Counter>> status_counters_;
   std::vector<std::pair<const char*, obs::Counter>> reject_counters_;

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/build_info.hpp"
 #include "obs/scope.hpp"
 #include "obs/trace_context.hpp"
 
@@ -52,7 +53,9 @@ AdminServer::AdminServer(AdminServerConfig config)
     : config_(std::move(config)),
       tracer_(resolve(config_.tracer)),
       registry_(resolve(config_.metrics)),
-      logger_(resolve(config_.logger)) {
+      logger_(resolve(config_.logger)),
+      clock_(config_.clock != nullptr ? config_.clock
+                                      : &runtime::SystemClock::instance()) {
   if (config_.worker_threads == 0) config_.worker_threads = 1;
   if (config_.max_queued_connections == 0) config_.max_queued_connections = 1;
   requests_counter_ = registry_->counter(
@@ -110,7 +113,35 @@ std::uint16_t AdminServer::port() const noexcept {
   return server_ != nullptr ? server_->port() : 0;
 }
 
+void AdminServer::add_endpoint(std::string path, std::string description,
+                               EndpointHandler handler) {
+  std::lock_guard<std::mutex> lock(endpoints_mutex_);
+  for (auto& endpoint : extra_endpoints_) {
+    if (endpoint.path == path) {
+      endpoint.description = std::move(description);
+      endpoint.handler = std::move(handler);
+      return;
+    }
+  }
+  extra_endpoints_.push_back(
+      {std::move(path), std::move(description), std::move(handler)});
+}
+
+void AdminServer::remove_endpoint(std::string_view path) {
+  std::lock_guard<std::mutex> lock(endpoints_mutex_);
+  for (auto it = extra_endpoints_.begin(); it != extra_endpoints_.end(); ++it) {
+    if (it->path == path) {
+      extra_endpoints_.erase(it);
+      return;
+    }
+  }
+}
+
 std::string AdminServer::metrics_body() const {
+  // Derived gauges (SLO burn rates) are push-on-scrape: refresh them so
+  // the exposition and /sloz agree on one evaluation time.
+  if (SloTracker* slo = slo_.load(std::memory_order_acquire))
+    slo->refresh_gauges(clock_->now_us());
   std::string body = registry_->prometheus();
   // The telemetry plane's own loss signals, appended so they exist even
   // when nothing else registered them: dropped spans mean a truncated
@@ -344,12 +375,76 @@ std::string AdminServer::requestz_body(const http::Request& request) const {
   return body;
 }
 
+std::string AdminServer::varz_body() const {
+  // The registry snapshot, made self-describing: a "process" block (pid,
+  // uptime, start time) is spliced in front of the registry's sections so
+  // a scrape identifies its source process without a second request.
+  std::string registry_json = registry_->json();
+  std::string body = "{\"process\":{\"pid\":";
+  body += std::to_string(process_pid());
+  body += ",\"uptime_seconds\":";
+  body += std::to_string(process_uptime_s());
+  body += ",\"start_time_unix\":";
+  body += std::to_string(process_start_unix_s());
+  body += "},";
+  // registry_json is always "{...}\n"; keep everything after its '{'.
+  body.append(registry_json, 1, std::string::npos);
+  return body;
+}
+
+std::string AdminServer::sloz_body() const {
+  SloTracker* slo = slo_.load(std::memory_order_acquire);
+  if (slo == nullptr)
+    return "{\"detail\":\"no slo tracker attached\"}\n";
+  const std::uint64_t now_us = clock_->now_us();
+  slo->refresh_gauges(now_us);
+  return slo->to_json(now_us);
+}
+
+namespace {
+
+constexpr struct {
+  const char* path;
+  const char* description;
+} kBuiltinEndpoints[] = {
+    {"/healthz", "liveness: 200 while the process serves"},
+    {"/readyz", "readiness verdict from the installed probe, 200/503"},
+    {"/metrics", "Prometheus text exposition of the wired registry"},
+    {"/varz", "JSON snapshot of the registry + process identity"},
+    {"/sloz", "SLO burn rates and error budget, JSON"},
+    {"/statusz", "build + process provenance (git SHA, flags, uptime)"},
+    {"/tracez", "recent completed spans, JSON"},
+    {"/requestz", "flight-recorder dump of slowest + error requests"},
+};
+
+}  // namespace
+
+std::string AdminServer::index_body() const {
+  std::string body = "mev admin endpoints\n\n";
+  for (const auto& endpoint : kBuiltinEndpoints) {
+    body += endpoint.path;
+    body += "\t";
+    body += endpoint.description;
+    body += '\n';
+  }
+  std::lock_guard<std::mutex> lock(endpoints_mutex_);
+  for (const auto& endpoint : extra_endpoints_) {
+    body += endpoint.path;
+    body += "\t";
+    body += endpoint.description;
+    body += '\n';
+  }
+  return body;
+}
+
 std::string AdminServer::handle(const http::Request& request) {
   requests_counter_.inc();
   if (request.method != "GET")
     return http::format_response(405, kTextPlain, "method not allowed\n");
 
   const std::string_view path = request.path();
+  if (path == "/" || path == "/index")
+    return http::format_response(200, kTextPlain, index_body());
   if (path == "/healthz")
     return http::format_response(200, kTextPlain, "ok\n");
   if (path == "/readyz") {
@@ -365,11 +460,27 @@ std::string AdminServer::handle(const http::Request& request) {
   if (path == "/metrics")
     return http::format_response(200, kPromText, metrics_body());
   if (path == "/varz")
-    return http::format_response(200, kJson, registry_->json());
+    return http::format_response(200, kJson, varz_body());
+  if (path == "/sloz")
+    return http::format_response(200, kJson, sloz_body());
+  if (path == "/statusz")
+    return http::format_response(200, kJson, build_info_json());
   if (path == "/tracez")
     return http::format_response(200, kJson, tracez_body(request));
   if (path == "/requestz")
     return http::format_response(200, kJson, requestz_body(request));
+  {
+    EndpointHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(endpoints_mutex_);
+      for (const auto& endpoint : extra_endpoints_)
+        if (endpoint.path == path) {
+          handler = endpoint.handler;
+          break;
+        }
+    }
+    if (handler) return handler(request);
+  }
   return http::format_response(404, kTextPlain, "not found\n");
 }
 

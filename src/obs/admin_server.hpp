@@ -16,6 +16,12 @@
 //                  breakdowns of the slowest and error requests; one
 //                  request as Chrome trace via ?trace_id=<16hex>&
 //                  format=chrome
+//   GET /sloz      burn rates + error budget from the attached
+//                  SloTracker (obs/slo.hpp), JSON
+//   GET /statusz   build + process provenance: git SHA, build flags,
+//                  core count, pid, start time, uptime (obs/build_info)
+//   GET /          plain-text index of every registered endpoint,
+//                  including extras added via add_endpoint()
 //
 // Model: the shared http::SocketServer (one accept thread multiplexing on
 // poll(), a BOUNDED connection queue, a small worker pool; full queue =
@@ -37,13 +43,17 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/http_server.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "runtime/clock.hpp"
 
 #ifndef MEV_OBS_ENABLED
 #define MEV_OBS_ENABLED 1
@@ -82,6 +92,9 @@ struct AdminServerConfig {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
   Logger* logger = nullptr;
+  /// Timing source for /sloz window evaluation; nullptr = the system
+  /// clock. Must outlive the server.
+  runtime::Clock* clock = nullptr;
 };
 
 #if MEV_OBS_ENABLED
@@ -110,6 +123,25 @@ class AdminServer {
     flight_.store(recorder, std::memory_order_release);
   }
 
+  /// Wires the /sloz source (same post-hoc idiom as the flight recorder:
+  /// the service that owns the tracker constructs after the server
+  /// config). nullptr detaches; the tracker must outlive the server while
+  /// attached. /metrics scrapes refresh the tracker's gauges.
+  void set_slo_tracker(SloTracker* tracker) noexcept {
+    slo_.store(tracker, std::memory_order_release);
+  }
+
+  /// Registers an extra GET endpoint served by handle() and listed on the
+  /// `/` index. `handler` returns the full HTTP response (use
+  /// http::format_response). Built-in paths win; re-registering a path
+  /// replaces its handler. Thread-safe; callable before or after start().
+  using EndpointHandler = std::function<std::string(const http::Request&)>;
+  void add_endpoint(std::string path, std::string description,
+                    EndpointHandler handler);
+  /// Unregisters an extra endpoint (no-op for unknown paths). Call before
+  /// destroying whatever the handler captures.
+  void remove_endpoint(std::string_view path);
+
   /// Binds, listens, and spawns the accept/worker threads. Returns false
   /// (with an error log) when the socket cannot be bound; the process
   /// keeps running — telemetry must never take the workload down.
@@ -135,18 +167,31 @@ class AdminServer {
   std::string metrics_body() const;
   std::string tracez_body(const http::Request& request) const;
   std::string requestz_body(const http::Request& request) const;
+  std::string varz_body() const;
+  std::string sloz_body() const;
+  std::string index_body() const;
 
   AdminServerConfig config_;
   Tracer* tracer_;
   MetricsRegistry* registry_;
   Logger* logger_;
+  runtime::Clock* clock_;
   std::atomic<const FlightRecorder*> flight_{nullptr};
+  std::atomic<SloTracker*> slo_{nullptr};
 
   Counter requests_counter_;
   Counter shed_counter_;
 
   mutable std::mutex probe_mutex_;
   ReadinessProbe probe_;
+
+  struct ExtraEndpoint {
+    std::string path;
+    std::string description;
+    EndpointHandler handler;
+  };
+  mutable std::mutex endpoints_mutex_;
+  std::vector<ExtraEndpoint> extra_endpoints_;
 
   std::unique_ptr<http::SocketServer> server_;
 };
@@ -162,8 +207,13 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
+  using EndpointHandler = std::function<std::string(const http::Request&)>;
+
   void set_readiness_probe(ReadinessProbe) {}
   void set_flight_recorder(const FlightRecorder*) noexcept {}
+  void set_slo_tracker(SloTracker*) noexcept {}
+  void add_endpoint(std::string, std::string, EndpointHandler) {}
+  void remove_endpoint(std::string_view) {}
   bool start() { return false; }
   void stop() {}
   bool running() const noexcept { return false; }

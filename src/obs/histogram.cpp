@@ -24,6 +24,22 @@ std::pair<double, double> bucket_range(std::size_t i) noexcept {
 
 }  // namespace
 
+std::size_t Log2Histogram::bucket_index(std::uint64_t value) noexcept {
+  return bucket_of(value);
+}
+
+void Log2Histogram::merge_counts(
+    const std::array<std::uint64_t, kBuckets>& bucket_counts,
+    std::uint64_t count, double sum, std::uint64_t min_value,
+    std::uint64_t max_value) noexcept {
+  if (count == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += bucket_counts[i];
+  min_ = count_ == 0 ? min_value : std::min(min_, min_value);
+  max_ = std::max(max_, max_value);
+  sum_ += sum;
+  count_ += count;
+}
+
 void Log2Histogram::record(std::uint64_t value) noexcept {
   ++buckets_[bucket_of(value)];
   if (count_ == 0 || value < min_) min_ = value;

@@ -51,6 +51,17 @@ class Log2Histogram {
   /// Inclusive integer upper bound of bucket i: 0 for bucket 0, 2^i - 1
   /// otherwise (the last bucket absorbs everything above it).
   static std::uint64_t bucket_upper_bound(std::size_t i) noexcept;
+  /// Bucket a value lands in: 0 holds {0}, bucket i holds [2^(i-1), 2^i).
+  /// Exposed so lock-free aggregators (obs/window.hpp) bucket identically.
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+
+  /// Bulk merge from externally-accumulated per-bucket counts plus their
+  /// exact aggregates — how obs::SlidingHistogram reassembles a mergeable
+  /// histogram from its atomic time-bucket slots. `count` must equal the
+  /// sum of `bucket_counts`; min/max/sum describe the same observations.
+  void merge_counts(const std::array<std::uint64_t, kBuckets>& bucket_counts,
+                    std::uint64_t count, double sum, std::uint64_t min_value,
+                    std::uint64_t max_value) noexcept;
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/clock.hpp"
+
 namespace mev::obs {
 
 std::string prometheus_escape_help(std::string_view text) {
@@ -79,9 +81,16 @@ const char* kind_name(detail::MetricKind kind) {
     case detail::MetricKind::kCounter: return "counter";
     case detail::MetricKind::kGauge: return "gauge";
     case detail::MetricKind::kHistogram: return "histogram";
+    case detail::MetricKind::kWindowedHistogram: return "windowed_histogram";
   }
   return "?";
 }
+
+/// The windows exported next to a windowed histogram's lifetime series.
+constexpr struct {
+  const char* label;
+  std::uint64_t window_us;
+} kExportWindows[] = {{"1m", 60'000'000}, {"5m", 300'000'000}};
 
 /// Prometheus metric names allow [a-zA-Z0-9_:]; map our dotted
 /// `mev.<layer>.<op>` convention (and any other byte) onto '_'.
@@ -181,6 +190,53 @@ Histogram MetricsRegistry::histogram(std::string_view name,
       &find_or_create(name, help, detail::MetricKind::kHistogram, labels));
 }
 
+WindowedHistogram MetricsRegistry::windowed_histogram(std::string_view name,
+                                                      std::string_view help,
+                                                      runtime::Clock* clock,
+                                                      WindowConfig window,
+                                                      Labels labels) {
+  detail::Metric& cell = find_or_create(
+      name, help, detail::MetricKind::kWindowedHistogram, labels);
+  {
+    // First registration wires the ring (the geometry is part of the
+    // cell's identity); EVERY registration re-wires the clock, latest
+    // wins. The registry cell can outlive any one registrant, so a
+    // service that injected a short-lived FakeClock must be superseded
+    // by the next registrant before anyone dereferences the stale
+    // pointer — re-registering is what makes the cell safe again.
+    std::lock_guard<std::mutex> lock(cell.histogram_mutex);
+    if (cell.window == nullptr)
+      cell.window = std::make_unique<SlidingHistogram>(window);
+    cell.clock.store(
+        clock != nullptr ? clock : &runtime::SystemClock::instance(),
+        std::memory_order_release);
+  }
+  return WindowedHistogram(&cell);
+}
+
+void WindowedHistogram::record(std::uint64_t v) noexcept {
+  if (cell_ == nullptr) return;
+  const std::uint64_t now_us =
+      cell_->clock.load(std::memory_order_acquire)->now_us();
+  {
+    std::lock_guard<std::mutex> lock(cell_->histogram_mutex);
+    cell_->histogram.record(v);
+  }
+  cell_->window->record(now_us, v);
+}
+
+Log2Histogram WindowedHistogram::lifetime() const {
+  if (cell_ == nullptr) return Log2Histogram{};
+  std::lock_guard<std::mutex> lock(cell_->histogram_mutex);
+  return cell_->histogram;
+}
+
+Log2Histogram WindowedHistogram::windowed(std::uint64_t window_us) const {
+  if (cell_ == nullptr) return Log2Histogram{};
+  return cell_->window->merged(
+      cell_->clock.load(std::memory_order_acquire)->now_us(), window_us);
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return metrics_.size();
@@ -201,7 +257,12 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
       if (!metric->help.empty())
         out += "# HELP " + name + " " + prometheus_escape_help(metric->help) +
                "\n";
-      out += "# TYPE " + name + " " + kind_name(metric->kind) + "\n";
+      // A windowed histogram's lifetime family IS a histogram to scrapers.
+      const char* type =
+          metric->kind == detail::MetricKind::kWindowedHistogram
+              ? "histogram"
+              : kind_name(metric->kind);
+      out += "# TYPE " + name + " " + std::string(type) + "\n";
     }
     switch (metric->kind) {
       case detail::MetricKind::kCounter:
@@ -216,7 +277,8 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
                    metric->gauge.load(std::memory_order_relaxed)) +
                "\n";
         break;
-      case detail::MetricKind::kHistogram: {
+      case detail::MetricKind::kHistogram:
+      case detail::MetricKind::kWindowedHistogram: {
         Log2Histogram h;
         {
           std::lock_guard<std::mutex> hist_lock(metric->histogram_mutex);
@@ -244,6 +306,37 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
                "\n";
         out += name + "_count" + labels + " " + std::to_string(h.count()) +
                "\n";
+        if (metric->kind != detail::MetricKind::kWindowedHistogram) break;
+        // Windowed digests next to the lifetime family: a gauge family
+        // `<name>_window{window=...,stat=...}`, evaluated at scrape time.
+        const std::string wname = name + "_window";
+        bool wheader_done = false;
+        for (const auto& seen : emitted_headers)
+          wheader_done |= seen == wname;
+        if (!wheader_done) {
+          emitted_headers.push_back(wname);
+          out += "# HELP " + wname +
+                 " windowed p50/p95/p99/count of " + name + "\n";
+          out += "# TYPE " + wname + " gauge\n";
+        }
+        const std::uint64_t now_us =
+            metric->clock.load(std::memory_order_acquire)->now_us();
+        for (const auto& w : kExportWindows) {
+          const Log2Histogram merged =
+              metric->window->merged(now_us, w.window_us);
+          const LatencySummary s = summarize(merged);
+          const auto sample = [&](const char* stat, double v) {
+            out += wname +
+                   render_labels(metric->labels,
+                                 std::string("window=\"") + w.label +
+                                     "\",stat=\"" + stat + "\"") +
+                   " " + prometheus_number(v) + "\n";
+          };
+          sample("p50", s.p50);
+          sample("p95", s.p95);
+          sample("p99", s.p99);
+          sample("count", static_cast<double>(s.count));
+        }
         break;
       }
     }
@@ -291,7 +384,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
         gauges +=
             key + json_number(metric->gauge.load(std::memory_order_relaxed));
         break;
-      case detail::MetricKind::kHistogram: {
+      case detail::MetricKind::kHistogram:
+      case detail::MetricKind::kWindowedHistogram: {
         Log2Histogram h;
         {
           std::lock_guard<std::mutex> hist_lock(metric->histogram_mutex);
@@ -305,7 +399,21 @@ void MetricsRegistry::write_json(std::ostream& os) const {
                       ",\"max\":" + std::to_string(s.max) +
                       ",\"p50\":" + json_number(s.p50) +
                       ",\"p95\":" + json_number(s.p95) +
-                      ",\"p99\":" + json_number(s.p99) + "}";
+                      ",\"p99\":" + json_number(s.p99);
+        if (metric->kind == detail::MetricKind::kWindowedHistogram) {
+          const std::uint64_t now_us =
+              metric->clock.load(std::memory_order_acquire)->now_us();
+          for (const auto& w : kExportWindows) {
+            const LatencySummary ws =
+                summarize(metric->window->merged(now_us, w.window_us));
+            histograms += std::string(",\"window_") + w.label +
+                          "\":{\"count\":" + std::to_string(ws.count) +
+                          ",\"p50\":" + json_number(ws.p50) +
+                          ",\"p95\":" + json_number(ws.p95) +
+                          ",\"p99\":" + json_number(ws.p99) + "}";
+          }
+        }
+        histograms += "}";
         break;
       }
     }

@@ -38,10 +38,15 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/window.hpp"
 
 #ifndef MEV_OBS_ENABLED
 #define MEV_OBS_ENABLED 1
 #endif
+
+namespace mev::runtime {
+class Clock;
+}
 
 namespace mev::obs {
 
@@ -62,7 +67,7 @@ std::string prometheus_number(double v);
 
 namespace detail {
 
-enum class MetricKind { kCounter, kGauge, kHistogram };
+enum class MetricKind { kCounter, kGauge, kHistogram, kWindowedHistogram };
 
 /// One registered metric; exactly one of the payloads is active (by kind).
 struct Metric {
@@ -74,6 +79,15 @@ struct Metric {
   std::atomic<double> gauge{0.0};
   mutable std::mutex histogram_mutex;
   Log2Histogram histogram;
+  /// kWindowedHistogram only: the lock-free time-bucket ring behind the
+  /// 1m/5m exposition, plus the clock that timestamps records and
+  /// evaluates windows at scrape time. Atomic because every registration
+  /// re-wires it (latest registrant wins) while recorders may be loading
+  /// it concurrently: in a process-global registry the cell outlives any
+  /// one registrant, so an injected clock must stay replaceable after its
+  /// owner dies.
+  std::unique_ptr<SlidingHistogram> window;
+  std::atomic<runtime::Clock*> clock{nullptr};
 };
 
 }  // namespace detail
@@ -137,6 +151,25 @@ class Histogram {
   detail::Metric* cell_ = nullptr;
 };
 
+/// Windowed histogram handle: one record feeds both the lifetime
+/// Log2Histogram (under the cell mutex, like Histogram) and the lock-free
+/// sliding ring, so /metrics exports 1m/5m percentiles next to lifetime
+/// ones. Default-constructed handles are inert no-ops.
+class WindowedHistogram {
+ public:
+  WindowedHistogram() = default;
+  void record(std::uint64_t v) noexcept;
+  Log2Histogram lifetime() const;
+  /// Merged histogram of the trailing window (0 = the ring's full span),
+  /// evaluated at the cell clock's current time.
+  Log2Histogram windowed(std::uint64_t window_us) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit WindowedHistogram(detail::Metric* cell) noexcept : cell_(cell) {}
+  detail::Metric* cell_ = nullptr;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -154,6 +187,21 @@ class MetricsRegistry {
               Labels labels = {});
   Histogram histogram(std::string_view name, std::string_view help = "",
                       Labels labels = {});
+  /// Windowed histogram: lifetime exposition identical to histogram(),
+  /// plus a `<name>_window{window="1m"|"5m",stat=...}` gauge family with
+  /// windowed p50/p95/p99/count. `clock` timestamps records and scrapes
+  /// (nullptr = the system clock; inject a FakeClock for deterministic
+  /// window tests); `window` sets the ring geometry (default 60 x 5 s).
+  /// The geometry is fixed by the first registration of a (name, labels)
+  /// cell; the clock is re-wired on EVERY registration (latest wins), so
+  /// a registrant whose injected clock dies with it is superseded as
+  /// soon as the next registrant constructs — required because the
+  /// ambient process-global registry outlives any one service.
+  WindowedHistogram windowed_histogram(std::string_view name,
+                                       std::string_view help = "",
+                                       runtime::Clock* clock = nullptr,
+                                       WindowConfig window = {},
+                                       Labels labels = {});
 
   std::size_t size() const;
 
@@ -201,6 +249,14 @@ class Histogram {
   Log2Histogram snapshot() const { return Log2Histogram{}; }
 };
 
+class WindowedHistogram {
+ public:
+  WindowedHistogram() = default;
+  void record(std::uint64_t) noexcept {}
+  Log2Histogram lifetime() const { return Log2Histogram{}; }
+  Log2Histogram windowed(std::uint64_t) const { return Log2Histogram{}; }
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -214,6 +270,12 @@ class MetricsRegistry {
     return {};
   }
   Histogram histogram(std::string_view, std::string_view = "", Labels = {}) {
+    return {};
+  }
+  WindowedHistogram windowed_histogram(std::string_view,
+                                       std::string_view = "",
+                                       runtime::Clock* = nullptr,
+                                       WindowConfig = {}, Labels = {}) {
     return {};
   }
   std::size_t size() const { return 0; }

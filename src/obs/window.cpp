@@ -1,0 +1,214 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mev::obs {
+
+namespace {
+
+/// Clamp degenerate configs once at construction instead of branching on
+/// every record: at least one bucket, at least 1 us wide.
+WindowConfig sanitize(WindowConfig config) noexcept {
+  if (config.bucket_us == 0) config.bucket_us = 1;
+  if (config.buckets == 0) config.buckets = 1;
+  return config;
+}
+
+/// First epoch still inside the trailing `window_us` ending at `epoch`'s
+/// bucket. window_us == 0 means the full ring span.
+std::uint64_t window_floor(std::uint64_t epoch, const WindowConfig& config,
+                           std::uint64_t window_us) noexcept {
+  std::uint64_t window_buckets =
+      window_us == 0 ? config.buckets
+                     : (window_us + config.bucket_us - 1) / config.bucket_us;
+  window_buckets = std::clamp<std::uint64_t>(window_buckets, 1,
+                                             config.buckets);
+  return epoch + 1 >= window_buckets ? epoch + 1 - window_buckets : 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SlidingCounter
+
+SlidingCounter::SlidingCounter(WindowConfig config)
+    : config_(sanitize(config)),
+      slots_(std::make_unique<Slot[]>(config_.buckets)) {}
+
+void SlidingCounter::add(std::uint64_t now_us, std::uint64_t n) noexcept {
+  std::uint64_t expected = 0;
+  first_add_.compare_exchange_strong(expected, now_us + 1,
+                                     std::memory_order_relaxed);
+  const std::uint64_t epoch = now_us / config_.bucket_us;
+  Slot& slot = slots_[epoch % config_.buckets];
+  if (!detail::claim_slot(slot.tag, epoch, [&slot] {
+        slot.value.store(0, std::memory_order_relaxed);
+      }))
+    return;  // stale writer: this timestamp's bucket has been reused
+  slot.value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t SlidingCounter::total(std::uint64_t now_us,
+                                    std::uint64_t window_us) const noexcept {
+  const std::uint64_t epoch = now_us / config_.bucket_us;
+  const std::uint64_t floor = window_floor(epoch, config_, window_us);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < config_.buckets; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == 0) continue;  // never written
+    const std::uint64_t slot_epoch = tag - 1;
+    if (slot_epoch < floor || slot_epoch > epoch) continue;
+    sum += slot.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double SlidingCounter::rate_per_s(std::uint64_t now_us,
+                                  std::uint64_t window_us) const noexcept {
+  const std::uint64_t first = first_add_.load(std::memory_order_relaxed);
+  if (first == 0) return 0.0;
+  std::uint64_t span = window_us == 0 ? config_.span_us()
+                                      : std::min(window_us, config_.span_us());
+  // Partial first window: never divide by time that predates the counter.
+  const std::uint64_t observed =
+      now_us >= first - 1 ? now_us - (first - 1) : 0;
+  std::uint64_t elapsed = std::min(span, std::max<std::uint64_t>(observed, 1));
+  return static_cast<double>(total(now_us, window_us)) /
+         (static_cast<double>(elapsed) / 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// SlidingHistogram
+
+SlidingHistogram::SlidingHistogram(WindowConfig config)
+    : config_(sanitize(config)),
+      slots_(std::make_unique<Slot[]>(config_.buckets)) {}
+
+void SlidingHistogram::record(std::uint64_t now_us,
+                              std::uint64_t value) noexcept {
+  const std::uint64_t epoch = now_us / config_.bucket_us;
+  Slot& slot = slots_[epoch % config_.buckets];
+  if (!detail::claim_slot(slot.tag, epoch, [&slot] {
+        for (auto& c : slot.counts) c.store(0, std::memory_order_relaxed);
+        slot.count.store(0, std::memory_order_relaxed);
+        slot.sum.store(0, std::memory_order_relaxed);
+        slot.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+        slot.max.store(0, std::memory_order_relaxed);
+      }))
+    return;
+  slot.counts[Log2Histogram::bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = slot.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !slot.min.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+  }
+  seen = slot.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.max.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+Log2Histogram SlidingHistogram::merged(std::uint64_t now_us,
+                                       std::uint64_t window_us) const noexcept {
+  const std::uint64_t epoch = now_us / config_.bucket_us;
+  const std::uint64_t floor = window_floor(epoch, config_, window_us);
+  Log2Histogram out;
+  std::array<std::uint64_t, Log2Histogram::kBuckets> counts;
+  for (std::size_t i = 0; i < config_.buckets; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == 0) continue;
+    const std::uint64_t slot_epoch = tag - 1;
+    if (slot_epoch < floor || slot_epoch > epoch) continue;
+    const std::uint64_t n = slot.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b)
+      counts[b] = slot.counts[b].load(std::memory_order_relaxed);
+    std::uint64_t lo = slot.min.load(std::memory_order_relaxed);
+    if (lo == ~std::uint64_t{0}) lo = 0;
+    out.merge_counts(
+        counts, n,
+        static_cast<double>(slot.sum.load(std::memory_order_relaxed)), lo,
+        slot.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SlidingScoreHistogram + PSI
+
+std::size_t score_bin(double score) noexcept {
+  if (!(score > 0.0)) return 0;  // also catches NaN
+  if (score >= 1.0) return kScoreBins - 1;
+  return static_cast<std::size_t>(score * static_cast<double>(kScoreBins));
+}
+
+SlidingScoreHistogram::SlidingScoreHistogram(WindowConfig config)
+    : config_(sanitize(config)),
+      slots_(std::make_unique<Slot[]>(config_.buckets)) {}
+
+void SlidingScoreHistogram::record(std::uint64_t now_us,
+                                   double score) noexcept {
+  const std::uint64_t epoch = now_us / config_.bucket_us;
+  Slot& slot = slots_[epoch % config_.buckets];
+  if (!detail::claim_slot(slot.tag, epoch, [&slot] {
+        for (auto& c : slot.counts) c.store(0, std::memory_order_relaxed);
+      }))
+    return;
+  slot.counts[score_bin(score)].fetch_add(1, std::memory_order_relaxed);
+}
+
+ScoreBins SlidingScoreHistogram::bins(std::uint64_t now_us,
+                                      std::uint64_t window_us) const noexcept {
+  const std::uint64_t epoch = now_us / config_.bucket_us;
+  const std::uint64_t floor = window_floor(epoch, config_, window_us);
+  ScoreBins out{};
+  for (std::size_t i = 0; i < config_.buckets; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == 0) continue;
+    const std::uint64_t slot_epoch = tag - 1;
+    if (slot_epoch < floor || slot_epoch > epoch) continue;
+    for (std::size_t b = 0; b < kScoreBins; ++b)
+      out[b] += slot.counts[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double psi(const ScoreBins& reference, const ScoreBins& current) noexcept {
+  std::uint64_t ref_total = 0;
+  std::uint64_t cur_total = 0;
+  for (std::size_t i = 0; i < kScoreBins; ++i) {
+    ref_total += reference[i];
+    cur_total += current[i];
+  }
+  if (ref_total == 0 || cur_total == 0) return 0.0;
+  // Smooth in proportion space against one fixed pseudo-sample: +0.5 per
+  // bin on a 1000-count base for BOTH sides. Smoothing raw counts would
+  // give the smaller population a higher per-bin floor, so the frozen
+  // (small) reference vs the growing current window would read as drift
+  // even for identical distributions.
+  constexpr double kPseudoCount = 1000.0;
+  const double denom = kPseudoCount + 0.5 * kScoreBins;
+  double out = 0.0;
+  for (std::size_t i = 0; i < kScoreBins; ++i) {
+    const double p = (static_cast<double>(reference[i]) /
+                          static_cast<double>(ref_total) * kPseudoCount +
+                      0.5) /
+                     denom;
+    const double q = (static_cast<double>(current[i]) /
+                          static_cast<double>(cur_total) * kPseudoCount +
+                      0.5) /
+                     denom;
+    out += (q - p) * std::log(q / p);
+  }
+  return out;
+}
+
+}  // namespace mev::obs

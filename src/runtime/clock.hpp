@@ -4,6 +4,7 @@
 // a FakeClock — the retry/breaker suites never really sleep.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -38,19 +39,26 @@ class SystemClock final : public Clock {
 };
 
 /// Manual clock for tests: sleep_ms advances time instantly and records
-/// the requested duration.
+/// the requested duration. `now_` is atomic so a test driving advance()
+/// can race server/worker threads reading the clock (the common "inject
+/// a FakeClock into a threaded service" pattern); sleep_ms() itself is
+/// still single-caller (the sleeps_ log is unsynchronized).
 class FakeClock final : public Clock {
  public:
   explicit FakeClock(std::uint64_t start_ms = 0) : now_(start_ms) {}
 
-  std::uint64_t now_ms() override { return now_; }
+  std::uint64_t now_ms() override {
+    return now_.load(std::memory_order_relaxed);
+  }
   void sleep_ms(std::uint64_t ms) override {
-    now_ += ms;
+    now_.fetch_add(ms, std::memory_order_relaxed);
     sleeps_.push_back(ms);
   }
 
   /// Advances time without recording a sleep.
-  void advance(std::uint64_t ms) { now_ += ms; }
+  void advance(std::uint64_t ms) {
+    now_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
   const std::vector<std::uint64_t>& sleeps() const noexcept {
     return sleeps_;
@@ -58,7 +66,7 @@ class FakeClock final : public Clock {
   std::uint64_t total_slept_ms() const noexcept;
 
  private:
-  std::uint64_t now_;
+  std::atomic<std::uint64_t> now_;
   std::vector<std::uint64_t> sleeps_;
 };
 

@@ -32,8 +32,11 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
                                      : &runtime::SystemClock::instance()),
       tracer_(obs::resolve(config.tracer)),
       logger_(obs::resolve(config.logger)),
-      overload_(config.overload) {
+      overload_(config.overload),
+      slo_(config.slo),
+      drift_(config.drift) {
   obs::MetricsRegistry* registry = obs::resolve(config.metrics);
+  slo_.register_gauges(registry);
   obs_.accepted_requests = registry->counter(
       "mev.serve.accepted_requests", "submissions admitted to the queue");
   obs_.accepted_rows =
@@ -86,10 +89,14 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
                         "submissions spilled past a full home shard");
   obs_.batch_rows =
       registry->histogram("mev.serve.batch_rows", "rows per scored batch");
-  obs_.queue_delay_us = registry->histogram(
-      "mev.serve.queue_delay_us", "submit-to-batch-formation delay (us)");
-  obs_.e2e_latency_us = registry->histogram(
-      "mev.serve.e2e_latency_us", "submit-to-verdict latency (us)");
+  // Windowed so /metrics exports 1m/5m p50/p95/p99 gauges next to the
+  // lifetime buckets; timestamps come from the service clock, so tests
+  // with a FakeClock get deterministic windows.
+  obs_.queue_delay_us = registry->windowed_histogram(
+      "mev.serve.queue_delay_us", "submit-to-batch-formation delay (us)",
+      clock_);
+  obs_.e2e_latency_us = registry->windowed_histogram(
+      "mev.serve.e2e_latency_us", "submit-to-verdict latency (us)", clock_);
   obs_.queued_rows = registry->gauge(
       "mev.serve.queued_rows", "rows admitted but not yet scored/rejected");
   obs_.overload_state = registry->gauge(
@@ -163,8 +170,10 @@ ScoringService::ScoringService(features::FeaturePipeline pipeline,
     if (admin.tracer == nullptr) admin.tracer = tracer_;
     if (admin.metrics == nullptr) admin.metrics = registry;
     if (admin.logger == nullptr) admin.logger = logger_;
+    if (admin.clock == nullptr) admin.clock = clock_;
     admin_ = std::make_unique<obs::AdminServer>(std::move(admin));
     admin_->set_readiness_probe([this] { return readiness(); });
+    admin_->set_slo_tracker(&slo_);
     if (!admin_->start()) admin_.reset();
   }
 }
@@ -386,6 +395,19 @@ void ScoringService::submit_request(Request request, std::size_t rows,
 }
 
 void ScoringService::resolve(Request& request, ScoreResult&& result) {
+  // The single completion exit: every admitted-or-rejected request burns
+  // or banks SLO budget exactly once. Synchronous rejections carry
+  // enqueue_us == 0 (they never entered a ring) — count availability,
+  // skip latency.
+  {
+    const bool ok = result.rejected == RejectReason::kNone;
+    const std::uint64_t now_us = clock_->now_us();
+    const std::uint64_t latency_us =
+        ok && request.enqueue_us != 0 && now_us > request.enqueue_us
+            ? now_us - request.enqueue_us
+            : 0;
+    slo_.record(now_us, ok, latency_us);
+  }
   if (request.callback != nullptr) {
     // Containment: a throwing caller callback must not unwind into the
     // worker loop (it would fail the rest of the batch and, pre-PR 7,
@@ -502,6 +524,9 @@ std::uint64_t ScoringService::swap_model(features::FeaturePipeline pipeline,
   }
   counters_.model_swaps.fetch_add(1, std::memory_order_relaxed);
   obs_.model_swaps.inc();
+  // The old model's score distribution is not a baseline for the new one:
+  // re-capture the drift reference from the new model's own verdicts.
+  drift_.reset_reference();
   obs::instant(tracer_, "mev.serve.model_swap");
   MEV_LOG(*logger_, obs::LogLevel::kInfo, "serve.service",
           "model swapped", {obs::LogField::u64_value("version", version)});
@@ -576,6 +601,11 @@ obs::Readiness ScoringService::readiness() const {
       config_.max_queue_rows - config_.max_queue_rows / 10;
   if (queued_rows_.load(std::memory_order_relaxed) >= high_water)
     return {false, "queue high-water"};
+  // SLO fast-burn is ADVISORY ONLY: it annotates the ready verdict but
+  // never flips 503 — draining traffic on an SLO page would amplify the
+  // incident, and shedding is the overload controller's job.
+  if (slo_.snapshot(clock_->now_us()).fast_burn_alert)
+    return {true, "ok (advisory: slo fast burn)"};
   return {true, "ok"};
 }
 
@@ -889,6 +919,11 @@ void ScoringService::score_batch(WorkerState& worker, Batch batch) {
     resolve(request, std::move(result));
   }
 
+  // Drift: every verdict's confidence feeds the sliding score window
+  // (and, until frozen, the reference population).
+  for (const auto& verdict : verdicts)
+    drift_.record(done_us, verdict.malware_confidence);
+
   obs_.batches.inc();
   obs_.batch_rows.record(batch.rows);
   obs_.completed_requests.inc(batch.requests.size());
@@ -1054,6 +1089,13 @@ ServiceStats ScoringService::stats() const {
   stats.stalled_workers = watchdog_->stalled_count();
   stats.overload_state = static_cast<std::uint64_t>(overload_.state());
   stats.shed_fraction = overload_.shed_fraction();
+  const std::uint64_t now_us = clock_->now_us();
+  stats.score_psi = drift_.psi(now_us);
+  stats.drift_reference_frozen = drift_.reference_frozen();
+  const obs::SloTracker::Snapshot slo = slo_.snapshot(now_us);
+  stats.slo_fast_burn = slo.availability.fast_burn;
+  stats.slo_slow_burn = slo.availability.slow_burn;
+  stats.slo_budget_remaining = slo.availability.budget_remaining;
   std::lock_guard<std::mutex> lock(histogram_mutex_);
   stats.batch_rows = batch_rows_hist_;
   stats.queue_delay_us = queue_delay_hist_;

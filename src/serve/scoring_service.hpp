@@ -71,12 +71,14 @@
 #include "obs/admin_server.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/event_count.hpp"
 #include "runtime/mpsc_queue.hpp"
 #include "serve/chaos.hpp"
 #include "serve/completion.hpp"
+#include "serve/drift.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/overload.hpp"
 #include "serve/request.hpp"
@@ -148,6 +150,15 @@ struct ServiceConfig {
   /// watchdog()->poll() by hand instead. A null watchdog clock inherits
   /// the service clock.
   WatchdogConfig watchdog;
+  /// SLO objectives + burn-rate windows (obs/slo.hpp). Every resolved
+  /// request feeds the tracker; /sloz and the mev.slo.* gauges read it.
+  /// A fast burn above the alert threshold only ANNOTATES /readyz
+  /// ("advisory"), never flips it — the overload controller owns 503.
+  obs::SloConfig slo;
+  /// Score-distribution drift (serve/drift.hpp): verdict confidences vs
+  /// a reference window frozen at startup and re-captured on
+  /// swap_model().
+  DriftConfig drift;
 };
 
 class ScoringService {
@@ -237,6 +248,11 @@ class ScoringService {
   Watchdog& watchdog() noexcept { return *watchdog_; }
   /// The load-shedding controller (inert unless config.overload.enabled).
   const OverloadController& overload() const noexcept { return overload_; }
+  /// The SLO tracker behind /sloz; fed by every resolved request.
+  const obs::SloTracker& slo() const noexcept { return slo_; }
+  /// The score-drift tracker (reference frozen after
+  /// config.drift.reference_min_count verdicts; reset on swap_model()).
+  const ScoreDrift& drift() const noexcept { return drift_; }
 
   const ServiceConfig& config() const noexcept { return config_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
@@ -347,7 +363,10 @@ class ScoringService {
     obs::Counter batches, model_swaps, stolen_requests, spilled_submissions;
     obs::Counter callback_errors, worker_stalls, worker_recoveries,
         batch_failures;
-    obs::Histogram batch_rows, queue_delay_us, e2e_latency_us;
+    obs::Histogram batch_rows;
+    // Windowed: /metrics carries 1m/5m p50/p95/p99 gauges next to the
+    // lifetime exposition for the two latency series.
+    obs::WindowedHistogram queue_delay_us, e2e_latency_us;
     obs::Gauge queued_rows, overload_state, shed_fraction, stalled_workers;
   };
 
@@ -398,6 +417,11 @@ class ScoringService {
   std::uint64_t next_version_ = 1;
 
   OverloadController overload_;
+  /// Fed from resolve() — the single completion exit — so every request
+  /// (scored or rejected) burns or banks budget exactly once.
+  obs::SloTracker slo_;
+  /// Fed per verdict from score_batch(); reference reset on swap_model().
+  ScoreDrift drift_;
   /// Heap-held so worker threads can touch it during construction races
   /// without the member moving; sized to the worker count.
   std::unique_ptr<Watchdog> watchdog_;

@@ -33,6 +33,11 @@ std::string ServiceStats::to_string() const {
     os << "overload: state="
        << mev::serve::to_string(static_cast<OverloadState>(overload_state))
        << " shed_fraction=" << shed_fraction << "\n";
+  os << "slo: fast_burn=" << slo_fast_burn << " slow_burn=" << slo_slow_burn
+     << " budget_remaining=" << slo_budget_remaining << "\n";
+  os << "drift: psi=" << score_psi
+     << " reference=" << (drift_reference_frozen ? "frozen" : "capturing")
+     << "\n";
   const auto line = [&os](const char* name, const Log2Histogram& h,
                           const char* unit) {
     const LatencySummary s = summarize(h);

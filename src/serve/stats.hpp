@@ -67,6 +67,18 @@ struct ServiceStats {
   /// 1 brownout, 2 recovering) and the admission shed fraction [0, 1).
   std::uint64_t overload_state = 0;
   double shed_fraction = 0.0;
+  /// Score-distribution drift: PSI of the current confidence window
+  /// against the frozen reference (0 until the reference freezes), and
+  /// whether it has frozen yet. <0.1 stable, 0.1-0.25 moderate, >0.25
+  /// major shift.
+  double score_psi = 0.0;
+  bool drift_reference_frozen = false;
+  /// Availability-objective burn rates (fast ~5 min / slow ~1 h windows)
+  /// and lifetime error budget remaining (1.0 = untouched; negative =
+  /// overspent). See obs/slo.hpp for the formula.
+  double slo_fast_burn = 0.0;
+  double slo_slow_burn = 0.0;
+  double slo_budget_remaining = 1.0;
 
   Log2Histogram batch_rows;        // rows per scored batch
   Log2Histogram queue_delay_us;    // submit -> batch formation, per request

@@ -10,6 +10,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
 #include "runtime/clock.hpp"
@@ -399,6 +400,129 @@ TEST(AdminServer, SocketReadyzFlipsWithTheProbe) {
             std::string::npos);
   EXPECT_NE(draining.find("draining\n"), std::string::npos);
   server.stop();
+}
+
+TEST(AdminServer, IndexListsEveryBuiltinEndpoint) {
+  AdminFixture f;
+  AdminServer server = f.make();
+  const std::string response = server.handle(make_request("GET", "/"));
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  for (const char* path : {"/healthz", "/readyz", "/metrics", "/varz",
+                           "/sloz", "/statusz", "/tracez", "/requestz"})
+    EXPECT_NE(response.find(path), std::string::npos) << path;
+  // /index is an alias for environments where "/" is load-balancer-probed.
+  EXPECT_EQ(server.handle(make_request("GET", "/index")), response);
+}
+
+TEST(AdminServer, StatuszServesBuildProvenance) {
+  AdminFixture f;
+  AdminServer server = f.make();
+  const std::string response = server.handle(make_request("GET", "/statusz"));
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"git_sha\":\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"build_flags\":\""), std::string::npos);
+  EXPECT_NE(response.find("\"hardware_concurrency\":"), std::string::npos);
+  EXPECT_NE(response.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(response.find("\"start_time_unix\":"), std::string::npos);
+  EXPECT_NE(response.find("\"uptime_seconds\":"), std::string::npos);
+}
+
+TEST(AdminServer, VarzIncludesTheProcessBlock) {
+  AdminFixture f;
+  AdminServer server = f.make();
+  const std::string response = server.handle(make_request("GET", "/varz"));
+  EXPECT_NE(response.find("\"process\":{\"pid\":"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(response.find("\"start_time_unix\":"), std::string::npos);
+  // The registry snapshot still follows the process block.
+  EXPECT_NE(response.find("\"counters\":{"), std::string::npos);
+}
+
+TEST(AdminServer, SlozWithoutATrackerExplainsItself) {
+  AdminFixture f;
+  AdminServer server = f.make();
+  const std::string response = server.handle(make_request("GET", "/sloz"));
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("no slo tracker attached"), std::string::npos);
+}
+
+TEST(AdminServer, SlozServesPinnedBurnRates) {
+  AdminFixture f;
+  mev::obs::SloConfig slo_config;
+  slo_config.availability_objective = 0.999;
+  slo_config.bucket_us = 1'000'000;
+  slo_config.buckets = 20;
+  slo_config.fast_window_us = 5'000'000;
+  slo_config.slow_window_us = 20'000'000;
+  mev::obs::SloTracker tracker(slo_config);
+  // 1% errors against a 0.1% budget: burn = 10.0 exactly.
+  for (int i = 0; i < 99; ++i) tracker.record(100, true, 1'000);
+  tracker.record(100, false, 0);
+
+  AdminServerConfig config;
+  config.clock = &f.clock;  // FakeClock at 0: the burst is in-window
+  AdminServer server = f.make(std::move(config));
+  server.set_slo_tracker(&tracker);
+  const std::string response = server.handle(make_request("GET", "/sloz"));
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"fast_burn_rate\":10.000000"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"error_budget_remaining\":"), std::string::npos);
+  EXPECT_NE(response.find("\"fast_burn_alert\":false"), std::string::npos);
+  // Serving /sloz refreshed the mev_slo_* gauge mirror as a side effect.
+  tracker.register_gauges(&f.registry);
+  (void)server.handle(make_request("GET", "/sloz"));
+  EXPECT_NE(f.registry.prometheus().find(
+                "mev_slo_fast_burn_rate{objective=\"availability\"} " +
+                mev::obs::prometheus_number((1.0 / 100.0) / (1.0 - 0.999))),
+            std::string::npos);
+
+  server.set_slo_tracker(nullptr);
+  EXPECT_NE(server.handle(make_request("GET", "/sloz"))
+                .find("no slo tracker attached"),
+            std::string::npos);
+}
+
+TEST(AdminServer, ExtraEndpointsRegisterServeAndDeregister) {
+  AdminFixture f;
+  AdminServer server = f.make();
+  server.add_endpoint("/customz", "a caller-registered endpoint",
+                      [](const mev::obs::http::Request&) {
+                        return mev::obs::http::format_response(
+                            200, "text/plain; charset=utf-8", "custom\n");
+                      });
+  const std::string response = server.handle(make_request("GET", "/customz"));
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("custom\n"), std::string::npos);
+  // The index lists the extra endpoint with its description.
+  const std::string index = server.handle(make_request("GET", "/"));
+  EXPECT_NE(index.find("/customz"), std::string::npos);
+  EXPECT_NE(index.find("a caller-registered endpoint"), std::string::npos);
+
+  // Built-ins always win: registering over /healthz cannot hijack probes.
+  server.add_endpoint("/healthz", "shadow attempt",
+                      [](const mev::obs::http::Request&) {
+                        return mev::obs::http::format_response(
+                            200, "text/plain; charset=utf-8", "hijacked\n");
+                      });
+  EXPECT_NE(server.handle(make_request("GET", "/healthz")).find("ok\n"),
+            std::string::npos);
+
+  // Re-registering the same path replaces the handler.
+  server.add_endpoint("/customz", "replaced",
+                      [](const mev::obs::http::Request&) {
+                        return mev::obs::http::format_response(
+                            200, "text/plain; charset=utf-8", "v2\n");
+                      });
+  EXPECT_NE(server.handle(make_request("GET", "/customz")).find("v2\n"),
+            std::string::npos);
+
+  server.remove_endpoint("/customz");
+  EXPECT_NE(server.handle(make_request("GET", "/customz"))
+                .find("HTTP/1.1 404 Not Found"),
+            std::string::npos);
+  server.remove_endpoint("/customz");  // removing twice is a no-op
 }
 
 #endif  // MEV_OBS_ENABLED

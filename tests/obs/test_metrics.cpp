@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.hpp"
+#include "runtime/clock.hpp"
 
 namespace {
 
@@ -258,6 +259,90 @@ TEST(MetricsRegistry, ConcurrentIncrementsAreExact) {
             static_cast<std::uint64_t>(kThreads) * kIncrements);
 }
 
+TEST(MetricsRegistry, WindowedPrometheusGoldenFile) {
+  // Pinned windowed exposition: the lifetime family is a plain histogram
+  // to scrapers, followed by the `<name>_window{window=...,stat=...}`
+  // gauge family evaluated against the registered FakeClock.
+  mev::runtime::FakeClock clock;  // ms-based; now_us = ms * 1000
+  MetricsRegistry registry;
+  mev::obs::WindowedHistogram latency = registry.windowed_histogram(
+      "mev.test.win_us", "windowed latency", &clock);
+  clock.advance(280'000);  // t = 280 s, inside the default 5-min ring
+  latency.record(0);
+  latency.record(1);
+  latency.record(5);
+  latency.record(9);
+
+  clock.advance(10'000);  // read at t = 290 s: both windows see the burst
+  EXPECT_EQ(registry.prometheus(),
+            "# HELP mev_test_win_us windowed latency\n"
+            "# TYPE mev_test_win_us histogram\n"
+            "mev_test_win_us_bucket{le=\"0\"} 1\n"
+            "mev_test_win_us_bucket{le=\"1\"} 2\n"
+            "mev_test_win_us_bucket{le=\"3\"} 2\n"
+            "mev_test_win_us_bucket{le=\"7\"} 3\n"
+            "mev_test_win_us_bucket{le=\"15\"} 4\n"
+            "mev_test_win_us_bucket{le=\"+Inf\"} 4\n"
+            "mev_test_win_us_sum 15\n"
+            "mev_test_win_us_count 4\n"
+            "# HELP mev_test_win_us_window windowed p50/p95/p99/count of "
+            "mev_test_win_us\n"
+            "# TYPE mev_test_win_us_window gauge\n"
+            "mev_test_win_us_window{window=\"1m\",stat=\"p50\"} 2\n"
+            "mev_test_win_us_window{window=\"1m\",stat=\"p95\"} 9\n"
+            "mev_test_win_us_window{window=\"1m\",stat=\"p99\"} 9\n"
+            "mev_test_win_us_window{window=\"1m\",stat=\"count\"} 4\n"
+            "mev_test_win_us_window{window=\"5m\",stat=\"p50\"} 2\n"
+            "mev_test_win_us_window{window=\"5m\",stat=\"p95\"} 9\n"
+            "mev_test_win_us_window{window=\"5m\",stat=\"p99\"} 9\n"
+            "mev_test_win_us_window{window=\"5m\",stat=\"count\"} 4\n");
+  EXPECT_EQ(registry.json(),
+            "{\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{\"mev.test.win_us\":"
+            "{\"count\":4,\"mean\":3.75,\"min\":0,\"max\":9,"
+            "\"p50\":2,\"p95\":9,\"p99\":9,"
+            "\"window_1m\":{\"count\":4,\"p50\":2,\"p95\":9,\"p99\":9},"
+            "\"window_5m\":{\"count\":4,\"p50\":2,\"p95\":9,\"p99\":9}}}}"
+            "\n");
+
+  // t = 345 s: the burst left the 1m window (cutoff 285 s) but not the
+  // 5m window; the lifetime family never forgets.
+  clock.advance(55'000);
+  const std::string text = registry.prometheus();
+  EXPECT_NE(
+      text.find("mev_test_win_us_window{window=\"1m\",stat=\"count\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("mev_test_win_us_window{window=\"1m\",stat=\"p99\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("mev_test_win_us_window{window=\"5m\",stat=\"count\"} 4\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("mev_test_win_us_count 4\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WindowedHistogramHandleExposesBothViews) {
+  mev::runtime::FakeClock clock;
+  MetricsRegistry registry;
+  mev::obs::WindowedHistogram h =
+      registry.windowed_histogram("mev.test.win_handle", "", &clock);
+  clock.advance(1'000);
+  h.record(7);
+  clock.advance(120'000);  // 2 min later: out of 1m, inside 5m
+  h.record(3);
+  EXPECT_EQ(h.lifetime().count(), 2u);
+  EXPECT_EQ(h.windowed(60'000'000).count(), 1u);
+  EXPECT_EQ(h.windowed(300'000'000).count(), 2u);
+  // Same (name, labels) resolves to the same cell, same ring.
+  mev::obs::WindowedHistogram again =
+      registry.windowed_histogram("mev.test.win_handle", "", &clock);
+  again.record(1);
+  EXPECT_EQ(h.lifetime().count(), 3u);
+  // A windowed histogram's name owns its kind like any other metric.
+  EXPECT_THROW((void)registry.histogram("mev.test.win_handle"),
+               std::invalid_argument);
+}
+
 #endif  // MEV_OBS_ENABLED
 
 TEST(MetricsRegistry, ApiIsCallableInEveryBuildConfiguration) {
@@ -267,6 +352,12 @@ TEST(MetricsRegistry, ApiIsCallableInEveryBuildConfiguration) {
   registry.counter("mev.test.smoke").inc();
   registry.gauge("mev.test.smoke_gauge").set(1.0);
   registry.histogram("mev.test.smoke_hist").record(1);
+  mev::runtime::FakeClock clock;
+  mev::obs::WindowedHistogram windowed =
+      registry.windowed_histogram("mev.test.smoke_win", "", &clock);
+  windowed.record(1);
+  (void)windowed.lifetime();
+  (void)windowed.windowed(60'000'000);
   (void)registry.prometheus();
   (void)registry.json();
   SUCCEED();

@@ -1,0 +1,226 @@
+// SlidingCounter / SlidingHistogram / SlidingScoreHistogram / psi: the
+// deterministic FakeClock contract (exact totals when record and read do
+// not straddle a live rotation), the rotation edges (partial first
+// window, clock jump past every bucket, stale writers), and the
+// concurrent record-vs-rotate smear bound (run under TSan in CI).
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace mev::obs {
+namespace {
+
+constexpr std::uint64_t kUs = 1;
+constexpr std::uint64_t kSecond = 1'000'000 * kUs;
+
+TEST(SlidingCounterTest, AccumulatesWithinOneBucket) {
+  SlidingCounter counter({/*bucket_us=*/kSecond, /*buckets=*/4});
+  counter.add(100, 3);
+  counter.add(200, 2);
+  EXPECT_EQ(counter.total(500), 5u);
+}
+
+TEST(SlidingCounterTest, BucketsExpireAsTheWindowSlides) {
+  // 4 x 1 s ring: epochs 0..3 fill, epoch 4 pushes epoch 0 out of the
+  // full-span window.
+  SlidingCounter counter({kSecond, 4});
+  for (std::uint64_t e = 0; e < 4; ++e) counter.add(e * kSecond + 1, 10);
+  EXPECT_EQ(counter.total(3 * kSecond + 2), 40u);
+  // Advance into epoch 4: epoch 0 falls off even though its slot has not
+  // been overwritten yet (window math, not slot reuse, bounds the read).
+  EXPECT_EQ(counter.total(4 * kSecond + 1), 30u);
+  // A sub-span window narrows further: only the last 2 buckets.
+  EXPECT_EQ(counter.total(3 * kSecond + 2, 2 * kSecond), 20u);
+}
+
+TEST(SlidingCounterTest, RotationClearsReusedSlots) {
+  SlidingCounter counter({kSecond, 2});
+  counter.add(0, 7);  // epoch 0, slot 0
+  // Epoch 2 maps to slot 0 again: the write must clear the stale 7.
+  counter.add(2 * kSecond, 1);
+  EXPECT_EQ(counter.total(2 * kSecond + 1), 1u);
+}
+
+TEST(SlidingCounterTest, ClockJumpPastEveryBucketReadsZero) {
+  SlidingCounter counter({kSecond, 4});
+  counter.add(1, 100);
+  counter.add(kSecond + 1, 50);
+  // Jump 1000 epochs forward without any new records: every slot's epoch
+  // is below the window floor, so the total is 0 — never stale data.
+  EXPECT_EQ(counter.total(1000 * kSecond), 0u);
+}
+
+TEST(SlidingCounterTest, StaleWriterDropsInsteadOfCorrupting) {
+  SlidingCounter counter({kSecond, 2});
+  counter.add(5 * kSecond, 3);  // epoch 5 in slot 1
+  // A writer still holding a timestamp from epoch 1 (same slot) must not
+  // charge epoch 5's bucket.
+  counter.add(1 * kSecond, 99);
+  EXPECT_EQ(counter.total(5 * kSecond + 1), 3u);
+}
+
+TEST(SlidingCounterTest, PartialFirstWindowRateUsesObservedTime) {
+  // 60 x 5 s ring (5 min span) but only 10 s of traffic: the rate must
+  // divide by ~10 s, not 300 s.
+  SlidingCounter counter({5 * kSecond, 60});
+  counter.add(0, 500);
+  counter.add(10 * kSecond, 500);
+  const double rate = counter.rate_per_s(10 * kSecond);
+  EXPECT_NEAR(rate, 100.0, 1.0);
+}
+
+TEST(SlidingCounterTest, SteadyStateRateDividesByTheWindow) {
+  SlidingCounter counter({kSecond, 4});
+  // 10 adds/s for 20 s; the trailing 4 s window must report ~10/s.
+  for (std::uint64_t t = 0; t < 20 * kSecond; t += kSecond / 10)
+    counter.add(t, 1);
+  const double rate = counter.rate_per_s(20 * kSecond - 1);
+  EXPECT_NEAR(rate, 10.0, 1.0);
+}
+
+TEST(SlidingCounterTest, ZeroBeforeAnyAdd) {
+  SlidingCounter counter;
+  EXPECT_EQ(counter.total(123456), 0u);
+  EXPECT_EQ(counter.rate_per_s(123456), 0.0);
+}
+
+TEST(SlidingHistogramTest, MergedMatchesDirectRecording) {
+  SlidingHistogram window({kSecond, 8});
+  Log2Histogram direct;
+  const std::uint64_t values[] = {1, 2, 3, 100, 5000, 65536, 0, 7};
+  std::uint64_t t = 100;
+  for (const std::uint64_t v : values) {
+    window.record(t, v);
+    direct.record(v);
+    t += kSecond / 4;
+  }
+  const Log2Histogram merged = window.merged(t);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_EQ(merged.percentile(0.5), direct.percentile(0.5));
+  EXPECT_EQ(merged.percentile(0.99), direct.percentile(0.99));
+}
+
+TEST(SlidingHistogramTest, OldBucketsFallOutOfTheMerge) {
+  SlidingHistogram window({kSecond, 4});
+  window.record(0, 1000000);  // epoch 0: a huge value
+  for (std::uint64_t e = 4; e < 8; ++e) window.record(e * kSecond, 10);
+  const Log2Histogram merged = window.merged(7 * kSecond + 1);
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_LE(merged.max(), 10u);
+}
+
+TEST(SlidingHistogramTest, SubSpanWindowNarrowsTheMerge) {
+  SlidingHistogram window({kSecond, 8});
+  for (std::uint64_t e = 0; e < 8; ++e) window.record(e * kSecond, e + 1);
+  // Full span sees all 8; a 2 s sub-window only the last 2 records.
+  EXPECT_EQ(window.merged(7 * kSecond + 1).count(), 8u);
+  EXPECT_EQ(window.merged(7 * kSecond + 1, 2 * kSecond).count(), 2u);
+}
+
+// Concurrent record vs rotation: writers spin across a bucket boundary
+// while a reader polls totals. The assertion is the documented contract —
+// no phantom counts (total never exceeds records issued) and no crash /
+// TSan report; exact attribution at the rotating edge is not promised.
+TEST(SlidingWindowConcurrencyTest, RecordVersusRotateIsBounded) {
+  SlidingCounter counter({/*bucket_us=*/200, /*buckets=*/4});
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 5000;
+  std::atomic<std::uint64_t> shared_now{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t now =
+            shared_now.fetch_add(1, std::memory_order_relaxed);
+        counter.add(now);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t now = shared_now.load(std::memory_order_relaxed);
+      EXPECT_LE(counter.total(now), kWriters * kPerWriter);
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  // All writers quiesced: the final read is exact over the live window.
+  const std::uint64_t now = shared_now.load(std::memory_order_relaxed);
+  EXPECT_LE(counter.total(now), kWriters * kPerWriter);
+  EXPECT_GT(counter.total(now), 0u);
+}
+
+TEST(ScoreBinTest, LinearBinsWithClampedEdges) {
+  EXPECT_EQ(score_bin(0.0), 0u);
+  EXPECT_EQ(score_bin(0.05), 0u);
+  EXPECT_EQ(score_bin(0.15), 1u);
+  EXPECT_EQ(score_bin(0.95), 9u);
+  EXPECT_EQ(score_bin(1.0), 9u);
+  EXPECT_EQ(score_bin(1.5), 9u);    // clamp above
+  EXPECT_EQ(score_bin(-0.3), 0u);   // clamp below
+  EXPECT_EQ(score_bin(std::nan("")), 0u);
+}
+
+TEST(ScoreHistogramTest, BinsFollowTheWindow) {
+  SlidingScoreHistogram scores({kSecond, 4});
+  scores.record(0, 0.95);
+  scores.record(kSecond, 0.05);
+  ScoreBins bins = scores.bins(kSecond + 1);
+  EXPECT_EQ(bins[9], 1u);
+  EXPECT_EQ(bins[0], 1u);
+  // Slide 4 epochs: the 0.95 record expires.
+  bins = scores.bins(4 * kSecond + 1);
+  EXPECT_EQ(bins[9], 0u);
+  EXPECT_EQ(bins[0], 1u);
+}
+
+TEST(PsiTest, IdenticalDistributionsScoreNearZero) {
+  ScoreBins a{};
+  a[0] = 500;
+  a[9] = 500;
+  EXPECT_NEAR(psi(a, a), 0.0, 1e-9);
+}
+
+TEST(PsiTest, MajorShiftCrossesTheConventionalThreshold) {
+  // Reference mass in the low bins; current mass in the high bins: a
+  // textbook major shift (> 0.25).
+  ScoreBins reference{};
+  reference[0] = 800;
+  reference[1] = 200;
+  ScoreBins current{};
+  current[8] = 300;
+  current[9] = 700;
+  EXPECT_GT(psi(reference, current), 0.25);
+}
+
+TEST(PsiTest, EmptySidesReadAsNoDrift) {
+  ScoreBins empty{};
+  ScoreBins some{};
+  some[4] = 100;
+  EXPECT_EQ(psi(empty, some), 0.0);
+  EXPECT_EQ(psi(some, empty), 0.0);
+  EXPECT_EQ(psi(empty, empty), 0.0);
+}
+
+TEST(PsiTest, SmoothingKeepsDisjointSupportsFinite) {
+  ScoreBins a{};
+  a[0] = 1000;
+  ScoreBins b{};
+  b[9] = 1000;
+  const double value = psi(a, b);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_GT(value, 1.0);  // far past "major shift", but finite
+}
+
+}  // namespace
+}  // namespace mev::obs
